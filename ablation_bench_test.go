@@ -1,0 +1,111 @@
+package rexptree
+
+import (
+	"testing"
+
+	"rexptree/internal/core"
+	"rexptree/internal/experiments"
+	"rexptree/internal/hull"
+	"rexptree/internal/workload"
+)
+
+// Ablation benchmarks for the design choices the paper calls out.
+// Each runs the default network workload (ExpT = 2·UI) against a pair
+// of configurations and reports their search and update I/O as custom
+// metrics, so the effect of the single toggled choice is visible in
+// one line.
+
+func ablationWorkload(b *testing.B) workload.Params {
+	return workload.Params{Seed: 5}.Scale(benchScale(b))
+}
+
+func runAblation(b *testing.B, name string, cfg core.Config) {
+	b.Helper()
+	m, err := experiments.Run(experiments.TreeConfig{Label: name, Core: cfg}, ablationWorkload(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("%-28s search=%.2f update=%.2f pages=%.0f", name, m.SearchIO, m.UpdateIO, m.IndexPages)
+	b.ReportMetric(m.SearchIO, name+"_searchIO")
+	b.ReportMetric(m.UpdateIO, name+"_updateIO")
+}
+
+func rexpBase(seed int64) core.Config {
+	return core.Config{
+		Dims: 2, BRKind: hull.KindNearOptimal,
+		ExpireAware: true, AlgsUseExp: true, Seed: seed,
+	}
+}
+
+// BenchmarkAblationOverlapHeuristic — §4.2.2: the R^exp-tree drops the
+// R*-tree's quadratic overlap-enlargement criterion from ChooseSubtree
+// because it "does not improve query performance".  Compare both.
+func BenchmarkAblationOverlapHeuristic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if i > 0 {
+			continue
+		}
+		runAblation(b, "linear_choose", rexpBase(5))
+		withOverlap := rexpBase(5)
+		withOverlap.UseOverlapHeuristic = true
+		runAblation(b, "overlap_choose", withOverlap)
+	}
+}
+
+// BenchmarkAblationForcedReinsert — the R*-tree's forced reinsertion
+// (RemoveTop, used by both the TPR- and R^exp-trees) versus immediate
+// splitting.
+func BenchmarkAblationForcedReinsert(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if i > 0 {
+			continue
+		}
+		runAblation(b, "with_reinsert", rexpBase(5))
+		noReins := rexpBase(5)
+		noReins.ReinsertFrac = -1
+		runAblation(b, "no_reinsert", noReins)
+	}
+}
+
+// BenchmarkAblationAutoTune — §4.2.3: the self-tuned horizon
+// H = UI + W versus a frozen (and deliberately wrong, 4x too large)
+// initial estimate.
+func BenchmarkAblationAutoTune(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if i > 0 {
+			continue
+		}
+		runAblation(b, "auto_tune", rexpBase(5))
+		frozen := rexpBase(5)
+		frozen.DisableAutoTune = true
+		frozen.InitialUI = 240
+		runAblation(b, "frozen_horizon", frozen)
+	}
+}
+
+// BenchmarkAblationBRExpRecording — §5.2: recording expiration times
+// in internal entries costs fan-out and rarely pays off.
+func BenchmarkAblationBRExpRecording(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if i > 0 {
+			continue
+		}
+		runAblation(b, "no_brexp", rexpBase(5))
+		withExp := rexpBase(5)
+		withExp.StoreBRExp = true
+		runAblation(b, "with_brexp", withExp)
+	}
+}
+
+// BenchmarkAblationLazyPurge — §4.3/§5.4: the R^exp-tree's lazy purge
+// versus leaving expired entries in place entirely (a TPR-tree that
+// merely filters query results would behave like the latter).
+func BenchmarkAblationLazyPurge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if i > 0 {
+			continue
+		}
+		runAblation(b, "lazy_purge", rexpBase(5))
+		runAblation(b, "no_purge_tpr", core.Config{Dims: 2, BRKind: hull.KindConservative, Seed: 5})
+	}
+}

@@ -1,0 +1,64 @@
+// Command rexpgen generates a workload (the §5.1 network or uniform
+// scenario) and writes it to stdout or a file in the text operation
+// format of internal/workload (one line per insert/delete/query).
+// The output can be inspected directly or replayed with
+// "rexpstat -replay".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"rexptree/internal/workload"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "", "output file (default stdout)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		scale   = flag.Float64("scale", 0.01, "fraction of the paper's workload scale")
+		ui      = flag.Float64("ui", 60, "average update interval")
+		expT    = flag.Float64("expt", 0, "expiration period (0 = default 2*UI)")
+		expD    = flag.Float64("expd", 0, "expiration distance (overrides expt)")
+		newOb   = flag.Float64("newob", 0, "fraction of objects replaced")
+		uniform = flag.Bool("uniform", false, "uniform scenario instead of the network")
+	)
+	flag.Parse()
+
+	p := workload.Params{
+		Seed: *seed, UI: *ui, ExpT: *expT, ExpD: *expD,
+		NewOb: *newOb, Uniform: *uniform,
+	}.Scale(*scale)
+	gen, err := workload.NewGenerator(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rexpgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rexpgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+
+	fmt.Fprintf(w, "# rexptree workload: objects=%d insertions=%d ui=%g expt=%g expd=%g newob=%g uniform=%v seed=%d\n",
+		p.Objects, p.Insertions, p.UI, p.ExpT, p.ExpD, p.NewOb, p.Uniform, p.Seed)
+	for {
+		op, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := workload.WriteOp(w, op); err != nil {
+			fmt.Fprintf(os.Stderr, "rexpgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

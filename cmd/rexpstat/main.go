@@ -1,0 +1,158 @@
+// Command rexpstat builds an index from a generated workload and
+// prints structural statistics: height, nodes per level, average
+// fan-out, live/expired leaf-entry counts, index size, buffer-pool
+// traffic, and the self-tuned update-interval estimate.  It is a quick
+// way to inspect how a configuration organizes a workload.
+//
+// Usage:
+//
+//	rexpstat [-mode rexp|tpr] [-br near-optimal] [-scale 0.01] ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rexptree/internal/core"
+	"rexptree/internal/hull"
+	"rexptree/internal/storage"
+	"rexptree/internal/workload"
+)
+
+func brKind(name string) (hull.Kind, error) {
+	for k := hull.KindConservative; k <= hull.KindOptimal; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown bounding-rectangle kind %q", name)
+}
+
+func main() {
+	var (
+		mode    = flag.String("mode", "rexp", "rexp (expiration-aware) or tpr (baseline)")
+		br      = flag.String("br", "near-optimal", "bounding rectangles: conservative|static|update-minimum|near-optimal|optimal")
+		scale   = flag.Float64("scale", 0.01, "fraction of the paper's workload scale")
+		seed    = flag.Int64("seed", 1, "seed")
+		expT    = flag.Float64("expt", 0, "expiration period (0 = 2*UI)")
+		expD    = flag.Float64("expd", 0, "expiration distance")
+		newOb   = flag.Float64("newob", 0, "fraction of replaced objects")
+		uniform = flag.Bool("uniform", false, "uniform scenario")
+		storeBR = flag.Bool("brexp", false, "record expiration times in internal entries")
+		replay  = flag.String("replay", "", "replay a workload file written by rexpgen instead of generating one")
+		check   = flag.Bool("check", false, "validate the tree's structural invariants after the workload")
+	)
+	flag.Parse()
+
+	kind, err := brKind(*br)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rexpstat:", err)
+		os.Exit(1)
+	}
+	cfg := core.Config{Dims: 2, BRKind: kind, Seed: *seed}
+	if *mode == "rexp" {
+		cfg.ExpireAware = true
+		cfg.AlgsUseExp = true
+		cfg.StoreBRExp = *storeBR
+	} else if *mode != "tpr" {
+		fmt.Fprintf(os.Stderr, "rexpstat: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+
+	tree, err := core.New(cfg, storage.NewMemStore())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rexpstat:", err)
+		os.Exit(1)
+	}
+	apply := func(op workload.Op) error {
+		switch op.Kind {
+		case workload.OpInsert:
+			return tree.Insert(op.OID, op.Point, op.Time)
+		case workload.OpDelete:
+			_, err := tree.Delete(op.OID, op.Point, op.Time)
+			return err
+		default:
+			_, err := tree.Search(op.Query, op.Time)
+			return err
+		}
+	}
+
+	ops := 0
+	var source string
+	if *replay != "" {
+		source = *replay
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rexpstat:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sc := workload.NewScanner(f)
+		for sc.Scan() {
+			if err := apply(sc.Op()); err != nil {
+				fmt.Fprintf(os.Stderr, "rexpstat: op %d: %v\n", ops, err)
+				os.Exit(1)
+			}
+			ops++
+		}
+		if err := sc.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "rexpstat:", err)
+			os.Exit(1)
+		}
+	} else {
+		p := workload.Params{Seed: *seed, ExpT: *expT, ExpD: *expD, NewOb: *newOb, Uniform: *uniform}.Scale(*scale)
+		source = fmt.Sprintf("generated: objects=%d insertions=%d seed=%d", p.Objects, p.Insertions, *seed)
+		gen, err := workload.NewGenerator(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rexpstat:", err)
+			os.Exit(1)
+		}
+		for {
+			op, ok := gen.Next()
+			if !ok {
+				break
+			}
+			if err := apply(op); err != nil {
+				fmt.Fprintf(os.Stderr, "rexpstat: op %d: %v\n", ops, err)
+				os.Exit(1)
+			}
+			ops++
+		}
+	}
+
+	fmt.Printf("configuration : mode=%s br=%s brexp=%v\n", *mode, kind, cfg.StoreBRExp)
+	fmt.Printf("workload      : %s, %d ops\n", source, ops)
+	fmt.Printf("height        : %d\n", tree.Height())
+	counts, err := tree.NodeCount()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rexpstat:", err)
+		os.Exit(1)
+	}
+	for lvl := len(counts) - 1; lvl >= 0; lvl-- {
+		fmt.Printf("level %-2d      : %d nodes\n", lvl, counts[lvl])
+	}
+	live, expired, err := tree.EntryStats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rexpstat:", err)
+		os.Exit(1)
+	}
+	total := live + expired
+	fmt.Printf("leaf entries  : %d live, %d expired (%.2f%% expired)\n",
+		live, expired, 100*float64(expired)/float64(max(total, 1)))
+	if counts[0] > 0 {
+		fmt.Printf("leaf fill     : %.1f avg entries (capacity %d)\n",
+			float64(total)/float64(counts[0]), tree.LeafCapacity())
+	}
+	fmt.Printf("index size    : %d pages (%.1f KiB)\n", tree.Size(), float64(tree.Size())*storage.PageSize/1024)
+	io := tree.IOStats()
+	fmt.Printf("I/O           : %d reads, %d writes, %d buffer hits\n", io.Reads, io.Writes, io.Hits)
+	fmt.Printf("UI estimate   : %.1f (assumed W %.1f)\n", tree.UI(), tree.W())
+	if *check {
+		if err := tree.CheckInvariants(); err != nil {
+			fmt.Printf("invariants    : FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("invariants    : ok")
+	}
+}

@@ -1,0 +1,71 @@
+package rexptree_test
+
+import (
+	"fmt"
+	"log"
+
+	"rexptree"
+)
+
+// The basic lifecycle: open an index, report a moving object, and ask
+// where it will be.
+func ExampleOpen() {
+	tree, err := rexptree.Open(rexptree.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tree.Close()
+
+	// A car at (100, 200) km heading east at 1.5 km/min; the report is
+	// trusted until t = 120.
+	tree.Update(1, rexptree.Point{
+		Pos:     rexptree.Vec{100, 200},
+		Vel:     rexptree.Vec{1.5, 0},
+		Time:    0,
+		Expires: 120,
+	}, 0)
+
+	res, _ := tree.Timeslice(rexptree.Rect{
+		Lo: rexptree.Vec{110, 195},
+		Hi: rexptree.Vec{120, 205},
+	}, 10, 0)
+	for _, r := range res {
+		p := r.Point.At(10)
+		fmt.Printf("object %d predicted at (%.0f, %.0f)\n", r.ID, p[0], p[1])
+	}
+	// Output:
+	// object 1 predicted at (115, 200)
+}
+
+// Expired reports disappear from query results on their own.
+func ExampleTree_Timeslice() {
+	tree, _ := rexptree.Open(rexptree.DefaultOptions())
+	defer tree.Close()
+
+	tree.Update(1, rexptree.Point{Pos: rexptree.Vec{500, 500}, Time: 0, Expires: 30}, 0)
+	world := rexptree.Rect{Hi: rexptree.Vec{1000, 1000}}
+
+	before, _ := tree.Timeslice(world, 10, 10)
+	after, _ := tree.Timeslice(world, 60, 60)
+	fmt.Printf("visible at t=10: %d, at t=60: %d\n", len(before), len(after))
+	// Output:
+	// visible at t=10: 1, at t=60: 0
+}
+
+// Nearest-neighbor search over predicted positions.
+func ExampleTree_Nearest() {
+	tree, _ := rexptree.Open(rexptree.DefaultOptions())
+	defer tree.Close()
+
+	tree.Update(1, rexptree.Point{Pos: rexptree.Vec{100, 100}, Expires: rexptree.NoExpiry()}, 0)
+	tree.Update(2, rexptree.Point{Pos: rexptree.Vec{300, 300}, Expires: rexptree.NoExpiry()}, 0)
+	// Object 3 is far away now but racing toward the query point.
+	tree.Update(3, rexptree.Point{
+		Pos: rexptree.Vec{900, 100}, Vel: rexptree.Vec{-8, 0}, Expires: rexptree.NoExpiry(),
+	}, 0)
+
+	res, _ := tree.Nearest(rexptree.Vec{120, 120}, 97, 1, 0)
+	fmt.Println("nearest at t=97: object", res[0].ID)
+	// Output:
+	// nearest at t=97: object 3
+}

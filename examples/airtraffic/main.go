@@ -1,0 +1,133 @@
+// Airtraffic: speed-dependent expiration (the paper's ExpD policy).
+// Fast aircraft invalidate their positional reports sooner than slow
+// general aviation: each report is trusted for a fixed *distance*
+// flown, not a fixed time, so expiration time = now + ExpD / speed.
+// The example also compares static vs near-optimal bounding rectangles
+// on this workload — the one situation where static rectangles are
+// competitive (paper §5.3).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"rexptree"
+)
+
+const (
+	expD    = 90.0 // each report is good for 90 km of travel
+	sectors = 1000.0
+)
+
+type aircraft struct {
+	id    uint32
+	pos   [2]float64
+	speed float64 // km/min
+	hdg   float64
+}
+
+func run(opts rexptree.Options, fleet []aircraft) (*rexptree.Tree, float64, error) {
+	tree, err := rexptree.Open(opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	rng := rand.New(rand.NewSource(3))
+	now := 0.0
+	for tick := 0; tick < 120; tick++ {
+		now = float64(tick)
+		for i := range fleet {
+			a := &fleet[i]
+			// Aircraft adjust heading occasionally and report every
+			// ~6 minutes.
+			if rng.Float64() > 1.0/6 {
+				continue
+			}
+			a.hdg += (rng.Float64() - 0.5) * 0.8
+			vel := [2]float64{a.speed * math.Cos(a.hdg), a.speed * math.Sin(a.hdg)}
+			ttl := expD / a.speed
+			err := tree.Update(a.id, rexptree.Point{
+				Pos:     rexptree.Vec{a.pos[0], a.pos[1]},
+				Vel:     rexptree.Vec{vel[0], vel[1]},
+				Time:    now,
+				Expires: now + ttl,
+			}, now)
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+		for i := range fleet {
+			a := &fleet[i]
+			a.pos[0] += a.speed * math.Cos(a.hdg)
+			a.pos[1] += a.speed * math.Sin(a.hdg)
+			for d := 0; d < 2; d++ {
+				if a.pos[d] < 0 {
+					a.pos[d] += sectors
+				}
+				if a.pos[d] > sectors {
+					a.pos[d] -= sectors
+				}
+			}
+		}
+	}
+	return tree, now, nil
+}
+
+func main() {
+	mkFleet := func() []aircraft {
+		rng := rand.New(rand.NewSource(1)) // identical fleet for both runs
+		fleet := make([]aircraft, 3000)
+		for i := range fleet {
+			speed := 2.0 + rng.Float64()*13 // 120..900 km/h
+			if i%3 == 0 {
+				speed = 1.5 + rng.Float64()*2 // slow GA traffic
+			}
+			fleet[i] = aircraft{
+				id:    uint32(i),
+				pos:   [2]float64{rng.Float64() * sectors, rng.Float64() * sectors},
+				speed: speed,
+				hdg:   rng.Float64() * 2 * math.Pi,
+			}
+		}
+		return fleet
+	}
+
+	for _, cfg := range []struct {
+		name string
+		kind rexptree.BoundingKind
+	}{
+		{"near-optimal", rexptree.NearOptimal},
+		{"static", rexptree.Static},
+	} {
+		opts := rexptree.DefaultOptions()
+		opts.Bounding = cfg.kind
+		opts.Seed = 5
+		tree, now, err := run(opts, mkFleet())
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Sector sweep: predicted traffic in a 100x100 km sector over
+		// the next 3 minutes.
+		tree.ResetIOStats()
+		sector := rexptree.Rect{Lo: rexptree.Vec{450, 450}, Hi: rexptree.Vec{550, 550}}
+		res, err := tree.Window(sector, now, now+3, now)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := tree.Stats()
+		fmt.Printf("%-13s: %3d aircraft predicted in sector; query cost %d page reads; index %d pages\n",
+			cfg.name, len(res), s.Reads, s.Pages)
+
+		// Fast movers expire quickly: count reports still trusted 20
+		// minutes from now.
+		world := rexptree.Rect{Hi: rexptree.Vec{sectors, sectors}}
+		later, err := tree.Timeslice(world, now+20, now)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s: %d of %d reports still trusted at t+20 (fast aircraft expired first)\n",
+			cfg.name, len(later), s.LeafEntries)
+		tree.Close()
+	}
+}

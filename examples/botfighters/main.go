@@ -1,0 +1,122 @@
+// Botfighters: the paper's motivating location-based game.  Players
+// roam a city and can "shoot" other players within range of their
+// predicted position.  Phones that go silent (switched off, out of
+// coverage) simply stop reporting: their last position expires and the
+// game must stop matching them — exactly the implicit-update problem
+// the R^exp-tree solves.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"rexptree"
+)
+
+const (
+	players   = 2000
+	reportTTL = 8.0  // a position report is trusted for 8 minutes
+	shotRange = 0.25 // kilometers
+	citySide  = 20.0 // 20 x 20 km city
+)
+
+type player struct {
+	id     uint32
+	pos    [2]float64
+	vel    [2]float64
+	online bool
+}
+
+func main() {
+	opts := rexptree.DefaultOptions()
+	opts.World = rexptree.Rect{Hi: rexptree.Vec{citySide, citySide}}
+	tree, err := rexptree.Open(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tree.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	roster := make([]*player, players)
+	for i := range roster {
+		roster[i] = &player{
+			id:     uint32(i),
+			pos:    [2]float64{rng.Float64() * citySide, rng.Float64() * citySide},
+			online: true,
+		}
+	}
+
+	// Simulate 60 minutes in 1-minute ticks.  Each minute a fraction
+	// of players report; a few go dark without notice.
+	now := 0.0
+	for tick := 0; tick < 60; tick++ {
+		now = float64(tick)
+		for _, p := range roster {
+			if !p.online || rng.Float64() > 0.25 {
+				continue // reports every ~4 minutes
+			}
+			// Walk or ride: 0.06..0.6 km/min.
+			speed := 0.06 + rng.Float64()*0.54
+			angle := rng.Float64() * 2 * math.Pi
+			p.vel = [2]float64{speed * math.Cos(angle), speed * math.Sin(angle)}
+			err := tree.Update(p.id, rexptree.Point{
+				Pos:     rexptree.Vec{p.pos[0], p.pos[1]},
+				Vel:     rexptree.Vec{p.vel[0], p.vel[1]},
+				Time:    now,
+				Expires: now + reportTTL,
+			}, now)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		// Phones drop off silently.
+		if tick%10 == 9 {
+			for i := 0; i < players/100; i++ {
+				roster[rng.Intn(players)].online = false
+			}
+		}
+		// Advance true positions (bounced at the city limits).
+		for _, p := range roster {
+			for d := 0; d < 2; d++ {
+				p.pos[d] += p.vel[d]
+				if p.pos[d] < 0 || p.pos[d] > citySide {
+					p.vel[d] = -p.vel[d]
+					p.pos[d] += 2 * p.vel[d]
+				}
+			}
+		}
+	}
+
+	// A player looks for targets: who is predicted to be within shot
+	// range in the next half minute?  Expired (dark) players are never
+	// offered as targets.
+	shooter := roster[42]
+	r := rexptree.Rect{
+		Lo: rexptree.Vec{shooter.pos[0] - shotRange, shooter.pos[1] - shotRange},
+		Hi: rexptree.Vec{shooter.pos[0] + shotRange, shooter.pos[1] + shotRange},
+	}
+	targets, err := tree.Window(r, now, now+0.5, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("player %d at (%.2f, %.2f) can shoot %d nearby players\n",
+		shooter.id, shooter.pos[0], shooter.pos[1], len(targets))
+	for _, t := range targets {
+		if t.ID == shooter.id {
+			continue
+		}
+		fmt.Printf("  target %4d predicted at (%.2f, %.2f)\n", t.ID, t.Point.At(now)[0], t.Point.At(now)[1])
+	}
+
+	// Game-wide stats: silent players age out on their own.
+	world := rexptree.Rect{Hi: rexptree.Vec{citySide, citySide}}
+	alive, err := tree.Timeslice(world, now, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := tree.Stats()
+	fmt.Printf("matchmaking sees %d active players; index: %d entries, %d pages, height %d\n",
+		len(alive), s.LeafEntries, s.Pages, s.Height)
+}

@@ -1,0 +1,97 @@
+// Fleet: a delivery fleet on the paper's road-network scenario.
+// Trucks report position and velocity as they accelerate onto and
+// brake off highway legs between depots.  A dispatcher asks window
+// queries ("which trucks pass the construction zone in the next
+// quarter hour?") and moving queries ("who can rendezvous with truck
+// 17 on its way?").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rexptree"
+	"rexptree/internal/workload"
+)
+
+func main() {
+	tree, err := rexptree.Open(rexptree.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tree.Close()
+
+	// Drive the index with the paper's own network workload generator:
+	// 2000 trucks between 20 depots, reports expiring after 2·UI.
+	gen, err := workload.NewGenerator(workload.Params{
+		Seed:       11,
+		Objects:    2000,
+		Insertions: 30000,
+		UI:         60,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	now := 0.0
+	trucks := map[uint32]rexptree.Point{}
+	for {
+		op, ok := gen.Next()
+		if !ok {
+			break
+		}
+		now = op.Time
+		if op.Kind != workload.OpInsert {
+			continue // Tree.Update replaces previous reports itself.
+		}
+		at := op.Point.At(op.Time)
+		p := rexptree.Point{
+			Pos:     rexptree.Vec{at[0], at[1]},
+			Vel:     rexptree.Vec{op.Point.Vel[0], op.Point.Vel[1]},
+			Time:    op.Time,
+			Expires: op.Point.TExp,
+		}
+		if err := tree.Update(op.OID, p, now); err != nil {
+			log.Fatal(err)
+		}
+		trucks[op.OID] = p
+	}
+	s := tree.Stats()
+	fmt.Printf("fleet indexed: %d reports live, height %d, %d pages (UI estimate %.0f min)\n",
+		s.LeafEntries, s.Height, s.Pages, s.UIEstimate)
+
+	// Window query: a 30x30 km construction zone, next 15 minutes.
+	zone := rexptree.Rect{Lo: rexptree.Vec{480, 480}, Hi: rexptree.Vec{510, 510}}
+	passing, err := tree.Window(zone, now, now+15, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d trucks pass the zone within 15 minutes\n", len(passing))
+
+	// Moving query: a 20-km box riding along truck 17's predicted path
+	// for the next 10 minutes.
+	if t17, ok := tree.Get(17, now); ok {
+		box := func(c rexptree.Vec) rexptree.Rect {
+			return rexptree.Rect{
+				Lo: rexptree.Vec{c[0] - 10, c[1] - 10},
+				Hi: rexptree.Vec{c[0] + 10, c[1] + 10},
+			}
+		}
+		nearby, err := tree.Moving(box(t17.At(now)), box(t17.At(now+10)), now, now+10, now)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d trucks can rendezvous with truck 17 (heading %.2f,%.2f km/min)\n",
+			len(nearby), t17.Vel[0], t17.Vel[1])
+	} else {
+		fmt.Println("truck 17 has gone silent; its report expired")
+	}
+
+	// Timeslice: fleet snapshot five minutes out.
+	world := rexptree.Rect{Hi: rexptree.Vec{1000, 1000}}
+	snap, err := tree.Timeslice(world, now+5, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicted fleet positions at t+5: %d trucks still trusted\n", len(snap))
+}

@@ -1,0 +1,83 @@
+// Quickstart: index a handful of moving objects and run the three
+// query types of the paper — timeslice, window and moving.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rexptree"
+)
+
+func main() {
+	// An expiration-aware index with the paper's recommended settings
+	// (near-optimal time-parameterized bounding rectangles).
+	tree, err := rexptree.Open(rexptree.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tree.Close()
+
+	// Three vehicles reporting at time 0.  Positions are in km,
+	// velocities in km/min, and each report expires: if a vehicle does
+	// not report again before its deadline, the index forgets it.
+	reports := []struct {
+		id uint32
+		p  rexptree.Point
+	}{
+		{1, rexptree.Point{Pos: rexptree.Vec{100, 200}, Vel: rexptree.Vec{1.5, 0}, Time: 0, Expires: 120}},
+		{2, rexptree.Point{Pos: rexptree.Vec{102, 205}, Vel: rexptree.Vec{0, -1}, Time: 0, Expires: 120}},
+		{3, rexptree.Point{Pos: rexptree.Vec{900, 900}, Vel: rexptree.Vec{-3, -3}, Time: 0, Expires: 15}},
+	}
+	for _, r := range reports {
+		if err := tree.Update(r.id, r.p, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Type 1 — timeslice: who is predicted to be near (110, 200) at
+	// time 10?
+	region := rexptree.Rect{Lo: rexptree.Vec{105, 195}, Hi: rexptree.Vec{125, 210}}
+	res, err := tree.Timeslice(region, 10, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("timeslice @t=10:")
+	for _, r := range res {
+		fmt.Printf("  object %d at %.1f\n", r.ID, r.Point.At(10))
+	}
+
+	// Type 2 — window: who crosses the region at any time in [5, 30]?
+	res, err = tree.Window(region, 5, 30, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("window @[5,30]:")
+	for _, r := range res {
+		fmt.Printf("  object %d\n", r.ID)
+	}
+
+	// Type 3 — moving: a query region that travels with vehicle 1.
+	r1 := rexptree.Rect{Lo: rexptree.Vec{110, 190}, Hi: rexptree.Vec{120, 210}}
+	r2 := rexptree.Rect{Lo: rexptree.Vec{140, 190}, Hi: rexptree.Vec{150, 210}}
+	res, err = tree.Moving(r1, r2, 10, 30, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("moving @[10,30]:")
+	for _, r := range res {
+		fmt.Printf("  object %d\n", r.ID)
+	}
+
+	// Expiration: object 3 stops reporting.  At time 20 its report
+	// (expiry 15) is stale, and the index no longer returns it.
+	world := rexptree.Rect{Lo: rexptree.Vec{0, 0}, Hi: rexptree.Vec{1000, 1000}}
+	res, err = tree.Timeslice(world, 20, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alive at t=20: %d objects (object 3 expired)\n", len(res))
+
+	s := tree.Stats()
+	fmt.Printf("index: height %d, %d pages, %d entries\n", s.Height, s.Pages, s.LeafEntries)
+}

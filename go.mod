@@ -1,0 +1,3 @@
+module rexptree
+
+go 1.22

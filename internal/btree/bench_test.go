@@ -1,0 +1,58 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"rexptree/internal/storage"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	bt, err := New(storage.NewMemStore(), 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Insert(rng.Float64()*1e6, uint32(i))
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	bt, err := New(storage.NewMemStore(), 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 50000
+	keys := make([]Key, n)
+	rng := rand.New(rand.NewSource(2))
+	for i := range keys {
+		keys[i] = Key{TExp: float64(float32(rng.Float64() * 1e6)), OID: uint32(i)}
+		bt.Insert(keys[i].TExp, keys[i].OID)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%n]
+		bt.Delete(k.TExp, k.OID)
+		bt.Insert(k.TExp, k.OID)
+	}
+}
+
+func BenchmarkPopMin(b *testing.B) {
+	bt, err := New(storage.NewMemStore(), 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < b.N+1; i++ {
+		bt.Insert(rng.Float64()*1e6, uint32(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.PopMin()
+	}
+}

@@ -1,0 +1,206 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"rexptree/internal/storage"
+)
+
+func newTestTree(t *testing.T) *BTree {
+	t.Helper()
+	b, err := New(storage.NewMemStore(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestEmpty(t *testing.T) {
+	b := newTestTree(t)
+	if b.Len() != 0 || b.Height() != 1 {
+		t.Fatalf("len=%d height=%d", b.Len(), b.Height())
+	}
+	if _, ok, _ := b.Min(); ok {
+		t.Fatal("Min on empty tree")
+	}
+	if _, ok, _ := b.PopMin(); ok {
+		t.Fatal("PopMin on empty tree")
+	}
+	if found, _ := b.Delete(1, 1); found {
+		t.Fatal("Delete on empty tree found something")
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDuplicate(t *testing.T) {
+	b := newTestTree(t)
+	if ok, err := b.Insert(5, 7); err != nil || !ok {
+		t.Fatalf("first insert: %v %v", ok, err)
+	}
+	if ok, err := b.Insert(5, 7); err != nil || ok {
+		t.Fatalf("duplicate insert: %v %v", ok, err)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	// Same time, different oid is a distinct key.
+	if ok, _ := b.Insert(5, 8); !ok {
+		t.Fatal("distinct oid rejected")
+	}
+	if b.Len() != 2 {
+		t.Fatalf("len = %d", b.Len())
+	}
+}
+
+func TestOrderingAndMin(t *testing.T) {
+	b := newTestTree(t)
+	b.Insert(30, 1)
+	b.Insert(10, 2)
+	b.Insert(20, 3)
+	b.Insert(10, 1) // ties broken by oid
+	k, ok, err := b.Min()
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if k.TExp != 10 || k.OID != 1 {
+		t.Fatalf("min = %+v", k)
+	}
+	var got []Key
+	b.Ascend(func(k Key) bool { got = append(got, k); return true })
+	want := []Key{{10, 1}, {10, 2}, {20, 3}, {30, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("ascend = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ascend[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPopMinDrains(t *testing.T) {
+	b := newTestTree(t)
+	const n = 3000
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < n; i++ {
+		if ok, err := b.Insert(rng.Float64()*1000, uint32(i)); err != nil || !ok {
+			t.Fatal(ok, err)
+		}
+	}
+	if b.Height() < 2 {
+		t.Fatalf("height = %d, expected splits", b.Height())
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	prev := Key{TExp: -1}
+	for i := 0; i < n; i++ {
+		k, ok, err := b.PopMin()
+		if err != nil || !ok {
+			t.Fatalf("pop %d: %v %v", i, ok, err)
+		}
+		if k.Less(prev) {
+			t.Fatalf("pop %d: %v < previous %v", i, k, prev)
+		}
+		prev = k
+	}
+	if b.Len() != 0 {
+		t.Fatalf("len = %d after draining", b.Len())
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedAgainstOracle(t *testing.T) {
+	b := newTestTree(t)
+	rng := rand.New(rand.NewSource(7))
+	oracle := map[Key]bool{}
+	for step := 0; step < 20000; step++ {
+		k := Key{TExp: float64(float32(rng.Float64() * 500)), OID: uint32(rng.Intn(2000))}
+		if rng.Intn(3) > 0 {
+			ok, err := b.Insert(k.TExp, k.OID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok == oracle[k] {
+				t.Fatalf("step %d: insert %v returned %v, oracle has=%v", step, k, ok, oracle[k])
+			}
+			oracle[k] = true
+		} else {
+			ok, err := b.Delete(k.TExp, k.OID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != oracle[k] {
+				t.Fatalf("step %d: delete %v returned %v, oracle has=%v", step, k, ok, oracle[k])
+			}
+			delete(oracle, k)
+		}
+		if b.Len() != len(oracle) {
+			t.Fatalf("step %d: len %d vs oracle %d", step, b.Len(), len(oracle))
+		}
+		if step%2500 == 2499 {
+			if err := b.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	// Final full comparison via Ascend.
+	var got []Key
+	b.Ascend(func(k Key) bool { got = append(got, k); return true })
+	if len(got) != len(oracle) {
+		t.Fatalf("ascend count %d vs oracle %d", len(got), len(oracle))
+	}
+	for _, k := range got {
+		if !oracle[k] {
+			t.Fatalf("ascend produced %v not in oracle", k)
+		}
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialInsertDescendingDelete(t *testing.T) {
+	b := newTestTree(t)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		b.Insert(float64(i), uint32(i))
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := n - 1; i >= 0; i-- {
+		ok, err := b.Delete(float64(i), uint32(i))
+		if err != nil || !ok {
+			t.Fatalf("delete %d: %v %v", i, ok, err)
+		}
+	}
+	if b.Len() != 0 || b.Height() != 1 {
+		t.Fatalf("len=%d height=%d", b.Len(), b.Height())
+	}
+}
+
+func TestIOAccounting(t *testing.T) {
+	b := newTestTree(t)
+	for i := 0; i < 5000; i++ {
+		b.Insert(float64(i%97)*3.7, uint32(i))
+	}
+	s := b.Stats()
+	if s.Writes == 0 {
+		t.Fatal("no writes recorded")
+	}
+	b.ResetStats()
+	if b.Stats().IO() != 0 {
+		t.Fatal("reset failed")
+	}
+	// A single insert into a warm tree costs only a handful of I/Os.
+	b.Insert(9999, 123456)
+	if io := b.Stats().IO(); io > 10 {
+		t.Fatalf("one insert cost %d I/Os", io)
+	}
+}

@@ -1,0 +1,187 @@
+package btree
+
+import "rexptree/internal/storage"
+
+// Delete removes the key, rebalancing with borrow-or-merge.  It
+// returns false when the key is absent.
+func (b *BTree) Delete(texp float64, oid uint32) (bool, error) {
+	k := Key{TExp: texp, OID: oid}.quantize()
+	path, err := b.pathToLeaf(k)
+	if err != nil {
+		return false, err
+	}
+	leaf := path[len(path)-1]
+	pos, exists := leaf.keyIndex(k)
+	if !exists {
+		return false, b.finishOp()
+	}
+	leaf.keys = append(leaf.keys[:pos], leaf.keys[pos+1:]...)
+	b.size--
+	if err := b.fixUnderflow(path); err != nil {
+		return false, err
+	}
+	return true, b.finishOp()
+}
+
+// Min returns the smallest key without removing it.
+func (b *BTree) Min() (Key, bool, error) {
+	n, err := b.readNode(b.root)
+	if err != nil {
+		return Key{}, false, err
+	}
+	for !n.leaf {
+		n, err = b.readNode(n.childs[0])
+		if err != nil {
+			return Key{}, false, err
+		}
+	}
+	if len(n.keys) == 0 {
+		return Key{}, false, nil
+	}
+	return n.keys[0], true, nil
+}
+
+// PopMin removes and returns the smallest key.
+func (b *BTree) PopMin() (Key, bool, error) {
+	k, ok, err := b.Min()
+	if err != nil || !ok {
+		return Key{}, false, err
+	}
+	ok, err = b.Delete(k.TExp, k.OID)
+	if err != nil {
+		return Key{}, false, err
+	}
+	if !ok {
+		panic("btree: Min key vanished before PopMin")
+	}
+	return k, true, nil
+}
+
+// fixUnderflow rebalances underfull nodes bottom-up along the path and
+// writes every modified node.
+func (b *BTree) fixUnderflow(path []*node) error {
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		if i == 0 {
+			// Root: shrink when an internal root has a single child.
+			if !n.leaf && len(n.keys) == 0 {
+				child := n.childs[0]
+				if err := b.bp.Unpin(b.root); err != nil {
+					return err
+				}
+				b.root = child
+				b.height--
+				if err := b.bp.Pin(b.root); err != nil {
+					return err
+				}
+				return b.bp.Free(n.id)
+			}
+			return b.writeNode(n)
+		}
+		if len(n.keys) >= nodeMin(n) {
+			// Balanced: nothing above was touched.
+			return b.writeNode(n)
+		}
+		parent := path[i-1]
+		ci := indexOfChild(parent, n.id)
+		// Try borrowing from the left sibling, then the right; merge
+		// otherwise.
+		if ci > 0 {
+			left, err := b.readNode(parent.childs[ci-1])
+			if err != nil {
+				return err
+			}
+			if len(left.keys) > nodeMin(left) {
+				b.borrowFromLeft(parent, ci, left, n)
+				if err := b.writeNode(left); err != nil {
+					return err
+				}
+				if err := b.writeNode(n); err != nil {
+					return err
+				}
+				continue
+			}
+			// Merge n into left.
+			b.merge(parent, ci-1, left, n)
+			if err := b.writeNode(left); err != nil {
+				return err
+			}
+			if err := b.bp.Free(n.id); err != nil {
+				return err
+			}
+			continue
+		}
+		right, err := b.readNode(parent.childs[ci+1])
+		if err != nil {
+			return err
+		}
+		if len(right.keys) > nodeMin(right) {
+			b.borrowFromRight(parent, ci, n, right)
+			if err := b.writeNode(right); err != nil {
+				return err
+			}
+			if err := b.writeNode(n); err != nil {
+				return err
+			}
+			continue
+		}
+		b.merge(parent, ci, n, right)
+		if err := b.writeNode(n); err != nil {
+			return err
+		}
+		if err := b.bp.Free(right.id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// borrowFromLeft moves the left sibling's last key into n (through the
+// parent separator for internal nodes).
+func (b *BTree) borrowFromLeft(parent *node, ci int, left, n *node) {
+	if n.leaf {
+		k := left.keys[len(left.keys)-1]
+		left.keys = left.keys[:len(left.keys)-1]
+		n.keys = append([]Key{k}, n.keys...)
+		parent.keys[ci-1] = n.keys[0]
+		return
+	}
+	sep := parent.keys[ci-1]
+	n.keys = append([]Key{sep}, n.keys...)
+	n.childs = append([]storage.PageID{left.childs[len(left.childs)-1]}, n.childs...)
+	parent.keys[ci-1] = left.keys[len(left.keys)-1]
+	left.keys = left.keys[:len(left.keys)-1]
+	left.childs = left.childs[:len(left.childs)-1]
+}
+
+// borrowFromRight moves the right sibling's first key into n.
+func (b *BTree) borrowFromRight(parent *node, ci int, n, right *node) {
+	if n.leaf {
+		k := right.keys[0]
+		right.keys = right.keys[1:]
+		n.keys = append(n.keys, k)
+		parent.keys[ci] = right.keys[0]
+		return
+	}
+	sep := parent.keys[ci]
+	n.keys = append(n.keys, sep)
+	n.childs = append(n.childs, right.childs[0])
+	parent.keys[ci] = right.keys[0]
+	right.keys = right.keys[1:]
+	right.childs = right.childs[1:]
+}
+
+// merge folds right into left, removing the separator at parent key
+// index si (children si and si+1).
+func (b *BTree) merge(parent *node, si int, left, right *node) {
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, parent.keys[si])
+		left.keys = append(left.keys, right.keys...)
+		left.childs = append(left.childs, right.childs...)
+	}
+	parent.keys = append(parent.keys[:si], parent.keys[si+1:]...)
+	parent.childs = append(parent.childs[:si+1], parent.childs[si+2:]...)
+}

@@ -1,0 +1,146 @@
+package btree
+
+import "rexptree/internal/storage"
+
+// Insert adds the key.  Inserting a key already present is a no-op
+// returning false.  The key's expiration time is quantized to float32
+// page precision.
+func (b *BTree) Insert(texp float64, oid uint32) (bool, error) {
+	k := Key{TExp: texp, OID: oid}.quantize()
+	path, err := b.pathToLeaf(k)
+	if err != nil {
+		return false, err
+	}
+	leaf := path[len(path)-1]
+	pos, exists := leaf.keyIndex(k)
+	if exists {
+		return false, b.finishOp()
+	}
+	leaf.keys = append(leaf.keys, Key{})
+	copy(leaf.keys[pos+1:], leaf.keys[pos:])
+	leaf.keys[pos] = k
+	b.size++
+	if err := b.fixOverflow(path); err != nil {
+		return false, err
+	}
+	return true, b.finishOp()
+}
+
+// pathToLeaf loads the nodes from the root down to the leaf for k.
+func (b *BTree) pathToLeaf(k Key) ([]*node, error) {
+	n, err := b.readNode(b.root)
+	if err != nil {
+		return nil, err
+	}
+	path := []*node{n}
+	for !n.leaf {
+		n, err = b.readNode(n.childs[n.childIndex(k)])
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, n)
+	}
+	return path, nil
+}
+
+func nodeCap(n *node) int {
+	if n.leaf {
+		return leafCap
+	}
+	return innerCap
+}
+
+func nodeMin(n *node) int {
+	if n.leaf {
+		return leafMin
+	}
+	return innerMin
+}
+
+// fixOverflow splits overfull nodes bottom-up along the path and
+// writes every modified node.
+func (b *BTree) fixOverflow(path []*node) error {
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		if len(n.keys) <= nodeCap(n) {
+			// Fits: nothing above was touched.
+			return b.writeNode(n)
+		}
+		sib, sep, err := b.splitNode(n)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			// Root split: grow the tree.
+			root, err := b.allocNode(false)
+			if err != nil {
+				return err
+			}
+			root.keys = []Key{sep}
+			root.childs = []storage.PageID{n.id, sib.id}
+			if err := b.writeNode(root); err != nil {
+				return err
+			}
+			if err := b.bp.Unpin(b.root); err != nil {
+				return err
+			}
+			b.root = root.id
+			b.height++
+			return b.bp.Pin(b.root)
+		}
+		parent := path[i-1]
+		ci := indexOfChild(parent, n.id)
+		parent.keys = append(parent.keys, Key{})
+		copy(parent.keys[ci+1:], parent.keys[ci:])
+		parent.keys[ci] = sep
+		parent.childs = append(parent.childs, 0)
+		copy(parent.childs[ci+2:], parent.childs[ci+1:])
+		parent.childs[ci+1] = sib.id
+	}
+	return nil
+}
+
+// splitNode moves the upper half of n into a new right sibling and
+// returns the sibling with the separator key.
+func (b *BTree) splitNode(n *node) (*node, Key, error) {
+	sib, err := b.allocNode(n.leaf)
+	if err != nil {
+		return nil, Key{}, err
+	}
+	mid := len(n.keys) / 2
+	var sep Key
+	if n.leaf {
+		sep = n.keys[mid]
+		sib.keys = append(sib.keys, n.keys[mid:]...)
+		n.keys = n.keys[:mid]
+		sib.next = n.next
+		n.next = sib.id
+	} else {
+		// The middle key moves up; it does not stay in either half.
+		sep = n.keys[mid]
+		sib.keys = append(sib.keys, n.keys[mid+1:]...)
+		sib.childs = append(sib.childs, n.childs[mid+1:]...)
+		n.keys = n.keys[:mid]
+		n.childs = n.childs[:mid+1]
+	}
+	if err := b.writeNode(n); err != nil {
+		return nil, Key{}, err
+	}
+	if err := b.writeNode(sib); err != nil {
+		return nil, Key{}, err
+	}
+	return sib, sep, nil
+}
+
+func indexOfChild(parent *node, id storage.PageID) int {
+	for i, c := range parent.childs {
+		if c == id {
+			return i
+		}
+	}
+	panic("btree: child not found in parent")
+}
+
+// finishOp writes dirty pages back, matching the index's write-back
+// policy.
+func (b *BTree) finishOp() error { return b.bp.Flush() }

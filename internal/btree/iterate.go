@@ -1,0 +1,119 @@
+package btree
+
+import (
+	"fmt"
+
+	"rexptree/internal/storage"
+)
+
+// Ascend visits all keys in ascending order, following the leaf chain,
+// until fn returns false.
+func (b *BTree) Ascend(fn func(Key) bool) error {
+	n, err := b.readNode(b.root)
+	if err != nil {
+		return err
+	}
+	for !n.leaf {
+		n, err = b.readNode(n.childs[0])
+		if err != nil {
+			return err
+		}
+	}
+	for {
+		for _, k := range n.keys {
+			if !fn(k) {
+				return nil
+			}
+		}
+		if n.next == storage.InvalidPage {
+			return nil
+		}
+		n, err = b.readNode(n.next)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// CheckInvariants validates the B+-tree structure (for tests): key
+// ordering and separator bounds, uniform leaf depth, fill factors, the
+// leaf chain, and the size counter.
+func (b *BTree) CheckInvariants() error {
+	leafDepth := -1
+	var count int
+	var prevLeaf *node
+	var walk func(id storage.PageID, depth int, lo, hi *Key) error
+	walk = func(id storage.PageID, depth int, lo, hi *Key) error {
+		n, err := b.readNode(id)
+		if err != nil {
+			return err
+		}
+		if id != b.root {
+			if len(n.keys) < nodeMin(n) {
+				return fmt.Errorf("btree: node %d underfull: %d keys", id, len(n.keys))
+			}
+		}
+		if len(n.keys) > nodeCap(n) {
+			return fmt.Errorf("btree: node %d overfull: %d keys", id, len(n.keys))
+		}
+		for i := 1; i < len(n.keys); i++ {
+			if !n.keys[i-1].Less(n.keys[i]) {
+				return fmt.Errorf("btree: node %d keys out of order at %d", id, i)
+			}
+		}
+		for _, k := range n.keys {
+			if lo != nil && k.Less(*lo) {
+				return fmt.Errorf("btree: node %d key %v below separator %v", id, k, *lo)
+			}
+			if hi != nil && !k.Less(*hi) {
+				return fmt.Errorf("btree: node %d key %v not below separator %v", id, k, *hi)
+			}
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("btree: leaf %d at depth %d, expected %d", id, depth, leafDepth)
+			}
+			count += len(n.keys)
+			if prevLeaf != nil && prevLeaf.next != n.id {
+				return fmt.Errorf("btree: leaf chain broken before %d", id)
+			}
+			prevLeaf = n
+			return nil
+		}
+		if len(n.childs) != len(n.keys)+1 {
+			return fmt.Errorf("btree: node %d has %d children for %d keys", id, len(n.childs), len(n.keys))
+		}
+		for i, c := range n.childs {
+			var clo, chi *Key
+			if i > 0 {
+				clo = &n.keys[i-1]
+			} else {
+				clo = lo
+			}
+			if i < len(n.keys) {
+				chi = &n.keys[i]
+			} else {
+				chi = hi
+			}
+			if err := walk(c, depth+1, clo, chi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(b.root, 1, nil, nil); err != nil {
+		return err
+	}
+	if leafDepth != b.height {
+		return fmt.Errorf("btree: height %d, leaves at depth %d", b.height, leafDepth)
+	}
+	if count != b.size {
+		return fmt.Errorf("btree: size counter %d, actual %d", b.size, count)
+	}
+	if prevLeaf != nil && prevLeaf.next != storage.InvalidPage {
+		return fmt.Errorf("btree: last leaf has dangling next pointer")
+	}
+	return nil
+}

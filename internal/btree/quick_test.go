@@ -1,0 +1,91 @@
+package btree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rexptree/internal/storage"
+)
+
+func sane(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}
+
+func TestQuickKeyOrderTotal(t *testing.T) {
+	f := func(t1, t2 float64, o1, o2 uint32) bool {
+		a := Key{TExp: sane(t1), OID: o1}
+		b := Key{TExp: sane(t2), OID: o2}
+		switch {
+		case a == b:
+			return !a.Less(b) && !b.Less(a)
+		default:
+			return a.Less(b) != b.Less(a) // antisymmetric and total
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKeyOrderTransitive(t *testing.T) {
+	f := func(ts [3]float64, os [3]uint32) bool {
+		k := make([]Key, 3)
+		for i := range k {
+			k[i] = Key{TExp: sane(ts[i]), OID: os[i]}
+		}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				for l := 0; l < 3; l++ {
+					if k[i].Less(k[j]) && k[j].Less(k[l]) && !k[i].Less(k[l]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInsertedKeysRetrievable checks, for random key batches, that
+// everything inserted comes back in sorted order via Ascend.
+func TestQuickInsertedKeysRetrievable(t *testing.T) {
+	f := func(raw []float64) bool {
+		b, err := New(storage.NewMemStore(), 10)
+		if err != nil {
+			return false
+		}
+		want := map[Key]bool{}
+		for i, x := range raw {
+			k := Key{TExp: sane(x), OID: uint32(i)}.quantize()
+			if _, err := b.Insert(k.TExp, k.OID); err != nil {
+				return false
+			}
+			want[k] = true
+		}
+		var got []Key
+		b.Ascend(func(k Key) bool { got = append(got, k); return true })
+		if len(got) != len(want) {
+			return false
+		}
+		for i, k := range got {
+			if !want[k] {
+				return false
+			}
+			if i > 0 && k.Less(got[i-1]) {
+				return false
+			}
+		}
+		return b.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}

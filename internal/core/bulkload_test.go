@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rexptree/internal/geom"
+	"rexptree/internal/storage"
+)
+
+func randBulkItems(rng *rand.Rand, n int, now float64) []BulkItem {
+	items := make([]BulkItem, n)
+	for i := range items {
+		items[i] = BulkItem{
+			OID: uint32(i),
+			Point: geom.MovingPoint{
+				Pos:  geom.Vec{rng.Float64() * 1000, rng.Float64() * 1000},
+				Vel:  geom.Vec{rng.Float64()*6 - 3, rng.Float64()*6 - 3},
+				TExp: now + 60 + rng.Float64()*120,
+			},
+		}
+	}
+	return items
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr, err := BulkLoad(rexpConfig(), storage.NewMemStore(), nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 1 || tr.LeafEntries() != 0 {
+		t.Fatalf("empty bulk load: height %d entries %d", tr.Height(), tr.LeafEntries())
+	}
+	if err := tr.Insert(1, geom.MovingPoint{Pos: geom.Vec{1, 1}, TExp: geom.Inf()}, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 50, 170, 171, 5000, 40000} {
+		items := randBulkItems(rng, n, 10)
+		tr, err := BulkLoad(rexpConfig(), storage.NewMemStore(), items, 10)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.LeafEntries() != n {
+			t.Fatalf("n=%d: leaf entries %d", n, tr.LeafEntries())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Fill should be near the target: node count within 25% of
+		// n / (fill·cap).
+		if n >= 5000 {
+			counts, err := tr.NodeCount()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ideal := float64(n) / (bulkFill * float64(tr.LeafCapacity()))
+			if got := float64(counts[0]); got < ideal*0.8 || got > ideal*1.3 {
+				t.Errorf("n=%d: %v leaves, ideal %.0f", n, got, ideal)
+			}
+		}
+	}
+}
+
+func TestBulkLoadQueriesMatchIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const n = 6000
+	items := randBulkItems(rng, n, 0)
+	bulk, err := BulkLoad(rexpConfig(), storage.NewMemStore(), items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr := newTestTree(t, rexpConfig())
+	for _, it := range items {
+		if err := incr.Insert(it.OID, it.Point, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for iter := 0; iter < 40; iter++ {
+		q := randQuery(rng, 0)
+		a, err := bulk.Search(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := incr.Search(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ai, bi []uint32
+		for _, r := range a {
+			ai = append(ai, r.OID)
+		}
+		for _, r := range b {
+			bi = append(bi, r.OID)
+		}
+		sortIDs(ai)
+		sortIDs(bi)
+		if !equalIDs(ai, bi) {
+			t.Fatalf("iter %d: bulk %v vs incremental %v", iter, ai, bi)
+		}
+	}
+}
+
+func TestBulkLoadThenUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	items := randBulkItems(rng, 4000, 0)
+	tr, err := BulkLoad(rexpConfig(), storage.NewMemStore(), items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normal life continues: updates, deletes, expiry.
+	records := make(map[uint32]geom.MovingPoint, len(items))
+	for _, it := range items {
+		records[it.OID] = tr.Stored(it.Point)
+	}
+	now := 0.0
+	for i := 0; i < 3000; i++ {
+		now += 0.02
+		oid := uint32(rng.Intn(len(items)))
+		found, err := tr.Delete(oid, records[oid], now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found && records[oid].TExp >= now {
+			t.Fatalf("step %d: live bulk-loaded entry %d not found", i, oid)
+		}
+		p := geom.MovingPoint{
+			Pos:  geom.Vec{rng.Float64() * 1000, rng.Float64() * 1000},
+			Vel:  geom.Vec{rng.Float64()*6 - 3, rng.Float64()*6 - 3},
+			TExp: now + 60,
+		}
+		if err := tr.Insert(oid, p, now); err != nil {
+			t.Fatal(err)
+		}
+		records[oid] = tr.Stored(p)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadRejectsDuplicates(t *testing.T) {
+	items := []BulkItem{
+		{OID: 1, Point: geom.MovingPoint{Pos: geom.Vec{1, 1}, TExp: geom.Inf()}},
+		{OID: 1, Point: geom.MovingPoint{Pos: geom.Vec{2, 2}, TExp: geom.Inf()}},
+	}
+	if _, err := BulkLoad(rexpConfig(), storage.NewMemStore(), items, 0); err == nil {
+		t.Fatal("duplicate oids accepted")
+	}
+}
+
+func TestBulkLoadGroupsByVelocity(t *testing.T) {
+	// Two swarms at the same location moving in opposite directions:
+	// integrated-center tiling must separate them, so a query ahead of
+	// one swarm touches few pages.
+	var items []BulkItem
+	rng := rand.New(rand.NewSource(24))
+	for i := 0; i < 2000; i++ {
+		v := 2.0
+		if i%2 == 0 {
+			v = -2.0
+		}
+		items = append(items, BulkItem{
+			OID: uint32(i),
+			Point: geom.MovingPoint{
+				Pos:  geom.Vec{500 + rng.Float64()*10, rng.Float64() * 1000},
+				Vel:  geom.Vec{v, 0},
+				TExp: geom.Inf(),
+			},
+		})
+	}
+	cfg := rexpConfig()
+	cfg.BufferPages = 2
+	tr, err := BulkLoad(cfg, storage.NewMemStore(), items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.ResetIOStats()
+	// Far ahead in time, the two swarms are hundreds of km apart.
+	q := geom.Timeslice(geom.Rect{Lo: geom.Vec{600, 0}, Hi: geom.Vec{700, 1000}}, 75)
+	res, err := tr.Search(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1000 {
+		t.Fatalf("query found %d, want the eastbound swarm of 1000", len(res))
+	}
+}
+
+func BenchmarkBulkLoad(b *testing.B) {
+	rng := rand.New(rand.NewSource(25))
+	items := randBulkItems(rng, 20000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BulkLoad(rexpConfig(), storage.NewMemStore(), items, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

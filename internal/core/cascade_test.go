@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rexptree/internal/geom"
+	"rexptree/internal/hull"
+)
+
+// TestMassExpiryCascade reproduces the paper's Figure 8 scenario at
+// scale: a whole populated tree expires while the system receives no
+// updates, and the next single insertion lazily purges expired
+// subtrees (deallocating them wholesale), shrinks the tree, and leaves
+// a small consistent index behind.
+func TestMassExpiryCascade(t *testing.T) {
+	cfg := rexpConfig() // StoreBRExp: internal entries know their expiry
+	tr := newTestTree(t, cfg)
+	rng := rand.New(rand.NewSource(55))
+	const n = 3000
+	for i := 0; i < n; i++ {
+		p := geom.MovingPoint{
+			Pos:  geom.Vec{rng.Float64() * 1000, rng.Float64() * 1000},
+			Vel:  geom.Vec{rng.Float64()*6 - 3, rng.Float64()*6 - 3},
+			TExp: 10 + rng.Float64()*5, // everything dead by t=15
+		}
+		if err := tr.Insert(uint32(i), p, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height = %d; need internal nodes for the cascade", tr.Height())
+	}
+	pagesBefore := tr.Size()
+
+	// Long silence; then one newcomer arrives.
+	if err := tr.Insert(99999, geom.MovingPoint{
+		Pos: geom.Vec{500, 500}, TExp: 200,
+	}, 100); err != nil {
+		t.Fatal(err)
+	}
+
+	// The insertion's purge cascade must have discarded expired
+	// subtrees along its path.  Remaining expired entries sit in
+	// untouched siblings; flush them with a few more insertions.
+	for i := 0; i < 30; i++ {
+		p := geom.MovingPoint{
+			Pos:  geom.Vec{rng.Float64() * 1000, rng.Float64() * 1000},
+			TExp: 200,
+		}
+		if err := tr.Insert(uint32(100000+i), p, 101); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	live, expired, err := tr.EntryStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live != 31 {
+		t.Errorf("live entries = %d, want 31", live)
+	}
+	if expired != 0 {
+		t.Errorf("expired entries remain: %d", expired)
+	}
+	if tr.Size() >= pagesBefore/2 {
+		t.Errorf("index barely shrank: %d -> %d pages", pagesBefore, tr.Size())
+	}
+	if tr.Height() != 1 {
+		t.Errorf("height = %d after cascade, want 1", tr.Height())
+	}
+	// The newcomer is queryable.
+	res, err := tr.Search(geom.Timeslice(geom.Rect{Lo: geom.Vec{490, 490}, Hi: geom.Vec{510, 510}}, 101), 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res {
+		if r.OID == 99999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("newcomer lost in the cascade")
+	}
+}
+
+// TestMassExpiryWithoutStoredBRExp runs the same scenario when
+// internal entries do not record expiration times: subtrees cannot be
+// discarded wholesale, but underflow handling still drains dead leaves
+// as they are touched, and queries never report expired objects.
+func TestMassExpiryWithoutStoredBRExp(t *testing.T) {
+	cfg := rexpConfig()
+	cfg.StoreBRExp = false
+	tr := newTestTree(t, cfg)
+	rng := rand.New(rand.NewSource(56))
+	for i := 0; i < 2000; i++ {
+		p := geom.MovingPoint{
+			Pos:  geom.Vec{rng.Float64() * 1000, rng.Float64() * 1000},
+			Vel:  geom.Vec{rng.Float64()*6 - 3, rng.Float64()*6 - 3},
+			TExp: 10 + rng.Float64()*5,
+		}
+		if err := tr.Insert(uint32(i), p, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	world := geom.Rect{Lo: geom.Vec{0, 0}, Hi: geom.Vec{1000, 1000}}
+	res, err := tr.Search(geom.Timeslice(world, 100), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("expired objects visible: %d", len(res))
+	}
+	if err := tr.Insert(5000, geom.MovingPoint{Pos: geom.Vec{1, 1}, TExp: 200}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCascadeAcrossBRKinds runs the mass-expiry insertion across all
+// bounding-rectangle types to exercise the purge paths under each.
+func TestCascadeAcrossBRKinds(t *testing.T) {
+	for _, k := range []hull.Kind{hull.KindConservative, hull.KindStatic, hull.KindUpdateMinimum, hull.KindNearOptimal, hull.KindOptimal} {
+		cfg := rexpConfig()
+		cfg.BRKind = k
+		tr := newTestTree(t, cfg)
+		rng := rand.New(rand.NewSource(57))
+		for i := 0; i < 1200; i++ {
+			p := geom.MovingPoint{
+				Pos:  geom.Vec{rng.Float64() * 1000, rng.Float64() * 1000},
+				Vel:  geom.Vec{rng.Float64()*2 - 1, rng.Float64()*2 - 1},
+				TExp: 5 + rng.Float64()*5,
+			}
+			if err := tr.Insert(uint32(i), p, 1); err != nil {
+				t.Fatalf("%v: %v", k, err)
+			}
+		}
+		if err := tr.Insert(9999, geom.MovingPoint{Pos: geom.Vec{2, 2}, TExp: 500}, 50); err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+	}
+}

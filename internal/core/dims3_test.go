@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rexptree/internal/geom"
+	"rexptree/internal/storage"
+)
+
+// TestOracle3D exercises the engine in three dimensions (the paper's
+// structure supports one to three): aircraft-like objects with
+// altitude, queried with 3-D boxes, checked against brute force.
+func TestOracle3D(t *testing.T) {
+	cfg := rexpConfig()
+	cfg.Dims = 3
+	cfg.World = geom.Rect{Lo: geom.Vec{0, 0, 0}, Hi: geom.Vec{1000, 1000, 15}}
+	tr := newTestTree(t, cfg)
+	rng := rand.New(rand.NewSource(66))
+	oracle := map[uint32]geom.MovingPoint{}
+	now := 0.0
+	for i := 0; i < 4000; i++ {
+		now += 0.02
+		oid := uint32(i % 1500)
+		if old, ok := oracle[oid]; ok {
+			found, err := tr.Delete(oid, old, now)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if found != (old.TExp >= now) {
+				t.Fatalf("step %d: delete found=%v texp=%v now=%v", i, found, old.TExp, now)
+			}
+		}
+		p := geom.MovingPoint{
+			Pos:  geom.Vec{rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 12},
+			Vel:  geom.Vec{rng.Float64()*12 - 6, rng.Float64()*12 - 6, rng.Float64()*0.2 - 0.1},
+			TExp: now + 10 + rng.Float64()*80,
+		}
+		if err := tr.Insert(oid, p, now); err != nil {
+			t.Fatal(err)
+		}
+		oracle[oid] = tr.prepare(p)
+
+		if i%200 == 199 {
+			var q geom.Query
+			var r geom.Rect
+			for d := 0; d < 2; d++ {
+				a := rng.Float64() * 900
+				r.Lo[d], r.Hi[d] = a, a+100
+			}
+			r.Lo[2], r.Hi[2] = rng.Float64()*8, rng.Float64()*8+4
+			t1 := now + rng.Float64()*10
+			q = geom.Window(r, t1, t1+rng.Float64()*10)
+			got, err := tr.Search(q, now)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 0
+			for _, p := range oracle {
+				if p.TExp >= now && q.MatchesPoint(p, 3, true) {
+					want++
+				}
+			}
+			if len(got) != want {
+				t.Fatalf("step %d: 3-D query got %d, want %d", i, len(got), want)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// 3-D layout sanity: leaf entries are 4+24+4 = 32 bytes.
+	if got := tr.LeafCapacity(); got != (storage.PageSize-nodeHeaderSize)/32 {
+		t.Errorf("3-D leaf capacity = %d", got)
+	}
+}
+
+// TestBufferSizeSensitivity reproduces the qualitative effect of
+// buffering (Leutenegger & Lopez, cited in §5.1): larger buffer pools
+// mean fewer misses per query.
+func TestBufferSizeSensitivity(t *testing.T) {
+	searchIO := func(buffer int) float64 {
+		cfg := rexpConfig()
+		cfg.BufferPages = buffer
+		tr := newTestTree(t, cfg)
+		rng := rand.New(rand.NewSource(13))
+		now := 0.0
+		for i := 0; i < 6000; i++ {
+			now += 0.01
+			p := geom.MovingPoint{
+				Pos:  geom.Vec{rng.Float64() * 1000, rng.Float64() * 1000},
+				Vel:  geom.Vec{rng.Float64()*6 - 3, rng.Float64()*6 - 3},
+				TExp: now + 200,
+			}
+			if err := tr.Insert(uint32(i), p, now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr.ResetIOStats()
+		queries := 0
+		for i := 0; i < 100; i++ {
+			a := rng.Float64() * 950
+			q := geom.Timeslice(geom.Rect{Lo: geom.Vec{a, a}, Hi: geom.Vec{a + 50, a + 50}}, now+1)
+			if _, err := tr.Search(q, now); err != nil {
+				t.Fatal(err)
+			}
+			queries++
+		}
+		return float64(tr.IOStats().Reads) / float64(queries)
+	}
+	small := searchIO(4)
+	large := searchIO(40)
+	if small <= large {
+		t.Errorf("search I/O with 4-page buffer (%v) should exceed 40-page buffer (%v)", small, large)
+	}
+}

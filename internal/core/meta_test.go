@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"rexptree/internal/geom"
+	"rexptree/internal/hull"
+	"rexptree/internal/storage"
+)
+
+func TestSyncAndOpenMemStore(t *testing.T) {
+	store := storage.NewMemStore()
+	cfg := rexpConfig()
+	tr, err := New(cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(71))
+	records := map[uint32]geom.MovingPoint{}
+	now := 0.0
+	for i := 0; i < 3000; i++ {
+		now += 0.02
+		p := geom.MovingPoint{
+			Pos:  geom.Vec{rng.Float64() * 1000, rng.Float64() * 1000},
+			Vel:  geom.Vec{rng.Float64()*6 - 3, rng.Float64()*6 - 3},
+			TExp: now + 200 + rng.Float64()*200,
+		}
+		if err := tr.Insert(uint32(i), p, now); err != nil {
+			t.Fatal(err)
+		}
+		records[uint32(i)] = tr.prepare(p)
+	}
+	if err := tr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Height() != tr.Height() || re.LeafEntries() != tr.LeafEntries() || re.Now() != tr.Now() {
+		t.Fatalf("reopened state: height %d/%d entries %d/%d now %v/%v",
+			re.Height(), tr.Height(), re.LeafEntries(), tr.LeafEntries(), re.Now(), tr.Now())
+	}
+	if re.UI() != tr.UI() {
+		t.Errorf("UI estimate lost: %v vs %v", re.UI(), tr.UI())
+	}
+	if err := re.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Queries agree with the original's records.
+	q := geom.Window(geom.Rect{Lo: geom.Vec{200, 200}, Hi: geom.Vec{400, 400}}, now, now+10)
+	got, err := re.Search(q, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, p := range records {
+		if p.TExp >= now && q.MatchesPoint(p, 2, true) {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("reopened search: %d results, want %d", len(got), want)
+	}
+	// The reopened tree accepts further updates.
+	if err := re.Insert(90000, geom.MovingPoint{Pos: geom.Vec{5, 5}, TExp: geom.Inf()}, now); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncAndOpenFileStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.db")
+	store, err := storage.CreateFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rexpConfig()
+	tr, err := New(cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		p := geom.MovingPoint{Pos: geom.Vec{float64(i%100) * 10, float64(i/100) * 200}, TExp: geom.Inf()}
+		if err := tr.Insert(uint32(i), p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := storage.OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	re, err := Open(cfg, store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.LeafEntries() != 500 {
+		t.Fatalf("leaf entries = %d after reopen", re.LeafEntries())
+	}
+	if err := re.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Records rebuild sees every entry.
+	n := 0
+	err = re.Records(func(uint32, geom.MovingPoint) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Fatalf("Records visited %d entries", n)
+	}
+}
+
+func TestOpenRejectsMismatchedConfig(t *testing.T) {
+	store := storage.NewMemStore()
+	tr, err := New(rexpConfig(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		func() Config { c := rexpConfig(); c.Dims = 1; return c }(),
+		func() Config { c := rexpConfig(); c.BRKind = hull.KindConservative; return c }(),
+		func() Config {
+			c := rexpConfig()
+			c.ExpireAware = false
+			c.StoreBRExp = false
+			c.BRKind = hull.KindConservative
+			return c
+		}(),
+		func() Config { c := rexpConfig(); c.StoreBRExp = false; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := Open(cfg, store); err == nil {
+			t.Errorf("config %d accepted against mismatched store", i)
+		}
+	}
+}
+
+func TestOpenRejectsUnsyncedStore(t *testing.T) {
+	store := storage.NewMemStore()
+	if _, err := Open(rexpConfig(), store); err == nil {
+		t.Fatal("opened an empty store")
+	}
+}
+
+func TestNewRejectsNonEmptyStore(t *testing.T) {
+	store := storage.NewMemStore()
+	if _, err := store.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(rexpConfig(), store); err == nil {
+		t.Fatal("created a tree over a non-empty store")
+	}
+}

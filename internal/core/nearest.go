@@ -1,0 +1,101 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"rexptree/internal/geom"
+	"rexptree/internal/storage"
+)
+
+// Nearest returns the k objects whose predicted positions at time at
+// are closest to q, in ascending distance order.  Only reports that
+// are still valid at time at qualify (in expiration-aware mode); this
+// extends the paper's query repertoire with the nearest-neighbor
+// queries its future-work section anticipates for location-based
+// services ("players close by").
+//
+// The search is the classic best-first R-tree NN traversal: a priority
+// queue ordered by the minimum distance between q and the entry's
+// bounding rectangle evaluated at time at.  A bounding rectangle is a
+// valid bound at that instant because entries that expire before at
+// are skipped.
+func (t *Tree) Nearest(q geom.Vec, at float64, k int, now float64) ([]Result, error) {
+	t.advance(now)
+	if at < t.now {
+		return nil, fmt.Errorf("core: nearest query time %v precedes current time %v", at, t.now)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	pq := &nnQueue{}
+	heap.Push(pq, nnItem{dist: 0, page: t.root, isNode: true})
+	var out []Result
+	for pq.Len() > 0 && len(out) < k {
+		it := heap.Pop(pq).(nnItem)
+		if !it.isNode {
+			out = append(out, Result{OID: it.oid, Point: it.point})
+			continue
+		}
+		n, err := t.readNode(it.page)
+		if err != nil {
+			return nil, err
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			// Entries invalid at the query time cannot contribute.
+			if t.cfg.ExpireAware && t.effExp(e.rect, n.level) < at {
+				continue
+			}
+			if n.level == 0 {
+				p := e.point()
+				heap.Push(pq, nnItem{
+					dist:  q.Dist(p.At(at), t.cfg.Dims),
+					oid:   e.id,
+					point: p,
+				})
+				continue
+			}
+			heap.Push(pq, nnItem{
+				dist:   minDist(q, e.rect.At(at), t.cfg.Dims),
+				page:   e.child(),
+				isNode: true,
+			})
+		}
+	}
+	return out, nil
+}
+
+// minDist is the minimum Euclidean distance from point q to rectangle
+// r (zero if q lies inside).
+func minDist(q geom.Vec, r geom.Rect, dims int) float64 {
+	var s float64
+	for i := 0; i < dims; i++ {
+		switch {
+		case q[i] < r.Lo[i]:
+			d := r.Lo[i] - q[i]
+			s += d * d
+		case q[i] > r.Hi[i]:
+			d := q[i] - r.Hi[i]
+			s += d * d
+		}
+	}
+	return math.Sqrt(s)
+}
+
+type nnItem struct {
+	dist   float64
+	page   storage.PageID
+	isNode bool
+	oid    uint32
+	point  geom.MovingPoint
+}
+
+type nnQueue []nnItem
+
+func (q nnQueue) Len() int           { return len(q) }
+func (q nnQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q nnQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *nnQueue) Push(x any)        { *q = append(*q, x.(nnItem)) }
+func (q *nnQueue) Pop() any          { old := *q; n := len(old); x := old[n-1]; *q = old[:n-1]; return x }

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rexptree/internal/geom"
+)
+
+func TestNearestBasic(t *testing.T) {
+	tr := newTestTree(t, rexpConfig())
+	pts := map[uint32]geom.MovingPoint{
+		1: {Pos: geom.Vec{100, 100}, TExp: geom.Inf()},
+		2: {Pos: geom.Vec{200, 100}, TExp: geom.Inf()},
+		3: {Pos: geom.Vec{900, 900}, TExp: geom.Inf()},
+	}
+	for oid, p := range pts {
+		if err := tr.Insert(oid, p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := tr.Nearest(geom.Vec{110, 100}, 0, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].OID != 1 || res[1].OID != 2 {
+		t.Fatalf("nearest = %v", res)
+	}
+}
+
+func TestNearestUsesPredictedPositions(t *testing.T) {
+	tr := newTestTree(t, rexpConfig())
+	// Object 1 is nearest now, but object 2 is moving toward the query
+	// point and will be nearest at t=50.
+	tr.Insert(1, geom.MovingPoint{Pos: geom.Vec{450, 500}, TExp: geom.Inf()}, 0)
+	tr.Insert(2, geom.MovingPoint{Pos: geom.Vec{100, 500}, Vel: geom.Vec{8, 0}, TExp: geom.Inf()}, 0)
+	q := geom.Vec{500, 500}
+	res, _ := tr.Nearest(q, 0, 1, 0)
+	if len(res) != 1 || res[0].OID != 1 {
+		t.Fatalf("nearest at t=0 = %v", res)
+	}
+	res, _ = tr.Nearest(q, 50, 1, 0)
+	if len(res) != 1 || res[0].OID != 2 {
+		t.Fatalf("nearest at t=50 = %v", res)
+	}
+}
+
+func TestNearestSkipsExpired(t *testing.T) {
+	tr := newTestTree(t, rexpConfig())
+	tr.Insert(1, geom.MovingPoint{Pos: geom.Vec{500, 500}, TExp: 10}, 0)
+	tr.Insert(2, geom.MovingPoint{Pos: geom.Vec{600, 600}, TExp: 100}, 0)
+	// At query time 50, object 1's report has expired.
+	res, err := tr.Nearest(geom.Vec{500, 500}, 50, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].OID != 2 {
+		t.Fatalf("nearest = %v", res)
+	}
+}
+
+func TestNearestValidation(t *testing.T) {
+	tr := newTestTree(t, rexpConfig())
+	if _, err := tr.Nearest(geom.Vec{0, 0}, 5, 1, 10); err == nil {
+		t.Error("past query time accepted")
+	}
+	res, err := tr.Nearest(geom.Vec{0, 0}, 10, 0, 10)
+	if err != nil || res != nil {
+		t.Errorf("k=0: %v %v", res, err)
+	}
+}
+
+func TestNearestAgainstBruteForce(t *testing.T) {
+	tr := newTestTree(t, rexpConfig())
+	rng := rand.New(rand.NewSource(81))
+	oracle := map[uint32]geom.MovingPoint{}
+	now := 0.0
+	for i := 0; i < 3000; i++ {
+		now += 0.01
+		p := geom.MovingPoint{
+			Pos:  geom.Vec{rng.Float64() * 1000, rng.Float64() * 1000},
+			Vel:  geom.Vec{rng.Float64()*6 - 3, rng.Float64()*6 - 3},
+			TExp: now + rng.Float64()*100,
+		}
+		if err := tr.Insert(uint32(i), p, now); err != nil {
+			t.Fatal(err)
+		}
+		oracle[uint32(i)] = tr.prepare(p)
+	}
+	for iter := 0; iter < 50; iter++ {
+		q := geom.Vec{rng.Float64() * 1000, rng.Float64() * 1000}
+		at := now + rng.Float64()*20
+		k := 1 + rng.Intn(10)
+		got, err := tr.Nearest(q, at, k, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force.
+		type cand struct {
+			oid  uint32
+			dist float64
+		}
+		var cands []cand
+		for oid, p := range oracle {
+			if p.TExp < at {
+				continue
+			}
+			cands = append(cands, cand{oid, q.Dist(p.At(at), 2)})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].dist != cands[j].dist {
+				return cands[i].dist < cands[j].dist
+			}
+			return cands[i].oid < cands[j].oid
+		})
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		if len(got) != len(cands) {
+			t.Fatalf("iter %d: got %d results, want %d", iter, len(got), len(cands))
+		}
+		for i := range got {
+			gd := q.Dist(got[i].Point.At(at), 2)
+			if gd > cands[i].dist*(1+1e-9)+1e-9 {
+				t.Fatalf("iter %d: result %d at distance %v, optimal %v", iter, i, gd, cands[i].dist)
+			}
+			if i > 0 {
+				prev := q.Dist(got[i-1].Point.At(at), 2)
+				if gd < prev-1e-9 {
+					t.Fatalf("iter %d: results not sorted by distance", iter)
+				}
+			}
+		}
+	}
+}
+
+func TestNearestMoreThanStored(t *testing.T) {
+	tr := newTestTree(t, rexpConfig())
+	tr.Insert(1, geom.MovingPoint{Pos: geom.Vec{1, 1}, TExp: geom.Inf()}, 0)
+	res, err := tr.Nearest(geom.Vec{0, 0}, 0, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("got %d results from a 1-entry tree", len(res))
+	}
+}

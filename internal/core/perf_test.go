@@ -1,0 +1,32 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rexptree/internal/geom"
+	"rexptree/internal/storage"
+)
+
+func BenchmarkInsertUpdate(b *testing.B) {
+	tr, _ := New(rexpConfig(), storage.NewMemStore())
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	objs := make([]geom.MovingPoint, n)
+	now := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 0.003
+		oid := uint32(i % n)
+		if i >= n {
+			tr.Delete(oid, objs[oid], now)
+		}
+		p := geom.MovingPoint{
+			Pos:  geom.Vec{rng.Float64() * 1000, rng.Float64() * 1000},
+			Vel:  geom.Vec{rng.Float64()*6 - 3, rng.Float64()*6 - 3},
+			TExp: now + 60 + rng.Float64()*60,
+		}
+		tr.Insert(oid, p, now)
+		objs[oid] = tr.prepare(p)
+	}
+}

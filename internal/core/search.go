@@ -1,0 +1,115 @@
+package core
+
+import (
+	"rexptree/internal/geom"
+	"rexptree/internal/storage"
+)
+
+// Result is one object reported by a query.
+type Result struct {
+	OID   uint32
+	Point geom.MovingPoint
+}
+
+// Search returns the objects whose predicted trajectories intersect
+// the query.  In expiration-aware mode, entries that have expired by
+// the current time are invisible and intersection with a bounding
+// rectangle is only checked up to the rectangle's (stored or derived)
+// expiration time (§4.1.5).  In plain TPR-tree mode, expiration times
+// are ignored entirely, so results may contain objects whose
+// information has expired — the false drops the paper's §3 discusses.
+func (t *Tree) Search(q geom.Query, now float64) ([]Result, error) {
+	var out []Result
+	err := t.SearchFunc(q, now, func(r Result) bool {
+		out = append(out, r)
+		return true
+	})
+	return out, err
+}
+
+// SearchFunc streams matching objects to fn as the traversal finds
+// them, stopping early when fn returns false.  It avoids materializing
+// large result sets.
+func (t *Tree) SearchFunc(q geom.Query, now float64, fn func(Result) bool) error {
+	t.advance(now)
+	stack := []storage.PageID{t.root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			if t.isExpired(&e.rect, n.level) {
+				continue
+			}
+			if n.level == 0 {
+				if q.MatchesPoint(e.point(), t.cfg.Dims, t.cfg.ExpireAware) {
+					if !fn(Result{OID: e.id, Point: e.point()}) {
+						return nil
+					}
+				}
+				continue
+			}
+			r := e.rect
+			r.TExp = t.effExp(e.rect, n.level)
+			if q.MatchesRect(r, t.cfg.Dims, t.cfg.ExpireAware) {
+				stack = append(stack, e.child())
+			}
+		}
+	}
+	return nil
+}
+
+// EntryStats walks the leaf level and reports how many stored leaf
+// entries are live versus expired at the current time.  It is a
+// diagnostic (used to validate the lazy-purging claim of §5.4) and
+// charges I/O like any other traversal.
+func (t *Tree) EntryStats() (live, expired int, err error) {
+	err = t.walk(t.root, func(n *node) error {
+		if n.level != 0 {
+			return nil
+		}
+		for _, e := range n.entries {
+			if e.rect.TExp < t.now {
+				expired++
+			} else {
+				live++
+			}
+		}
+		return nil
+	})
+	return live, expired, err
+}
+
+// NodeCount returns the number of nodes per level, root last.
+func (t *Tree) NodeCount() ([]int, error) {
+	counts := make([]int, t.height)
+	err := t.walk(t.root, func(n *node) error {
+		counts[n.level]++
+		return nil
+	})
+	return counts, err
+}
+
+// walk applies fn to every node in depth-first order.
+func (t *Tree) walk(id storage.PageID, fn func(*node) error) error {
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	if err := fn(n); err != nil {
+		return err
+	}
+	if n.level == 0 {
+		return nil
+	}
+	for _, e := range n.entries {
+		if err := t.walk(e.child(), fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,399 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rexptree/internal/geom"
+	"rexptree/internal/hull"
+	"rexptree/internal/storage"
+)
+
+// Tree is the page-based index engine.  It is not safe for concurrent
+// use; the public rexptree package adds locking.
+type Tree struct {
+	cfg Config
+	lay layout
+	bp  *storage.BufferPool
+
+	root   storage.PageID
+	height int // number of levels; the root is at level height-1
+	now    float64
+	rng    *rand.Rand
+
+	// cache holds the decoded image of pages.  Node rectangles are
+	// rounded to page (float32) precision when computed, so a cached
+	// node is always bit-identical to what decoding its page would
+	// produce; the buffer pool is still consulted on every access so
+	// that I/O is charged exactly as without the cache.
+	cache map[storage.PageID]*node
+
+	// Self-tuning state (§4.2.3).
+	leafEntries   int   // N: leaf entries physically stored
+	nodesPerLevel []int // nodes per level, for per-level horizons
+	insSinceTimer int
+	timerStart    float64
+	ui            float64 // 0 until the first estimate is available
+
+	// Per-operation state.
+	reinsertedAt map[int]bool
+
+	// scratch is the reusable item buffer of computeBR.
+	scratch []geom.TPRect
+}
+
+// newTreeShell builds a Tree with its runtime machinery but no pages.
+func newTreeShell(cfg Config, store storage.Store) *Tree {
+	return &Tree{
+		cfg:   cfg,
+		lay:   newLayout(cfg),
+		bp:    storage.NewBufferPool(store, cfg.BufferPages),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cache: make(map[storage.PageID]*node),
+	}
+}
+
+// New creates an empty tree over the given (empty) store.  Use Open to
+// load a store that already holds a Synced tree.
+func New(cfg Config, store storage.Store) (*Tree, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t := newTreeShell(cfg, store)
+	if err := t.initMeta(); err != nil {
+		return nil, err
+	}
+	root, err := t.allocNode(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.writeNode(root); err != nil {
+		return nil, err
+	}
+	t.root = root.id
+	t.height = 1
+	if err := t.bp.Pin(t.root); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Config returns the tree's effective configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// Now returns the latest time the tree has observed.
+func (t *Tree) Now() float64 { return t.now }
+
+// Height returns the number of tree levels.
+func (t *Tree) Height() int { return t.height }
+
+// LeafEntries returns the number of leaf entries physically stored
+// (live plus not-yet-purged expired ones).
+func (t *Tree) LeafEntries() int { return t.leafEntries }
+
+// Size returns the number of allocated pages — the index-size metric
+// of the experiments (Figure 15).
+func (t *Tree) Size() int { return t.bp.Store().Len() }
+
+// IOStats returns the accumulated buffer-pool I/O counters.
+func (t *Tree) IOStats() storage.Stats { return t.bp.Stats() }
+
+// ResetIOStats zeroes the I/O counters.
+func (t *Tree) ResetIOStats() { t.bp.ResetStats() }
+
+// LeafCapacity returns the number of entries in a full leaf node.
+func (t *Tree) LeafCapacity() int { return t.lay.leafCap }
+
+// InternalCapacity returns the number of entries in a full internal
+// node.
+func (t *Tree) InternalCapacity() int { return t.lay.innerCap }
+
+// UI returns the current update-interval estimate (§4.2.3).
+func (t *Tree) UI() float64 {
+	if t.ui > 0 && !t.cfg.DisableAutoTune {
+		return t.ui
+	}
+	return t.cfg.InitialUI
+}
+
+// W returns the assumed querying-window length.
+func (t *Tree) W() float64 {
+	if t.cfg.FixedW > 0 {
+		return t.cfg.FixedW
+	}
+	return t.cfg.Beta * t.UI()
+}
+
+// metricH is the time horizon H = UI + W used by the insertion
+// heuristics (§4.2.1).
+func (t *Tree) metricH() float64 { return t.UI() + t.W() }
+
+// brHorizon is the horizon used when computing the bounding rectangle
+// of a node at the given level: the expected time until the rectangle
+// is recomputed — UI scaled down by the number of leaf entries per
+// node at this level — plus the querying window (§4.2.3).
+func (t *Tree) brHorizon(level int) float64 {
+	h := t.UI()
+	if t.leafEntries > 0 && level < len(t.nodesPerLevel) && t.nodesPerLevel[level] > 0 {
+		h *= float64(t.nodesPerLevel[level]) / float64(t.leafEntries)
+	}
+	return h + t.W()
+}
+
+// advance moves the tree clock forward (time never runs backwards).
+func (t *Tree) advance(now float64) {
+	if now > t.now {
+		t.now = now
+	}
+}
+
+// tickUI counts one insertion toward the update-interval estimate and
+// refreshes the estimate every leaf-capacity insertions (§4.2.3).
+func (t *Tree) tickUI() {
+	t.insSinceTimer++
+	b := t.lay.leafCap
+	if t.insSinceTimer < b {
+		return
+	}
+	if dt := t.now - t.timerStart; dt > 0 && t.leafEntries > 0 {
+		t.ui = dt / float64(b) * float64(t.leafEntries)
+	}
+	t.timerStart = t.now
+	t.insSinceTimer = 0
+}
+
+// prepare quantizes an incoming trajectory record to page precision
+// and, when static bounding rectangles are in use, replaces an
+// infinite expiration time by the trivial upper bound derived from the
+// finite world extent (§2.1): a zero-velocity rectangle cannot bound a
+// moving trajectory forever, but beyond its world-exit time the
+// trajectory cannot match any in-world query.
+func (t *Tree) prepare(p geom.MovingPoint) geom.MovingPoint {
+	p = quantize(p, t.cfg.Dims)
+	if !t.cfg.ExpireAware {
+		// The page format of a plain TPR-tree has no expiration field.
+		p.TExp = math.Inf(1)
+	}
+	if t.cfg.BRKind == hull.KindStatic && t.cfg.ExpireAware && !geom.IsFinite(p.TExp) {
+		if exit := geom.ExitTime(p, t.cfg.World, t.now, t.cfg.Dims); geom.IsFinite(exit) {
+			p.TExp = float64(f32Up(exit))
+		}
+	}
+	return p
+}
+
+// Stored returns the record exactly as the tree stores it: quantized
+// to page precision, with any derived expiration bound applied.
+// Callers that later delete the record should pass this form.
+func (t *Tree) Stored(p geom.MovingPoint) geom.MovingPoint { return t.prepare(p) }
+
+// effExp returns the expiration time of an entry as the engine's
+// algorithms see it: the recorded time for leaf entries (and for
+// internal entries when StoreBRExp is set), the derived expiration of
+// shrinking rectangles otherwise, and +Inf when the engine is not
+// expiration-aware.
+func (t *Tree) effExp(r geom.TPRect, level int) float64 {
+	if !t.cfg.ExpireAware {
+		return math.Inf(1)
+	}
+	if level == 0 || t.cfg.StoreBRExp {
+		return r.TExp
+	}
+	return geom.DerivedExp(r, t.now, t.cfg.Dims)
+}
+
+// isExpired reports whether the entry (stored at the given node level)
+// is dead at the tree's current time.
+func (t *Tree) isExpired(r *geom.TPRect, level int) bool {
+	if !t.cfg.ExpireAware {
+		return false
+	}
+	if level == 0 || t.cfg.StoreBRExp {
+		return r.TExp < t.now
+	}
+	return geom.DerivedExp(*r, t.now, t.cfg.Dims) < t.now
+}
+
+// decisionExp returns the expiration time the insertion heuristics use
+// for an entry (Eq. 1): the effective expiration when AlgsUseExp is
+// set, +Inf otherwise (§4.2.2).
+func (t *Tree) decisionExp(r geom.TPRect, level int) float64 {
+	if !t.cfg.AlgsUseExp {
+		return math.Inf(1)
+	}
+	return t.effExp(r, level)
+}
+
+// metricEnd returns the upper integration bound now+min(H, texp-now)
+// of Eq. 1, given the expiration times of the rectangles involved.
+func (t *Tree) metricEnd(texps ...float64) float64 {
+	end := t.now + t.metricH()
+	m := math.Inf(-1)
+	for _, e := range texps {
+		m = math.Max(m, e)
+	}
+	if m < end {
+		end = m
+	}
+	if end < t.now {
+		end = t.now
+	}
+	return end
+}
+
+// computeBR computes the bounding rectangle of a node's entries with
+// the configured bounding-rectangle type.
+func (t *Tree) computeBR(n *node) geom.TPRect {
+	if cap(t.scratch) < len(n.entries) {
+		t.scratch = make([]geom.TPRect, 0, max(len(n.entries), t.lay.leafCap+1))
+	}
+	items := t.scratch[:len(n.entries)]
+	for i := range n.entries {
+		items[i] = n.entries[i].rect
+		items[i].TExp = t.effExp(n.entries[i].rect, n.level)
+	}
+	var order []int
+	if t.cfg.BRKind == hull.KindNearOptimal {
+		order = t.rng.Perm(t.cfg.Dims)
+	}
+	br := hull.Compute(t.cfg.BRKind, items, t.now, t.brHorizon(n.level), t.cfg.Dims, t.cfg.World, order)
+	if !t.cfg.StoreBRExp {
+		br.TExp = math.Inf(1)
+	}
+	return t.roundBR(br)
+}
+
+// roundBR rounds a bounding rectangle outward to the float32 precision
+// of the page format, so in-memory rectangles are identical to their
+// decoded page image and outer bounds never tighten through round-off.
+func (t *Tree) roundBR(r geom.TPRect) geom.TPRect {
+	for i := 0; i < t.cfg.Dims; i++ {
+		r.Lo[i] = float64(f32Down(r.Lo[i]))
+		r.Hi[i] = float64(f32Up(r.Hi[i]))
+		r.VLo[i] = float64(f32Down(r.VLo[i]))
+		r.VHi[i] = float64(f32Up(r.VHi[i]))
+	}
+	if t.cfg.StoreBRExp {
+		r.TExp = float64(f32Up(r.TExp))
+	}
+	return r
+}
+
+// readNode loads the node.  The buffer pool is consulted first so
+// that misses are charged as reads; decoding is skipped when the
+// node's image is cached.  The returned node is shared: a caller that
+// mutates it must writeNode it before the operation ends.
+func (t *Tree) readNode(id storage.PageID) (*node, error) {
+	buf, err := t.bp.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if n, ok := t.cache[id]; ok {
+		return n, nil
+	}
+	n, err := t.lay.decode(id, buf)
+	if err != nil {
+		return nil, err
+	}
+	t.cache[id] = n
+	return n, nil
+}
+
+// writeNode encodes the node into its buffered page and marks it
+// dirty; the page reaches the store at the end of the operation or on
+// eviction.
+func (t *Tree) writeNode(n *node) error {
+	if len(n.entries) > t.lay.cap(n.level) {
+		return fmt.Errorf("core: node %d overflow: %d entries (cap %d)", n.id, len(n.entries), t.lay.cap(n.level))
+	}
+	buf, err := t.bp.Get(n.id)
+	if err != nil {
+		return err
+	}
+	t.lay.encode(n, buf)
+	t.cache[n.id] = n
+	return t.bp.MarkDirty(n.id)
+}
+
+// allocNode creates an empty node at the given level.
+func (t *Tree) allocNode(level int) (*node, error) {
+	id, _, err := t.bp.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	for len(t.nodesPerLevel) <= level {
+		t.nodesPerLevel = append(t.nodesPerLevel, 0)
+	}
+	t.nodesPerLevel[level]++
+	return &node{id: id, level: level}, nil
+}
+
+// freeNode releases the node's page.
+func (t *Tree) freeNode(n *node) error {
+	if n.level < len(t.nodesPerLevel) {
+		t.nodesPerLevel[n.level]--
+	}
+	delete(t.cache, n.id)
+	return t.bp.Free(n.id)
+}
+
+// freeSubtree deallocates the whole subtree rooted at the given page
+// (paper §4.3: discarding an expired internal entry deallocates its
+// subtree).  Reading the interior pages to find their children costs
+// I/O, which is charged as usual.
+func (t *Tree) freeSubtree(id storage.PageID, level int) error {
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	if n.level == 0 {
+		t.leafEntries -= len(n.entries)
+	} else {
+		for _, e := range n.entries {
+			if err := t.freeSubtree(e.child(), n.level-1); err != nil {
+				return err
+			}
+		}
+	}
+	return t.freeNode(n)
+}
+
+// purgeNode drops the node's expired entries, deallocating expired
+// subtrees.  It does nothing unless the engine is expiration-aware.
+// The caller is responsible for writing the node afterwards and for
+// handling a resulting underflow.
+func (t *Tree) purgeNode(n *node) error {
+	if !t.cfg.ExpireAware {
+		return nil
+	}
+	keep := n.entries[:0]
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !t.isExpired(&e.rect, n.level) {
+			keep = append(keep, *e)
+			continue
+		}
+		if n.level == 0 {
+			t.leafEntries--
+		} else if err := t.freeSubtree(e.child(), n.level-1); err != nil {
+			return err
+		}
+	}
+	n.entries = keep
+	return nil
+}
+
+// finishOp flushes dirty pages, implementing the paper's write-back
+// policy: nodes modified during an operation are written at its end.
+func (t *Tree) finishOp() error { return t.bp.Flush() }
+
+// setRoot repins the buffer frame of the root page.
+func (t *Tree) setRoot(id storage.PageID) error {
+	if err := t.bp.Unpin(t.root); err != nil {
+		return err
+	}
+	t.root = id
+	return t.bp.Pin(id)
+}

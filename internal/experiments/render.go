@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render formats the figure as a text table, one row per series and
+// one column per x value — the same rows/points the paper plots.
+func (f Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s: %s\n", f.ID, f.Title)
+	metricName := map[string]string{
+		"search": "avg search I/O per query",
+		"update": "avg update I/O per insert/delete",
+		"size":   "index size (pages)",
+	}[f.Metric]
+	fmt.Fprintf(&b, "metric: %s;  x-axis: %s\n\n", metricName, f.XLabel)
+
+	width := 0
+	for _, s := range f.Series {
+		if len(s.Label) > width {
+			width = len(s.Label)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, "")
+	for _, x := range f.Xs {
+		fmt.Fprintf(&b, "%10g", x)
+	}
+	b.WriteByte('\n')
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%-*s", width+2, s.Label)
+		for _, m := range s.Points {
+			fmt.Fprintf(&b, "%10.2f", f.Value(m))
+		}
+		b.WriteByte('\n')
+	}
+	// Scheduled-deletion variants exclude B-tree I/O above, as in the
+	// paper; report it separately when present.
+	hasQueue := false
+	for _, s := range f.Series {
+		for _, m := range s.Points {
+			if m.QueueIO > 0 {
+				hasQueue = true
+			}
+		}
+	}
+	if hasQueue && f.Metric == "update" {
+		b.WriteString("\nB-tree I/O per update (excluded above, §3/§5.4):\n")
+		for _, s := range f.Series {
+			any := false
+			for _, m := range s.Points {
+				if m.QueueIO > 0 {
+					any = true
+				}
+			}
+			if !any {
+				continue
+			}
+			fmt.Fprintf(&b, "%-*s", width+2, s.Label)
+			for _, m := range s.Points {
+				fmt.Fprintf(&b, "%10.2f", m.QueueIO)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,34 @@
+package geom
+
+import "math"
+
+// ExitTime returns the first time at or after now when the moving
+// point leaves the world rectangle for good, or +Inf if it never
+// does.  Because the trajectory is linear, once any coordinate crosses
+// its world bound it never returns, so after the returned time the
+// point cannot intersect any query region inside the world.
+//
+// This is the paper's §2.1 observation that trivial upper bounds on
+// expiration times can be derived from the finite extent of the space;
+// the engine uses it to give never-expiring entries a finite horizon
+// where a bounding-rectangle type (static) requires one.
+func ExitTime(p MovingPoint, world Rect, now float64, dims int) float64 {
+	if !world.ContainsPoint(p.At(now), dims) {
+		return now
+	}
+	exit := math.Inf(1)
+	for i := 0; i < dims; i++ {
+		x := p.Pos[i] + p.Vel[i]*now
+		switch {
+		case p.Vel[i] > 0:
+			if t := now + (world.Hi[i]-x)/p.Vel[i]; t < exit {
+				exit = t
+			}
+		case p.Vel[i] < 0:
+			if t := now + (world.Lo[i]-x)/p.Vel[i]; t < exit {
+				exit = t
+			}
+		}
+	}
+	return exit
+}

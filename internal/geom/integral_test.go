@@ -1,0 +1,194 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// riemann integrates f over [a,b] with a fine midpoint rule.
+func riemann(f func(float64) float64, a, b float64) float64 {
+	const n = 20000
+	h := (b - a) / n
+	var s float64
+	for k := 0; k < n; k++ {
+		s += f(a + (float64(k)+0.5)*h)
+	}
+	return s * h
+}
+
+func approxEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestAreaIntegralStaticRect(t *testing.T) {
+	r := TPRect{Lo: Vec{0, 0}, Hi: Vec{3, 4}, TExp: Inf()}
+	got := AreaIntegral(r, 1, 5, 2)
+	if !approxEq(got, 12*4, 1e-12) {
+		t.Errorf("static area integral = %v, want 48", got)
+	}
+}
+
+func TestAreaIntegralGrowingRect(t *testing.T) {
+	// Extents: (2+t) and (1+2t); integral over [0,1] of (2+t)(1+2t)
+	// = int 2 + 5t + 2t^2 = 2 + 5/2 + 2/3.
+	r := TPRect{Lo: Vec{0, 0}, Hi: Vec{2, 1}, VLo: Vec{0, 0}, VHi: Vec{1, 2}, TExp: Inf()}
+	want := 2 + 2.5 + 2.0/3.0
+	got := AreaIntegral(r, 0, 1, 2)
+	if !approxEq(got, want, 1e-12) {
+		t.Errorf("growing area integral = %v, want %v", got, want)
+	}
+}
+
+func TestAreaIntegralShrinkingToZero(t *testing.T) {
+	// Extent 2-t in dim 0 hits zero at t=2; area contribution beyond
+	// must be clamped to zero, not negative.
+	r := TPRect{Lo: Vec{0, 0}, Hi: Vec{2, 1}, VHi: Vec{-1, 0}, TExp: Inf()}
+	got := AreaIntegral(r, 0, 5, 2)
+	want := 2.0 // int_0^2 (2-t)*1 dt = 2
+	if !approxEq(got, want, 1e-12) {
+		t.Errorf("clamped area integral = %v, want %v", got, want)
+	}
+}
+
+func TestAreaIntegralRandomAgainstRiemann(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 50; iter++ {
+		r := randTPRect(rng, 2)
+		t1 := rng.Float64() * 3
+		t2 := t1 + rng.Float64()*8
+		got := AreaIntegral(r, t1, t2, 2)
+		want := riemann(func(tt float64) float64 { return r.At(tt).Area(2) }, t1, t2)
+		if !approxEq(got, want, 1e-3) {
+			t.Fatalf("area integral %v vs riemann %v (r=%v)", got, want, r)
+		}
+	}
+}
+
+func TestAreaIntegral3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for iter := 0; iter < 25; iter++ {
+		r := randTPRect(rng, 3)
+		got := AreaIntegral(r, 0, 4, 3)
+		want := riemann(func(tt float64) float64 { return r.At(tt).Area(3) }, 0, 4)
+		if !approxEq(got, want, 1e-3) {
+			t.Fatalf("3d area integral %v vs riemann %v", got, want)
+		}
+	}
+}
+
+func TestMarginIntegral(t *testing.T) {
+	r := TPRect{Lo: Vec{0, 0}, Hi: Vec{3, 4}, VHi: Vec{1, 0}, TExp: Inf()}
+	// Margin(t) = (3+t) + 4; integral over [0,2] = 6+2+8 = 16.
+	got := MarginIntegral(r, 0, 2, 2)
+	if !approxEq(got, 16, 1e-12) {
+		t.Errorf("margin integral = %v, want 16", got)
+	}
+}
+
+func TestMarginIntegralRandomAgainstRiemann(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 50; iter++ {
+		r := randTPRect(rng, 2)
+		got := MarginIntegral(r, 0, 6, 2)
+		want := riemann(func(tt float64) float64 {
+			var m float64
+			s := r.At(tt)
+			for i := 0; i < 2; i++ {
+				m += math.Max(0, s.Hi[i]-s.Lo[i])
+			}
+			return m
+		}, 0, 6)
+		if !approxEq(got, want, 1e-3) {
+			t.Fatalf("margin integral %v vs riemann %v", got, want)
+		}
+	}
+}
+
+func TestOverlapIntegralDisjoint(t *testing.T) {
+	a := TPRect{Lo: Vec{0, 0}, Hi: Vec{1, 1}, TExp: Inf()}
+	b := TPRect{Lo: Vec{5, 5}, Hi: Vec{6, 6}, TExp: Inf()}
+	if got := OverlapIntegral(a, b, 0, 10, 2); got != 0 {
+		t.Errorf("disjoint overlap integral = %v", got)
+	}
+}
+
+func TestOverlapIntegralIdentical(t *testing.T) {
+	a := TPRect{Lo: Vec{0, 0}, Hi: Vec{2, 3}, VHi: Vec{1, 0}, TExp: Inf()}
+	// Overlap with itself = own area.
+	got := OverlapIntegral(a, a, 0, 2, 2)
+	want := AreaIntegral(a, 0, 2, 2)
+	if !approxEq(got, want, 1e-12) {
+		t.Errorf("self overlap %v vs area %v", got, want)
+	}
+}
+
+func TestOverlapIntegralRandomAgainstRiemann(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 60; iter++ {
+		a := randTPRect(rng, 2)
+		b := randTPRect(rng, 2)
+		// Pull them closer so overlaps actually happen.
+		for i := 0; i < 2; i++ {
+			b.Lo[i] = a.Lo[i] + rng.Float64()*6 - 3
+			b.Hi[i] = b.Lo[i] + rng.Float64()*10
+		}
+		got := OverlapIntegral(a, b, 0, 5, 2)
+		want := riemann(func(tt float64) float64 {
+			sa, sb := a.At(tt), b.At(tt)
+			v := 1.0
+			for i := 0; i < 2; i++ {
+				o := math.Min(sa.Hi[i], sb.Hi[i]) - math.Max(sa.Lo[i], sb.Lo[i])
+				if o <= 0 {
+					return 0
+				}
+				v *= o
+			}
+			return v
+		}, 0, 5)
+		if !approxEq(got, want, 1e-3) {
+			t.Fatalf("overlap integral %v vs riemann %v\na=%v\nb=%v", got, want, a, b)
+		}
+	}
+}
+
+func TestCenterDistIntegral(t *testing.T) {
+	// Two static unit squares 3 apart in x: distance constant 3.
+	a := TPRect{Lo: Vec{0, 0}, Hi: Vec{1, 1}, TExp: Inf()}
+	b := TPRect{Lo: Vec{3, 0}, Hi: Vec{4, 1}, TExp: Inf()}
+	got := CenterDistIntegral(a, b, 0, 2, 2)
+	if !approxEq(got, 6, 1e-6) {
+		t.Errorf("center dist integral = %v, want 6", got)
+	}
+}
+
+func TestCenterDistIntegralMoving(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for iter := 0; iter < 30; iter++ {
+		a := randTPRect(rng, 2)
+		b := randTPRect(rng, 2)
+		got := CenterDistIntegral(a, b, 0, 4, 2)
+		want := riemann(func(tt float64) float64 {
+			return a.At(tt).Center(2).Dist(b.At(tt).Center(2), 2)
+		}, 0, 4)
+		if !approxEq(got, want, 1e-3) {
+			t.Fatalf("center dist integral %v vs riemann %v", got, want)
+		}
+	}
+}
+
+func TestIntegralsEmptyWindow(t *testing.T) {
+	r := TPRect{Lo: Vec{0, 0}, Hi: Vec{1, 1}, TExp: Inf()}
+	if AreaIntegral(r, 5, 5, 2) != 0 || AreaIntegral(r, 5, 4, 2) != 0 {
+		t.Error("area integral over empty window")
+	}
+	if MarginIntegral(r, 5, 4, 2) != 0 {
+		t.Error("margin integral over empty window")
+	}
+	if OverlapIntegral(r, r, 5, 4, 2) != 0 {
+		t.Error("overlap integral over empty window")
+	}
+	if CenterDistIntegral(r, r, 5, 4, 2) != 0 {
+		t.Error("center dist integral over empty window")
+	}
+}

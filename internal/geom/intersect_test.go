@@ -1,0 +1,160 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteIntersects samples [t1,t2] densely and checks snapshot overlap.
+// With linear bounds the overlap set is an interval, so dense sampling
+// plus endpoints is a sound oracle up to boundary tolerance.
+func bruteIntersects(a, b TPRect, t1, t2 float64, dims int) bool {
+	const steps = 400
+	for k := 0; k <= steps; k++ {
+		tt := t1 + (t2-t1)*float64(k)/steps
+		if a.At(tt).Intersects(b.At(tt), dims) {
+			return true
+		}
+	}
+	return false
+}
+
+func randTPRect(rng *rand.Rand, dims int) TPRect {
+	var r TPRect
+	r.TExp = Inf()
+	for i := 0; i < dims; i++ {
+		a := rng.Float64()*40 - 20
+		r.Lo[i] = a
+		r.Hi[i] = a + rng.Float64()*10
+		r.VLo[i] = rng.Float64()*4 - 2
+		r.VHi[i] = rng.Float64()*4 - 2
+	}
+	return r
+}
+
+func TestIntersectsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	agree, total := 0, 0
+	for iter := 0; iter < 2000; iter++ {
+		a := randTPRect(rng, 2)
+		b := randTPRect(rng, 2)
+		t1 := rng.Float64() * 5
+		t2 := t1 + rng.Float64()*10
+		got := Intersects(a, b, t1, t2, 2)
+		want := bruteIntersects(a, b, t1, t2, 2)
+		total++
+		if got == want {
+			agree++
+			continue
+		}
+		// Disagreement is only acceptable when the overlap interval is
+		// a near-degenerate touch that sampling misses.
+		iv := OverlapInterval(a, b, t1, t2, 2)
+		if got && !want && iv.Hi-iv.Lo < (t2-t1)/100 {
+			agree++
+			continue
+		}
+		t.Fatalf("iter %d: Intersects=%v brute=%v a=%v b=%v [%v,%v]", iter, got, want, a, b, t1, t2)
+	}
+	if agree != total {
+		t.Errorf("agreement %d/%d", agree, total)
+	}
+}
+
+func TestIntersectsDegenerateWindow(t *testing.T) {
+	a := TPRect{Lo: Vec{0, 0}, Hi: Vec{2, 2}, TExp: Inf()}
+	b := TPRect{Lo: Vec{1, 1}, Hi: Vec{3, 3}, TExp: Inf()}
+	if !Intersects(a, b, 5, 5, 2) {
+		t.Error("static overlap at a single instant not detected")
+	}
+	if Intersects(a, b, 5, 4, 2) {
+		t.Error("inverted window should never intersect")
+	}
+}
+
+func TestIntersectsMovingApart(t *testing.T) {
+	// Two 1-D intervals moving apart: they touch only at early times.
+	a := TPRect{Lo: Vec{0}, Hi: Vec{1}, VLo: Vec{-1}, VHi: Vec{-1}, TExp: Inf()}
+	b := TPRect{Lo: Vec{1}, Hi: Vec{2}, VLo: Vec{1}, VHi: Vec{1}, TExp: Inf()}
+	if !Intersects(a, b, 0, 10, 1) {
+		t.Error("should touch at t=0")
+	}
+	if Intersects(a, b, 1, 10, 1) {
+		t.Error("should be separated for t >= 1")
+	}
+	// Converging copies intersect later.
+	if !Intersects(b, a, 0, 10, 1) {
+		t.Error("symmetric call failed")
+	}
+}
+
+func TestQueryConstructors(t *testing.T) {
+	r := Rect{Lo: Vec{0, 0}, Hi: Vec{10, 10}}
+	q1 := Timeslice(r, 4)
+	if q1.T1 != 4 || q1.T2 != 4 {
+		t.Errorf("timeslice window [%v,%v]", q1.T1, q1.T2)
+	}
+	q2 := Window(r, 2, 6)
+	if q2.T1 != 2 || q2.T2 != 6 {
+		t.Errorf("window [%v,%v]", q2.T1, q2.T2)
+	}
+	r2 := Rect{Lo: Vec{10, 10}, Hi: Vec{20, 20}}
+	q3 := Moving(r, r2, 0, 10, 2)
+	// At t=0 the region must equal r; at t=10 it must equal r2.
+	if got := q3.Region.At(0); got != r {
+		t.Errorf("moving query at t1 = %v, want %v", got, r)
+	}
+	if got := q3.Region.At(10); got != r2 {
+		t.Errorf("moving query at t2 = %v, want %v", got, r2)
+	}
+}
+
+func TestQueryMatchesPointExpiration(t *testing.T) {
+	// Object sits inside the query region but expires before the query
+	// time: with expiration support it must not match; without, it must.
+	p := MovingPoint{Pos: Vec{5, 5}, TExp: 3}
+	q := Timeslice(Rect{Lo: Vec{0, 0}, Hi: Vec{10, 10}}, 7)
+	if q.MatchesPoint(p, 2, true) {
+		t.Error("expired point matched with useExp=true")
+	}
+	if !q.MatchesPoint(p, 2, false) {
+		t.Error("point not matched with useExp=false")
+	}
+	// Window query that starts before expiry matches either way.
+	qw := Window(Rect{Lo: Vec{0, 0}, Hi: Vec{10, 10}}, 2, 7)
+	if !qw.MatchesPoint(p, 2, true) {
+		t.Error("point alive during part of the window should match")
+	}
+}
+
+func TestQueryMatchesRectClipsAtExpiry(t *testing.T) {
+	// A bounding rectangle drifting toward the query region reaches it
+	// only after its own expiration time: with useExp the query window
+	// is clipped at TExp, so no match.
+	br := TPRect{Lo: Vec{0}, Hi: Vec{1}, VLo: Vec{1}, VHi: Vec{1}, TExp: 4}
+	q := Window(Rect{Lo: Vec{8}, Hi: Vec{9}}, 0, 20)
+	if q.MatchesRect(br, 1, true) {
+		t.Error("rect reached query only after expiry; should not match")
+	}
+	if !q.MatchesRect(br, 1, false) {
+		t.Error("without expiration support it should match")
+	}
+}
+
+func TestMovingQueryFollowsTarget(t *testing.T) {
+	// A moving query square centered on a moving point must match that
+	// point at all times.
+	p := MovingPoint{Pos: Vec{100, 100}, Vel: Vec{2, -1}, TExp: Inf()}
+	mk := func(c Vec) Rect {
+		return Rect{Lo: Vec{c[0] - 5, c[1] - 5}, Hi: Vec{c[0] + 5, c[1] + 5}}
+	}
+	q := Moving(mk(p.At(3)), mk(p.At(8)), 3, 8, 2)
+	if !q.MatchesPoint(p, 2, true) {
+		t.Error("moving query lost its target")
+	}
+	// A stationary point far away must not match.
+	far := MovingPoint{Pos: Vec{500, 500}, TExp: Inf()}
+	if q.MatchesPoint(far, 2, true) {
+		t.Error("moving query matched a far point")
+	}
+}

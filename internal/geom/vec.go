@@ -1,0 +1,67 @@
+// Package geom provides the time-parameterized geometry used by the
+// R^exp-tree and the TPR-tree: d-dimensional points moving linearly in
+// time, time-parameterized bounding rectangles (TPBRs), intersection
+// tests between the (d+1)-dimensional trapezoids they trace in
+// (position, time)-space, and the exact time integrals of area, margin,
+// overlap and center distance that drive the R*-style insertion
+// heuristics.
+//
+// All positions are stored as values at a common reference time, the
+// tree epoch t = 0 (the paper's index-creation time t0).  Evaluating a
+// shape "at time t" means adding velocity·t to the stored coordinates.
+// Expiration times are absolute simulation times; an entry that never
+// expires carries math.Inf(1).
+package geom
+
+import "math"
+
+// MaxDims is the largest supported dimensionality.  The paper indexes
+// points moving in one, two, or three dimensions; two is used in all
+// experiments.
+const MaxDims = 3
+
+// Vec is a d-dimensional coordinate or velocity vector.  Only the first
+// d components are meaningful; the rest must be zero so that Vec values
+// compare and hash consistently.
+type Vec [MaxDims]float64
+
+// Add returns u + v.
+func (u Vec) Add(v Vec) Vec {
+	for i := range u {
+		u[i] += v[i]
+	}
+	return u
+}
+
+// Sub returns u - v.
+func (u Vec) Sub(v Vec) Vec {
+	for i := range u {
+		u[i] -= v[i]
+	}
+	return u
+}
+
+// Scale returns u scaled by s.
+func (u Vec) Scale(s float64) Vec {
+	for i := range u {
+		u[i] *= s
+	}
+	return u
+}
+
+// Dist returns the Euclidean distance between u and v in the first
+// dims dimensions.
+func (u Vec) Dist(v Vec, dims int) float64 {
+	var s float64
+	for i := 0; i < dims; i++ {
+		d := u[i] - v[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Inf is the expiration time of entries that never expire.
+func Inf() float64 { return math.Inf(1) }
+
+// IsFinite reports whether t is neither infinite nor NaN.
+func IsFinite(t float64) bool { return !math.IsInf(t, 0) && !math.IsNaN(t) }

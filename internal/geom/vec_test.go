@@ -1,0 +1,70 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecAddSub(t *testing.T) {
+	u := Vec{1, 2, 3}
+	v := Vec{4, -1, 0.5}
+	if got := u.Add(v); got != (Vec{5, 1, 3.5}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := u.Sub(v); got != (Vec{-3, 3, 2.5}) {
+		t.Errorf("Sub = %v", got)
+	}
+}
+
+func TestVecScale(t *testing.T) {
+	u := Vec{1, -2, 4}
+	if got := u.Scale(0.5); got != (Vec{0.5, -1, 2}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := u.Scale(0); got != (Vec{}) {
+		t.Errorf("Scale(0) = %v", got)
+	}
+}
+
+func TestVecDist(t *testing.T) {
+	u := Vec{0, 0, 0}
+	v := Vec{3, 4, 100}
+	if got := u.Dist(v, 2); got != 5 {
+		t.Errorf("Dist dims=2 = %v, want 5", got)
+	}
+	if got := u.Dist(u, 3); got != 0 {
+		t.Errorf("Dist self = %v", got)
+	}
+}
+
+func TestVecAddSubRoundTrip(t *testing.T) {
+	f := func(a, b [MaxDims]float64) bool {
+		u, v := Vec(a), Vec(b)
+		got := u.Add(v).Sub(v)
+		for i := range got {
+			if math.IsNaN(got[i]) || math.IsInf(got[i], 0) {
+				return true // skip degenerate float inputs
+			}
+			if math.Abs(got[i]-u[i]) > 1e-9*(1+math.Abs(u[i])+math.Abs(v[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInfIsFinite(t *testing.T) {
+	if IsFinite(Inf()) {
+		t.Error("Inf reported finite")
+	}
+	if IsFinite(math.NaN()) {
+		t.Error("NaN reported finite")
+	}
+	if !IsFinite(0) || !IsFinite(-12.5) {
+		t.Error("finite values reported non-finite")
+	}
+}

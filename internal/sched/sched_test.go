@@ -1,0 +1,174 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"rexptree/internal/core"
+	"rexptree/internal/geom"
+	"rexptree/internal/hull"
+	"rexptree/internal/storage"
+)
+
+func newIndex(t *testing.T, expireAware bool) *Index {
+	t.Helper()
+	cfg := core.Config{Dims: 2, BufferPages: 20, Seed: 1, BRKind: hull.KindConservative}
+	if expireAware {
+		cfg.ExpireAware = true
+		cfg.StoreBRExp = true
+		cfg.AlgsUseExp = true
+		cfg.BRKind = hull.KindNearOptimal
+	}
+	tr, err := core.New(cfg, storage.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := New(tr, storage.NewMemStore(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+var world = geom.Rect{Lo: geom.Vec{0, 0}, Hi: geom.Vec{1000, 1000}}
+
+func TestScheduledDeletionRemovesExpired(t *testing.T) {
+	for _, aware := range []bool{false, true} {
+		x := newIndex(t, aware)
+		x.Insert(1, geom.MovingPoint{Pos: geom.Vec{100, 100}, TExp: 10}, 0)
+		x.Insert(2, geom.MovingPoint{Pos: geom.Vec{200, 200}, TExp: 1000}, 0)
+		if x.QueueLen() != 2 {
+			t.Fatalf("aware=%v: queue len %d", aware, x.QueueLen())
+		}
+		if err := x.ProcessDue(50); err != nil {
+			t.Fatal(err)
+		}
+		if x.QueueLen() != 1 {
+			t.Fatalf("aware=%v: queue len %d after processing", aware, x.QueueLen())
+		}
+		// Even a TPR-tree (which never filters by expiry) no longer
+		// reports object 1: the entry is physically gone.
+		res, err := x.Search(geom.Timeslice(world, 50), 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 || res[0].OID != 2 {
+			t.Fatalf("aware=%v: search = %v", aware, res)
+		}
+		if x.Tree().LeafEntries() != 1 {
+			t.Fatalf("aware=%v: %d leaf entries", aware, x.Tree().LeafEntries())
+		}
+	}
+}
+
+func TestDeleteUnschedules(t *testing.T) {
+	x := newIndex(t, true)
+	p := geom.MovingPoint{Pos: geom.Vec{100, 100}, TExp: 10}
+	x.Insert(1, p, 0)
+	found, err := x.Delete(1, p, 5)
+	if err != nil || !found {
+		t.Fatalf("delete: %v %v", found, err)
+	}
+	if x.QueueLen() != 0 {
+		t.Fatalf("queue len %d after explicit delete", x.QueueLen())
+	}
+	// Processing past the old expiry must not fail on the missing
+	// record.
+	if err := x.ProcessDue(100); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting again reports not found.
+	if found, _ := x.Delete(1, p, 6); found {
+		t.Fatal("second delete found the object")
+	}
+}
+
+func TestUpdateBeforeExpiryReschedules(t *testing.T) {
+	x := newIndex(t, true)
+	p1 := geom.MovingPoint{Pos: geom.Vec{100, 100}, TExp: 10}
+	x.Insert(1, p1, 0)
+	// Update at t=5: delete + insert with a later expiry.
+	if found, _ := x.Delete(1, p1, 5); !found {
+		t.Fatal("old record not found")
+	}
+	p2 := geom.MovingPoint{Pos: geom.Vec{110, 100}, TExp: 60}
+	x.Insert(1, p2, 5)
+	if x.QueueLen() != 1 {
+		t.Fatalf("queue len %d", x.QueueLen())
+	}
+	if err := x.ProcessDue(30); err != nil {
+		t.Fatal(err)
+	}
+	// Not yet expired under the new schedule.
+	res, _ := x.Search(geom.Timeslice(world, 30), 30)
+	if len(res) != 1 {
+		t.Fatalf("object lost after reschedule: %v", res)
+	}
+	if err := x.ProcessDue(61); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = x.Search(geom.Timeslice(world, 61), 61)
+	if len(res) != 0 {
+		t.Fatalf("object survived its expiry: %v", res)
+	}
+}
+
+func TestScheduledKeepsTreeClean(t *testing.T) {
+	// Under a workload with many expirations, the scheduled-deletion
+	// index holds zero expired leaf entries at all times.
+	x := newIndex(t, true)
+	rng := rand.New(rand.NewSource(9))
+	now := 0.0
+	records := map[uint32]geom.MovingPoint{}
+	for i := 0; i < 4000; i++ {
+		now += 0.05
+		if err := x.ProcessDue(now); err != nil {
+			t.Fatal(err)
+		}
+		oid := uint32(rng.Intn(800))
+		if old, ok := records[oid]; ok {
+			x.Delete(oid, old, now)
+		}
+		p := geom.MovingPoint{
+			Pos:  geom.Vec{rng.Float64() * 1000, rng.Float64() * 1000},
+			Vel:  geom.Vec{rng.Float64()*6 - 3, rng.Float64()*6 - 3},
+			TExp: now + 2 + rng.Float64()*30,
+		}
+		if err := x.Insert(oid, p, now); err != nil {
+			t.Fatal(err)
+		}
+		records[oid] = p
+	}
+	live, expired, err := x.Tree().EntryStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expired != 0 {
+		t.Errorf("expired entries present: %d (live %d)", expired, live)
+	}
+	if err := x.Tree().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if live != x.QueueLen() {
+		t.Errorf("queue len %d != live entries %d", x.QueueLen(), live)
+	}
+}
+
+func TestStatsSeparation(t *testing.T) {
+	x := newIndex(t, true)
+	for i := 0; i < 500; i++ {
+		x.Insert(uint32(i), geom.MovingPoint{
+			Pos: geom.Vec{float64(i % 100 * 10), float64(i / 100 * 10)}, TExp: 1000,
+		}, float64(i)*0.01)
+	}
+	if x.TreeStats().IO() == 0 {
+		t.Error("no main-tree I/O recorded")
+	}
+	if x.QueueStats().IO() == 0 {
+		t.Error("no queue I/O recorded")
+	}
+	x.ResetStats()
+	if x.TreeStats().IO() != 0 || x.QueueStats().IO() != 0 {
+		t.Error("reset failed")
+	}
+}

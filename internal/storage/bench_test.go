@@ -1,0 +1,68 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkBufferPoolHit(b *testing.B) {
+	store := NewMemStore()
+	bp := NewBufferPool(store, 8)
+	var ids []PageID
+	for i := 0; i < 8; i++ {
+		id, _, err := bp.Allocate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bp.Get(ids[i%8]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBufferPoolMissEvict(b *testing.B) {
+	store := NewMemStore()
+	var ids []PageID
+	for i := 0; i < 64; i++ {
+		id, err := store.Allocate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	bp := NewBufferPool(store, 8)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bp.Get(ids[rng.Intn(64)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFileStoreWrite(b *testing.B) {
+	s, err := CreateFileStore(b.TempDir() + "/bench.db")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	id, err := s.Allocate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	b.SetBytes(PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf[0] = byte(i)
+		if err := s.WritePage(id, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

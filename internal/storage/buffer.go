@@ -1,0 +1,212 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Stats counts the page traffic between a BufferPool and its Store.
+type Stats struct {
+	Reads  uint64 // pages read from the store (buffer misses)
+	Writes uint64 // pages written to the store
+	Hits   uint64 // page requests served from the buffer
+}
+
+// IO returns reads + writes, the combined I/O count.
+func (s Stats) IO() uint64 { return s.Reads + s.Writes }
+
+// Sub returns the traffic accumulated since the earlier snapshot o.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{Reads: s.Reads - o.Reads, Writes: s.Writes - o.Writes, Hits: s.Hits - o.Hits}
+}
+
+type frame struct {
+	id     PageID
+	data   []byte
+	dirty  bool
+	pins   int
+	lruPos *list.Element // nil while pinned (not on the LRU list)
+}
+
+// BufferPool caches up to cap pages of a Store with LRU replacement,
+// as in the experimental setup of the paper (§5.1): 50 pages of 4 KiB,
+// the tree root pinned, dirty pages written back on eviction or on
+// explicit flush.  It is not safe for concurrent use.
+type BufferPool struct {
+	store    Store
+	capacity int
+	frames   map[PageID]*frame
+	lru      *list.List // front = most recently used; unpinned frames only
+	stats    Stats
+}
+
+// NewBufferPool wraps store with a buffer of the given page capacity.
+func NewBufferPool(store Store, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		store:    store,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Stats returns the accumulated I/O counters.
+func (bp *BufferPool) Stats() Stats { return bp.stats }
+
+// ResetStats zeroes the I/O counters.
+func (bp *BufferPool) ResetStats() { bp.stats = Stats{} }
+
+// Store returns the underlying page store.
+func (bp *BufferPool) Store() Store { return bp.store }
+
+func (bp *BufferPool) touch(f *frame) {
+	if f.lruPos != nil {
+		bp.lru.MoveToFront(f.lruPos)
+	}
+}
+
+// evictOne writes back and drops the least recently used unpinned
+// frame.  It returns an error if every frame is pinned.
+func (bp *BufferPool) evictOne() error {
+	e := bp.lru.Back()
+	if e == nil {
+		return fmt.Errorf("storage: buffer pool full of pinned pages (cap %d)", bp.capacity)
+	}
+	f := e.Value.(*frame)
+	if f.dirty {
+		if err := bp.store.WritePage(f.id, f.data); err != nil {
+			return err
+		}
+		bp.stats.Writes++
+	}
+	bp.lru.Remove(e)
+	delete(bp.frames, f.id)
+	return nil
+}
+
+func (bp *BufferPool) admit(f *frame) error {
+	for len(bp.frames) >= bp.capacity {
+		if err := bp.evictOne(); err != nil {
+			return err
+		}
+	}
+	bp.frames[f.id] = f
+	f.lruPos = bp.lru.PushFront(f)
+	return nil
+}
+
+// Get returns the contents of the page, reading it from the store on a
+// miss.  The returned slice aliases the buffer frame: it is valid
+// until the page is evicted, so callers must not retain it across
+// other pool operations unless the page is pinned.
+func (bp *BufferPool) Get(id PageID) ([]byte, error) {
+	if f, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		bp.touch(f)
+		return f.data, nil
+	}
+	f := &frame{id: id, data: make([]byte, PageSize)}
+	if err := bp.store.ReadPage(id, f.data); err != nil {
+		return nil, err
+	}
+	bp.stats.Reads++
+	if err := bp.admit(f); err != nil {
+		return nil, err
+	}
+	return f.data, nil
+}
+
+// MarkDirty records that the page's buffered contents differ from the
+// store.  The page must be resident (obtained via Get or Allocate and
+// not yet evicted); keeping it resident while mutating is the caller's
+// responsibility (pin it or mark immediately after Get).
+func (bp *BufferPool) MarkDirty(id PageID) error {
+	f, ok := bp.frames[id]
+	if !ok {
+		return fmt.Errorf("storage: MarkDirty(%d): page not resident", id)
+	}
+	f.dirty = true
+	return nil
+}
+
+// Pin prevents the page from being evicted until a matching Unpin.
+// Pins nest.
+func (bp *BufferPool) Pin(id PageID) error {
+	f, ok := bp.frames[id]
+	if !ok {
+		if _, err := bp.Get(id); err != nil {
+			return err
+		}
+		f = bp.frames[id]
+	}
+	f.pins++
+	if f.lruPos != nil {
+		bp.lru.Remove(f.lruPos)
+		f.lruPos = nil
+	}
+	return nil
+}
+
+// Unpin releases one pin on the page.
+func (bp *BufferPool) Unpin(id PageID) error {
+	f, ok := bp.frames[id]
+	if !ok || f.pins == 0 {
+		return fmt.Errorf("storage: Unpin(%d): page not pinned", id)
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.lruPos = bp.lru.PushFront(f)
+	}
+	return nil
+}
+
+// Allocate obtains a fresh zeroed page from the store and installs it
+// in the buffer as dirty, so creating a node costs no read I/O.
+func (bp *BufferPool) Allocate() (PageID, []byte, error) {
+	id, err := bp.store.Allocate()
+	if err != nil {
+		return InvalidPage, nil, err
+	}
+	f := &frame{id: id, data: make([]byte, PageSize), dirty: true}
+	if err := bp.admit(f); err != nil {
+		return InvalidPage, nil, err
+	}
+	return id, f.data, nil
+}
+
+// Free drops the page from the buffer (without write-back) and
+// releases it in the store.
+func (bp *BufferPool) Free(id PageID) error {
+	if f, ok := bp.frames[id]; ok {
+		if f.pins > 0 {
+			return fmt.Errorf("storage: Free(%d): page is pinned", id)
+		}
+		if f.lruPos != nil {
+			bp.lru.Remove(f.lruPos)
+		}
+		delete(bp.frames, id)
+	}
+	return bp.store.Free(id)
+}
+
+// Flush writes every dirty frame back to the store, leaving all pages
+// resident.
+func (bp *BufferPool) Flush() error {
+	for _, f := range bp.frames {
+		if !f.dirty {
+			continue
+		}
+		if err := bp.store.WritePage(f.id, f.data); err != nil {
+			return err
+		}
+		f.dirty = false
+		bp.stats.Writes++
+	}
+	return nil
+}
+
+// Resident returns the number of buffered pages (for tests).
+func (bp *BufferPool) Resident() int { return len(bp.frames) }

@@ -1,0 +1,249 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestBufferPoolReadYourWrites(t *testing.T) {
+	bp := NewBufferPool(NewMemStore(), 4)
+	id, data, err := bp.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 42
+	if err := bp.MarkDirty(id); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bp.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 42 {
+		t.Fatal("buffered write not visible")
+	}
+	if bp.Stats().Reads != 0 {
+		t.Errorf("reads = %d, want 0 (allocation and hit only)", bp.Stats().Reads)
+	}
+}
+
+func TestBufferPoolEvictionWritesBackDirty(t *testing.T) {
+	store := NewMemStore()
+	bp := NewBufferPool(store, 2)
+	a, dataA, _ := bp.Allocate()
+	dataA[0] = 1
+	bp.MarkDirty(a)
+	b, dataB, _ := bp.Allocate()
+	dataB[0] = 2
+	bp.MarkDirty(b)
+	// Third allocation evicts the LRU page (a).
+	c, _, _ := bp.Allocate()
+	_ = c
+	if bp.Resident() != 2 {
+		t.Fatalf("resident = %d", bp.Resident())
+	}
+	if bp.Stats().Writes != 1 {
+		t.Fatalf("writes = %d, want 1 (evicted dirty page)", bp.Stats().Writes)
+	}
+	// Re-reading a must come from the store with the written content.
+	got, err := bp.Get(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatal("dirty page lost on eviction")
+	}
+	if bp.Stats().Reads != 1 {
+		t.Errorf("reads = %d, want 1 (miss on a)", bp.Stats().Reads)
+	}
+}
+
+func TestBufferPoolLRUOrder(t *testing.T) {
+	store := NewMemStore()
+	// Pre-create pages directly in the store.
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, _ := store.Allocate()
+		ids = append(ids, id)
+	}
+	bp := NewBufferPool(store, 2)
+	bp.Get(ids[0])
+	bp.Get(ids[1])
+	bp.Get(ids[0]) // 0 is now MRU; 1 is LRU
+	bp.Get(ids[2]) // evicts 1
+	if _, ok := bp.frames[ids[1]]; ok {
+		t.Fatal("LRU page 1 not evicted")
+	}
+	if _, ok := bp.frames[ids[0]]; !ok {
+		t.Fatal("MRU page 0 was evicted")
+	}
+}
+
+func TestBufferPoolPinnedNeverEvicted(t *testing.T) {
+	store := NewMemStore()
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		id, _ := store.Allocate()
+		ids = append(ids, id)
+	}
+	bp := NewBufferPool(store, 2)
+	if err := bp.Pin(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids[1:] {
+		if _, err := bp.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := bp.frames[ids[0]]; !ok {
+		t.Fatal("pinned page was evicted")
+	}
+	// A pool where everything is pinned must error, not spin.
+	bp2 := NewBufferPool(store, 1)
+	bp2.Pin(ids[0])
+	if _, err := bp2.Get(ids[1]); err == nil {
+		t.Fatal("expected error when all frames pinned")
+	}
+	// Unpin allows progress again.
+	bp2.Unpin(ids[0])
+	if _, err := bp2.Get(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferPoolPinNesting(t *testing.T) {
+	store := NewMemStore()
+	id, _ := store.Allocate()
+	bp := NewBufferPool(store, 1)
+	bp.Pin(id)
+	bp.Pin(id)
+	if err := bp.Unpin(id); err != nil {
+		t.Fatal(err)
+	}
+	// Still pinned once: a second page cannot enter a cap-1 pool.
+	id2, _ := store.Allocate()
+	if _, err := bp.Get(id2); err == nil {
+		t.Fatal("nested pin ignored")
+	}
+	if err := bp.Unpin(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.Unpin(id); err == nil {
+		t.Fatal("unbalanced unpin accepted")
+	}
+}
+
+func TestBufferPoolFlush(t *testing.T) {
+	store := NewMemStore()
+	bp := NewBufferPool(store, 4)
+	id, data, _ := bp.Allocate()
+	data[7] = 9
+	bp.MarkDirty(id)
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := store.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[7] != 9 {
+		t.Fatal("flush did not reach the store")
+	}
+	w := bp.Stats().Writes
+	// Flushing again writes nothing: pages are clean.
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if bp.Stats().Writes != w {
+		t.Fatal("clean pages rewritten on second flush")
+	}
+}
+
+func TestBufferPoolFreeDropsFrame(t *testing.T) {
+	store := NewMemStore()
+	bp := NewBufferPool(store, 4)
+	id, data, _ := bp.Allocate()
+	data[0] = 5
+	bp.MarkDirty(id)
+	if err := bp.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if bp.Resident() != 0 {
+		t.Fatal("freed page still resident")
+	}
+	if store.Len() != 0 {
+		t.Fatal("freed page still allocated in store")
+	}
+	if bp.Stats().Writes != 0 {
+		t.Fatal("freed dirty page was written back")
+	}
+	// Freeing a pinned page must fail.
+	id2, _, _ := bp.Allocate()
+	bp.Pin(id2)
+	if err := bp.Free(id2); err == nil {
+		t.Fatal("freed a pinned page")
+	}
+}
+
+func TestBufferPoolStatsSub(t *testing.T) {
+	a := Stats{Reads: 10, Writes: 4, Hits: 100}
+	b := Stats{Reads: 3, Writes: 1, Hits: 40}
+	d := a.Sub(b)
+	if d.Reads != 7 || d.Writes != 3 || d.Hits != 60 {
+		t.Errorf("Sub = %+v", d)
+	}
+	if a.IO() != 14 {
+		t.Errorf("IO = %d", a.IO())
+	}
+}
+
+// TestBufferPoolRandomizedAgainstStore checks that, through arbitrary
+// interleavings of pool operations, page contents always match what a
+// write-through oracle would hold.
+func TestBufferPoolRandomizedAgainstStore(t *testing.T) {
+	store := NewMemStore()
+	bp := NewBufferPool(store, 3)
+	rng := rand.New(rand.NewSource(77))
+	oracle := map[PageID][]byte{}
+	var ids []PageID
+	for step := 0; step < 3000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 3 || len(ids) == 0: // allocate
+			id, data, err := bp.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng.Read(data)
+			if err := bp.MarkDirty(id); err != nil {
+				t.Fatal(err)
+			}
+			oracle[id] = append([]byte(nil), data...)
+			ids = append(ids, id)
+		case op < 8: // read and verify
+			id := ids[rng.Intn(len(ids))]
+			data, err := bp.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, oracle[id]) {
+				t.Fatalf("step %d: page %d diverged from oracle", step, id)
+			}
+		case op < 9: // overwrite
+			id := ids[rng.Intn(len(ids))]
+			data, err := bp.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng.Read(data)
+			if err := bp.MarkDirty(id); err != nil {
+				t.Fatal(err)
+			}
+			oracle[id] = append([]byte(nil), data...)
+		default: // flush
+			if err := bp.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

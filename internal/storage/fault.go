@@ -1,0 +1,97 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInjected is the base error returned by a FaultStore when a fault
+// fires.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultStore wraps a Store and fails operations on demand.  It exists
+// for failure-injection tests: the index must surface storage errors
+// instead of corrupting state or panicking.
+type FaultStore struct {
+	Inner Store
+
+	// FailAfter, when positive, counts down on every operation; the
+	// operation that reaches zero (and every later one until the
+	// counter is reset) fails.
+	FailAfter int
+
+	// FailReads / FailWrites restrict which operations can fail.
+	FailReads  bool
+	FailWrites bool
+
+	ops int
+}
+
+// NewFaultStore wraps inner with both read and write faults armed but
+// no countdown set (FailAfter zero disables faulting).
+func NewFaultStore(inner Store) *FaultStore {
+	return &FaultStore{Inner: inner, FailReads: true, FailWrites: true}
+}
+
+// Arm sets the countdown: the n-th matching operation from now fails.
+func (s *FaultStore) Arm(n int) { s.FailAfter = n; s.ops = 0 }
+
+// Disarm turns faulting off.
+func (s *FaultStore) Disarm() { s.FailAfter = 0 }
+
+func (s *FaultStore) maybeFail(kind string) error {
+	if s.FailAfter <= 0 {
+		return nil
+	}
+	s.ops++
+	if s.ops >= s.FailAfter {
+		return fmt.Errorf("%w: %s #%d", ErrInjected, kind, s.ops)
+	}
+	return nil
+}
+
+// ReadPage implements Store.
+func (s *FaultStore) ReadPage(id PageID, buf []byte) error {
+	if s.FailReads {
+		if err := s.maybeFail("read"); err != nil {
+			return err
+		}
+	}
+	return s.Inner.ReadPage(id, buf)
+}
+
+// WritePage implements Store.
+func (s *FaultStore) WritePage(id PageID, buf []byte) error {
+	if s.FailWrites {
+		if err := s.maybeFail("write"); err != nil {
+			return err
+		}
+	}
+	return s.Inner.WritePage(id, buf)
+}
+
+// Allocate implements Store.
+func (s *FaultStore) Allocate() (PageID, error) {
+	if s.FailWrites {
+		if err := s.maybeFail("allocate"); err != nil {
+			return InvalidPage, err
+		}
+	}
+	return s.Inner.Allocate()
+}
+
+// Free implements Store.
+func (s *FaultStore) Free(id PageID) error {
+	if s.FailWrites {
+		if err := s.maybeFail("free"); err != nil {
+			return err
+		}
+	}
+	return s.Inner.Free(id)
+}
+
+// Len implements Store.
+func (s *FaultStore) Len() int { return s.Inner.Len() }
+
+// Close implements Store.
+func (s *FaultStore) Close() error { return s.Inner.Close() }

@@ -1,0 +1,91 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultStorePassthrough(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	id, err := fs.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	buf[0] = 7
+	if err := fs.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := fs.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Fatal("passthrough lost data")
+	}
+	if fs.Len() != 1 {
+		t.Fatalf("Len = %d", fs.Len())
+	}
+}
+
+func TestFaultStoreCountdown(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	id, _ := fs.Allocate()
+	buf := make([]byte, PageSize)
+	fs.Arm(3)
+	if err := fs.ReadPage(id, buf); err != nil { // op 1
+		t.Fatalf("op 1 failed early: %v", err)
+	}
+	if err := fs.WritePage(id, buf); err != nil { // op 2
+		t.Fatalf("op 2 failed early: %v", err)
+	}
+	if err := fs.ReadPage(id, buf); !errors.Is(err, ErrInjected) { // op 3
+		t.Fatalf("op 3 = %v, want injected", err)
+	}
+	// Stays failed until disarmed.
+	if err := fs.ReadPage(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 4 = %v, want injected", err)
+	}
+	fs.Disarm()
+	if err := fs.ReadPage(id, buf); err != nil {
+		t.Fatalf("after disarm: %v", err)
+	}
+}
+
+func TestFaultStoreSelectiveKinds(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	fs.FailReads = false
+	id, _ := fs.Allocate()
+	buf := make([]byte, PageSize)
+	fs.Arm(1)
+	if err := fs.ReadPage(id, buf); err != nil {
+		t.Fatalf("read should not fail: %v", err)
+	}
+	if err := fs.WritePage(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write = %v, want injected", err)
+	}
+	fs.Disarm()
+
+	fs2 := NewFaultStore(NewMemStore())
+	fs2.FailWrites = false
+	id2, _ := fs2.Allocate()
+	fs2.Arm(1)
+	if err := fs2.WritePage(id2, buf); err != nil {
+		t.Fatalf("write should not fail: %v", err)
+	}
+	if err := fs2.ReadPage(id2, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read = %v, want injected", err)
+	}
+}
+
+func TestFaultStoreFreeAndAllocateFail(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	id, _ := fs.Allocate()
+	fs.Arm(1)
+	if err := fs.Free(id); !errors.Is(err, ErrInjected) {
+		t.Fatalf("free = %v, want injected", err)
+	}
+	if _, err := fs.Allocate(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("allocate = %v, want injected", err)
+	}
+}

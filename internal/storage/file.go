@@ -1,0 +1,167 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// FileStore is a Store backed by a single file.  Page 0 of the file is
+// a superblock holding the page count and the head of the free-page
+// chain; user pages start at file page 1.  Free pages are chained
+// through their first four bytes.  The superblock is rewritten on
+// Close, so a cleanly closed file can be reopened with OpenFileStore.
+type FileStore struct {
+	f        *os.File
+	numPages int // user pages ever allocated (including freed)
+	freeHead PageID
+	freedSet map[PageID]bool
+	live     int
+}
+
+const fileMagic = 0x52455850 // "REXP"
+
+// CreateFileStore creates (truncating) a file-backed store at path.
+func CreateFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &FileStore{f: f, freeHead: InvalidPage, freedSet: map[PageID]bool{}}
+	if err := s.writeSuper(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenFileStore opens a store previously written by CreateFileStore
+// and cleanly closed.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	var sb [PageSize]byte
+	if _, err := f.ReadAt(sb[:], 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(sb[0:]) != fileMagic {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s is not a rexptree page file", path)
+	}
+	s := &FileStore{
+		f:        f,
+		numPages: int(binary.LittleEndian.Uint32(sb[4:])),
+		freeHead: PageID(binary.LittleEndian.Uint32(sb[8:])),
+		freedSet: map[PageID]bool{},
+	}
+	// Rebuild the freed set by walking the chain.
+	var buf [PageSize]byte
+	for id := s.freeHead; id != InvalidPage; {
+		s.freedSet[id] = true
+		if err := s.readRaw(id, buf[:]); err != nil {
+			f.Close()
+			return nil, err
+		}
+		id = PageID(binary.LittleEndian.Uint32(buf[:]))
+	}
+	s.live = s.numPages - len(s.freedSet)
+	return s, nil
+}
+
+func (s *FileStore) writeSuper() error {
+	var sb [PageSize]byte
+	binary.LittleEndian.PutUint32(sb[0:], fileMagic)
+	binary.LittleEndian.PutUint32(sb[4:], uint32(s.numPages))
+	binary.LittleEndian.PutUint32(sb[8:], uint32(s.freeHead))
+	_, err := s.f.WriteAt(sb[:], 0)
+	return err
+}
+
+func (s *FileStore) offset(id PageID) int64 { return (int64(id) + 1) * PageSize }
+
+func (s *FileStore) readRaw(id PageID, buf []byte) error {
+	_, err := s.f.ReadAt(buf[:PageSize], s.offset(id))
+	return err
+}
+
+func (s *FileStore) check(id PageID) error {
+	if int(id) >= s.numPages {
+		return fmt.Errorf("%w: %d", ErrPageRange, id)
+	}
+	if s.freedSet[id] {
+		return fmt.Errorf("%w: %d", ErrPageFreed, id)
+	}
+	return nil
+}
+
+// ReadPage implements Store.
+func (s *FileStore) ReadPage(id PageID, buf []byte) error {
+	if err := s.check(id); err != nil {
+		return err
+	}
+	return s.readRaw(id, buf)
+}
+
+// WritePage implements Store.
+func (s *FileStore) WritePage(id PageID, buf []byte) error {
+	if err := s.check(id); err != nil {
+		return err
+	}
+	_, err := s.f.WriteAt(buf[:PageSize], s.offset(id))
+	return err
+}
+
+// Allocate implements Store.
+func (s *FileStore) Allocate() (PageID, error) {
+	var zero [PageSize]byte
+	s.live++
+	if s.freeHead != InvalidPage {
+		id := s.freeHead
+		var buf [PageSize]byte
+		if err := s.readRaw(id, buf[:]); err != nil {
+			return InvalidPage, err
+		}
+		s.freeHead = PageID(binary.LittleEndian.Uint32(buf[:]))
+		delete(s.freedSet, id)
+		return id, s.WritePage(id, zero[:])
+	}
+	id := PageID(s.numPages)
+	s.numPages++
+	if _, err := s.f.WriteAt(zero[:], s.offset(id)); err != nil {
+		s.numPages--
+		s.live--
+		return InvalidPage, err
+	}
+	return id, nil
+}
+
+// Free implements Store.
+func (s *FileStore) Free(id PageID) error {
+	if err := s.check(id); err != nil {
+		return err
+	}
+	var buf [PageSize]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(s.freeHead))
+	if _, err := s.f.WriteAt(buf[:], s.offset(id)); err != nil {
+		return err
+	}
+	s.freeHead = id
+	s.freedSet[id] = true
+	s.live--
+	return nil
+}
+
+// Len implements Store.
+func (s *FileStore) Len() int { return s.live }
+
+// Close writes the superblock and closes the file.
+func (s *FileStore) Close() error {
+	if err := s.writeSuper(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}

@@ -1,0 +1,223 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// storeSuite exercises any Store implementation.
+func storeSuite(t *testing.T, s Store) {
+	t.Helper()
+	if s.Len() != 0 {
+		t.Fatalf("fresh store Len = %d", s.Len())
+	}
+	a, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("duplicate page ids")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+
+	buf := make([]byte, PageSize)
+	if err := s.ReadPage(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, make([]byte, PageSize)) {
+		t.Fatal("fresh page not zeroed")
+	}
+
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if err := s.WritePage(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := s.ReadPage(a, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Fatal("read-your-writes violated")
+	}
+	// Page b untouched.
+	if err := s.ReadPage(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, PageSize)) {
+		t.Fatal("write leaked into neighbor page")
+	}
+
+	// Free and reuse.
+	if err := s.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len after free = %d", s.Len())
+	}
+	if err := s.ReadPage(a, got); !errors.Is(err, ErrPageFreed) {
+		t.Fatalf("read freed page: err = %v", err)
+	}
+	if err := s.WritePage(a, buf); !errors.Is(err, ErrPageFreed) {
+		t.Fatalf("write freed page: err = %v", err)
+	}
+	if err := s.Free(a); !errors.Is(err, ErrPageFreed) {
+		t.Fatalf("double free: err = %v", err)
+	}
+	c, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatalf("free list not reused: got %d, want %d", c, a)
+	}
+	if err := s.ReadPage(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, PageSize)) {
+		t.Fatal("recycled page not zeroed")
+	}
+
+	if err := s.ReadPage(PageID(9999), got); !errors.Is(err, ErrPageRange) {
+		t.Fatalf("out-of-range read: err = %v", err)
+	}
+}
+
+func TestMemStore(t *testing.T) { storeSuite(t, NewMemStore()) }
+
+func TestFileStore(t *testing.T) {
+	s, err := CreateFileStore(filepath.Join(t.TempDir(), "pages.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	storeSuite(t, s)
+}
+
+func TestFileStoreReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	s, err := CreateFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		id, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, PageSize)
+		buf[0] = byte(100 + i)
+		if err := s.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := s.Free(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 4 {
+		t.Fatalf("reopened Len = %d, want 4", r.Len())
+	}
+	buf := make([]byte, PageSize)
+	for i, id := range ids {
+		if i == 2 {
+			if err := r.ReadPage(id, buf); !errors.Is(err, ErrPageFreed) {
+				t.Fatalf("freed page readable after reopen: %v", err)
+			}
+			continue
+		}
+		if err := r.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(100+i) {
+			t.Fatalf("page %d content lost: %d", id, buf[0])
+		}
+	}
+	// Freed page is recycled first.
+	id, err := r.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != ids[2] {
+		t.Fatalf("recycled id = %d, want %d", id, ids[2])
+	}
+}
+
+func TestOpenFileStoreRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.db")
+	s, err := CreateFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Corrupt the magic.
+	f, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := OpenFileStore(filepath.Join(t.TempDir(), "missing.db")); err == nil {
+		t.Fatal("opened a missing file")
+	}
+}
+
+func TestStoreRandomizedAllocFree(t *testing.T) {
+	s := NewMemStore()
+	rng := rand.New(rand.NewSource(9))
+	alive := map[PageID][]byte{}
+	for step := 0; step < 2000; step++ {
+		if len(alive) == 0 || rng.Intn(3) > 0 {
+			id, err := s.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, dup := alive[id]; dup {
+				t.Fatalf("allocator handed out live page %d", id)
+			}
+			buf := make([]byte, PageSize)
+			rng.Read(buf)
+			if err := s.WritePage(id, buf); err != nil {
+				t.Fatal(err)
+			}
+			alive[id] = buf
+		} else {
+			for id, want := range alive {
+				got := make([]byte, PageSize)
+				if err := s.ReadPage(id, got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("page %d corrupted", id)
+				}
+				if err := s.Free(id); err != nil {
+					t.Fatal(err)
+				}
+				delete(alive, id)
+				break
+			}
+		}
+		if s.Len() != len(alive) {
+			t.Fatalf("Len = %d, want %d", s.Len(), len(alive))
+		}
+	}
+}

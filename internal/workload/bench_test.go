@@ -1,0 +1,31 @@
+package workload
+
+import "testing"
+
+func BenchmarkGeneratorNetwork(b *testing.B) {
+	g, err := NewGenerator(Params{Seed: 1, Objects: 2000, Insertions: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Next(); !ok {
+			b.Fatal("generator exhausted")
+		}
+	}
+}
+
+func BenchmarkGeneratorUniform(b *testing.B) {
+	g, err := NewGenerator(Params{Seed: 1, Objects: 2000, Insertions: 1 << 30, Uniform: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Next(); !ok {
+			b.Fatal("generator exhausted")
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rexptree/internal/geom"
+)
+
+// The text workload format, one operation per line (written by
+// cmd/rexpgen and replayable by cmd/rexpstat):
+//
+//	I <time> <oid> <x> <y> <vx> <vy> <texp>   insert; position at <time>
+//	D <time> <oid>                            delete the previous report
+//	Q <time> timeslice|window <t1> <t2> <x1> <y1> <x2> <y2>
+//	Q <time> moving <t1> <t2> <x1> <y1> <x2> <y2> <x1'> <y1'> <x2'> <y2'>
+//
+// Lines starting with '#' are comments.  Expiration "inf" marks a
+// never-expiring report.
+
+// WriteOp writes one operation in the text format.
+func WriteOp(w io.Writer, op Op) error {
+	switch op.Kind {
+	case OpInsert:
+		at := op.Point.At(op.Time)
+		texp := "inf"
+		if geom.IsFinite(op.Point.TExp) {
+			texp = strconv.FormatFloat(op.Point.TExp, 'f', 4, 64)
+		}
+		_, err := fmt.Fprintf(w, "I %.4f %d %.4f %.4f %.5f %.5f %s\n",
+			op.Time, op.OID, at[0], at[1], op.Point.Vel[0], op.Point.Vel[1], texp)
+		return err
+	case OpDelete:
+		_, err := fmt.Fprintf(w, "D %.4f %d\n", op.Time, op.OID)
+		return err
+	case OpQuery:
+		q := op.Query
+		r1, r2 := q.Region.At(q.T1), q.Region.At(q.T2)
+		kind := KindOfQuery(q)
+		if _, err := fmt.Fprintf(w, "Q %.4f %s %.4f %.4f %.4f %.4f %.4f %.4f",
+			op.Time, kind, q.T1, q.T2, r1.Lo[0], r1.Lo[1], r1.Hi[0], r1.Hi[1]); err != nil {
+			return err
+		}
+		if kind == "moving" {
+			if _, err := fmt.Fprintf(w, " %.4f %.4f %.4f %.4f",
+				r2.Lo[0], r2.Lo[1], r2.Hi[0], r2.Hi[1]); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	return fmt.Errorf("workload: unknown op kind %d", op.Kind)
+}
+
+// KindOfQuery names the query type for the text format.
+func KindOfQuery(q geom.Query) string {
+	switch {
+	case q.T1 == q.T2:
+		return "timeslice"
+	case q.Region.VLo == (geom.Vec{}) && q.Region.VHi == (geom.Vec{}):
+		return "window"
+	default:
+		return "moving"
+	}
+}
+
+// Scanner reads a text-format workload.  Because delete lines carry
+// only the object id, the scanner tracks the last inserted report per
+// object and fills Op.Point on deletes, so the stream replays exactly.
+type Scanner struct {
+	sc      *bufio.Scanner
+	line    int
+	records map[uint32]geom.MovingPoint
+	op      Op
+	err     error
+}
+
+// NewScanner wraps r.
+func NewScanner(r io.Reader) *Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &Scanner{sc: sc, records: make(map[uint32]geom.MovingPoint)}
+}
+
+// Scan advances to the next operation, returning false at the end of
+// the stream or on error (see Err).
+func (s *Scanner) Scan() bool {
+	if s.err != nil {
+		return false
+	}
+	for s.sc.Scan() {
+		s.line++
+		text := strings.TrimSpace(s.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		op, err := s.parse(text)
+		if err != nil {
+			s.err = fmt.Errorf("workload: line %d: %w", s.line, err)
+			return false
+		}
+		s.op = op
+		return true
+	}
+	s.err = s.sc.Err()
+	return false
+}
+
+// Op returns the operation read by the last successful Scan.
+func (s *Scanner) Op() Op { return s.op }
+
+// Err returns the first error encountered.
+func (s *Scanner) Err() error { return s.err }
+
+func (s *Scanner) parse(text string) (Op, error) {
+	f := strings.Fields(text)
+	fl := func(i int) (float64, error) {
+		if f[i] == "inf" {
+			return geom.Inf(), nil
+		}
+		return strconv.ParseFloat(f[i], 64)
+	}
+	switch f[0] {
+	case "I":
+		if len(f) != 8 {
+			return Op{}, fmt.Errorf("insert needs 8 fields, got %d", len(f))
+		}
+		var vals [7]float64
+		for i := range vals {
+			v, err := fl(i + 1)
+			if err != nil {
+				return Op{}, err
+			}
+			vals[i] = v
+		}
+		oid := uint32(vals[1])
+		p := geom.MovingPoint{
+			Vel:  geom.Vec{vals[4], vals[5]},
+			TExp: vals[6],
+		}
+		// Back-extrapolate to the epoch representation.
+		p.Pos = geom.Vec{vals[2], vals[3]}.Sub(p.Vel.Scale(vals[0]))
+		s.records[oid] = p
+		return Op{Kind: OpInsert, Time: vals[0], OID: oid, Point: p}, nil
+	case "D":
+		if len(f) != 3 {
+			return Op{}, fmt.Errorf("delete needs 3 fields, got %d", len(f))
+		}
+		t, err := fl(1)
+		if err != nil {
+			return Op{}, err
+		}
+		oid64, err := strconv.ParseUint(f[2], 10, 32)
+		if err != nil {
+			return Op{}, err
+		}
+		oid := uint32(oid64)
+		p, ok := s.records[oid]
+		if !ok {
+			return Op{}, fmt.Errorf("delete of object %d with no prior insert", oid)
+		}
+		return Op{Kind: OpDelete, Time: t, OID: oid, Point: p}, nil
+	case "Q":
+		if len(f) < 9 {
+			return Op{}, fmt.Errorf("query needs at least 9 fields, got %d", len(f))
+		}
+		kind := f[2]
+		vals := make([]float64, len(f)-3)
+		for i := range vals {
+			v, err := fl(i + 3)
+			if err != nil {
+				return Op{}, err
+			}
+			vals[i] = v
+		}
+		t, err := fl(1)
+		if err != nil {
+			return Op{}, err
+		}
+		r1 := geom.Rect{Lo: geom.Vec{vals[2], vals[3]}, Hi: geom.Vec{vals[4], vals[5]}}
+		var q geom.Query
+		switch kind {
+		case "timeslice":
+			q = geom.Timeslice(r1, vals[0])
+		case "window":
+			q = geom.Window(r1, vals[0], vals[1])
+		case "moving":
+			if len(vals) != 10 {
+				return Op{}, fmt.Errorf("moving query needs 10 values, got %d", len(vals))
+			}
+			r2 := geom.Rect{Lo: geom.Vec{vals[6], vals[7]}, Hi: geom.Vec{vals[8], vals[9]}}
+			q = geom.Moving(r1, r2, vals[0], vals[1], 2)
+		default:
+			return Op{}, fmt.Errorf("unknown query kind %q", kind)
+		}
+		return Op{Kind: OpQuery, Time: t, Query: q}, nil
+	}
+	return Op{}, fmt.Errorf("unknown op %q", f[0])
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"rexptree/internal/geom"
+)
+
+func TestFormatRoundTrip(t *testing.T) {
+	p := smallParams()
+	p.Insertions = 2000
+	orig := collect(t, p)
+
+	var buf bytes.Buffer
+	for _, op := range orig {
+		if err := WriteOp(&buf, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sc := NewScanner(&buf)
+	var got []Op
+	for sc.Scan() {
+		got = append(got, sc.Op())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip: %d ops, want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		a, b := orig[i], got[i]
+		if a.Kind != b.Kind || a.OID != b.OID {
+			t.Fatalf("op %d: kind/oid mismatch: %+v vs %+v", i, a, b)
+		}
+		if math.Abs(a.Time-b.Time) > 1e-3 {
+			t.Fatalf("op %d: time %v vs %v", i, a.Time, b.Time)
+		}
+		switch a.Kind {
+		case OpInsert, OpDelete:
+			// Positions survive up to the 1e-4 print precision
+			// (evaluated at op time, where they are well conditioned).
+			pa, pb := a.Point.At(a.Time), b.Point.At(b.Time)
+			for d := 0; d < 2; d++ {
+				if math.Abs(pa[d]-pb[d]) > 1e-2 {
+					t.Fatalf("op %d: position %v vs %v", i, pa, pb)
+				}
+				if math.Abs(a.Point.Vel[d]-b.Point.Vel[d]) > 1e-4 {
+					t.Fatalf("op %d: velocity mismatch", i)
+				}
+			}
+			if geom.IsFinite(a.Point.TExp) != geom.IsFinite(b.Point.TExp) {
+				t.Fatalf("op %d: expiry finiteness mismatch", i)
+			}
+			if geom.IsFinite(a.Point.TExp) && math.Abs(a.Point.TExp-b.Point.TExp) > 1e-3 {
+				t.Fatalf("op %d: expiry %v vs %v", i, a.Point.TExp, b.Point.TExp)
+			}
+		case OpQuery:
+			if KindOfQuery(a.Query) != KindOfQuery(b.Query) {
+				t.Fatalf("op %d: query kind mismatch", i)
+			}
+			if math.Abs(a.Query.T1-b.Query.T1) > 1e-3 || math.Abs(a.Query.T2-b.Query.T2) > 1e-3 {
+				t.Fatalf("op %d: query window mismatch", i)
+			}
+		}
+	}
+}
+
+func TestFormatInfExpiry(t *testing.T) {
+	op := Op{Kind: OpInsert, Time: 1, OID: 9,
+		Point: geom.MovingPoint{Pos: geom.Vec{5, 6}, TExp: geom.Inf()}}
+	var buf bytes.Buffer
+	if err := WriteOp(&buf, op); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "inf") {
+		t.Fatalf("inf expiry not encoded: %q", buf.String())
+	}
+	sc := NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal(sc.Err())
+	}
+	if geom.IsFinite(sc.Op().Point.TExp) {
+		t.Fatal("inf expiry not decoded")
+	}
+}
+
+func TestScannerRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"X 1 2",
+		"I 1 2 3", // too few fields
+		"D 1 99",  // delete without insert
+		"Q 1 bogus 1 2 3 4 5 6",
+		"Q 1 moving 1 2 3 4 5 6", // too few values for moving
+		"I 1 2 3 4 5 6 notanumber",
+	}
+	for _, c := range cases {
+		sc := NewScanner(strings.NewReader(c + "\n"))
+		if sc.Scan() {
+			t.Errorf("accepted garbage %q", c)
+		}
+		if sc.Err() == nil {
+			t.Errorf("no error for %q", c)
+		}
+	}
+}
+
+func TestScannerSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nI 1.0 5 10 20 0.5 -0.5 30\n# trailing\n"
+	sc := NewScanner(strings.NewReader(in))
+	if !sc.Scan() {
+		t.Fatal(sc.Err())
+	}
+	if sc.Op().OID != 5 {
+		t.Fatalf("op = %+v", sc.Op())
+	}
+	if sc.Scan() {
+		t.Fatal("extra op")
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+}

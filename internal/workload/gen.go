@@ -1,0 +1,280 @@
+package workload
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+
+	"rexptree/internal/geom"
+)
+
+// speedFloor guards speed-dependent expiration times against the
+// near-zero speeds at the start of a route: ExpD/v is computed with at
+// least this speed (half the maximum of the slowest speed group).
+const speedFloor = 0.375
+
+// event is a scheduled object report.
+type event struct {
+	t   float64
+	oid uint32
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int      { return len(h) }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].oid < h[j].oid
+}
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// mover is the motion model of one simulated object.
+type mover interface {
+	// reportAt returns the object's true position and velocity at time
+	// tt, advancing internal state (e.g. chaining to a new route).
+	reportAt(g *Generator, tt float64) (pos, vel geom.Vec)
+	// nextEvent returns the time of the object's next report after tt.
+	nextEvent(g *Generator, tt float64) float64
+}
+
+// Generator produces a deterministic workload stream.
+type Generator struct {
+	p   Params
+	rng *rand.Rand
+	net *network
+
+	now     float64
+	events  eventHeap
+	movers  map[uint32]mover
+	records map[uint32]geom.MovingPoint
+	liveIDs []uint32
+	livePos map[uint32]int
+
+	nextOID      uint32
+	inserted     int
+	sinceQuery   int
+	replaceEvery int
+	sinceReplace int
+	queue        []Op
+}
+
+// NewGenerator builds a generator for the given parameters.
+func NewGenerator(p Params) (*Generator, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		p:       p,
+		rng:     rand.New(rand.NewSource(p.Seed)),
+		movers:  make(map[uint32]mover),
+		records: make(map[uint32]geom.MovingPoint),
+		livePos: make(map[uint32]int),
+	}
+	if !p.Uniform {
+		g.net = newNetwork(g.rng)
+	}
+	n := g.targetObjects()
+	if r := int(math.Round(p.NewOb * float64(n))); r > 0 {
+		g.replaceEvery = p.Insertions / r
+		if g.replaceEvery < 1 {
+			g.replaceEvery = 1
+		}
+	}
+	// The population enters gradually over the first update interval.
+	for i := 0; i < n; i++ {
+		g.spawn(g.rng.Float64() * p.UI)
+	}
+	return g, nil
+}
+
+// targetObjects adjusts the simulated-object count so that the average
+// number of live entries is about Params.Objects: when expiration
+// periods are shorter than update intervals, entries die early, so
+// more objects must participate (§5.1, using the same U(0, 2·UI)
+// update-interval approximation as the paper).
+func (g *Generator) targetObjects() int {
+	p := g.p
+	expT := math.Inf(1)
+	switch {
+	case p.NoExpiry:
+	case p.ExpD > 0:
+		meanSpeed := 1.75 // network speed groups 0.75/1.5/3
+		if p.Uniform {
+			meanSpeed = 1.5 // speeds uniform in (0, 3)
+		}
+		expT = p.ExpD / meanSpeed
+	default:
+		expT = p.ExpT
+	}
+	if expT >= 2*p.UI {
+		return p.Objects
+	}
+	// E[min(X, expT)] with X ~ U(0, 2·UI).
+	liveTime := expT - expT*expT/(4*p.UI)
+	factor := p.UI / liveTime
+	if factor > 5 {
+		factor = 5
+	}
+	return int(float64(p.Objects) * factor)
+}
+
+// Params returns the effective (defaulted) parameters.
+func (g *Generator) Params() Params { return g.p }
+
+// spawn introduces a new object whose first report happens at time t.
+func (g *Generator) spawn(t float64) {
+	oid := g.nextOID
+	g.nextOID++
+	if g.p.Uniform {
+		g.movers[oid] = newUniformObject(g)
+	} else {
+		g.movers[oid] = newNetObject(g, t)
+	}
+	g.livePos[oid] = len(g.liveIDs)
+	g.liveIDs = append(g.liveIDs, oid)
+	heap.Push(&g.events, event{t: t, oid: oid})
+}
+
+// turnOff silences the object: it will never report again, and its
+// index entry is left to expire (or to linger, in an index without
+// expiration support).
+func (g *Generator) turnOff(oid uint32) {
+	pos, ok := g.livePos[oid]
+	if !ok {
+		return
+	}
+	last := len(g.liveIDs) - 1
+	moved := g.liveIDs[last]
+	g.liveIDs[pos] = moved
+	g.livePos[moved] = pos
+	g.liveIDs = g.liveIDs[:last]
+	delete(g.livePos, oid)
+	delete(g.movers, oid)
+}
+
+// expiry computes the report's expiration time under the configured
+// policy.
+func (g *Generator) expiry(now, speed float64) float64 {
+	switch {
+	case g.p.NoExpiry:
+		return geom.Inf()
+	case g.p.ExpD > 0:
+		return now + g.p.ExpD/math.Max(speed, speedFloor)
+	default:
+		return now + g.p.ExpT
+	}
+}
+
+// Next returns the next operation of the stream, or ok == false when
+// the workload is complete.
+func (g *Generator) Next() (Op, bool) {
+	for len(g.queue) == 0 {
+		if g.inserted >= g.p.Insertions || len(g.events) == 0 {
+			return Op{}, false
+		}
+		g.step()
+	}
+	op := g.queue[0]
+	g.queue = g.queue[1:]
+	return op, true
+}
+
+// step processes the next scheduled object report, enqueueing the
+// delete+insert pair and any due query or replacement.
+func (g *Generator) step() {
+	ev := heap.Pop(&g.events).(event)
+	if ev.t > g.now {
+		g.now = ev.t
+	}
+	m, live := g.movers[ev.oid]
+	if !live {
+		return // turned off after this event was scheduled
+	}
+	pos, vel := m.reportAt(g, ev.t)
+	speed := vel.Dist(geom.Vec{}, 2)
+	p := geom.MovingPoint{
+		Pos:  pos.Sub(vel.Scale(ev.t)), // epoch representation
+		Vel:  vel,
+		TExp: g.expiry(ev.t, speed),
+	}
+	if old, ok := g.records[ev.oid]; ok {
+		g.queue = append(g.queue, Op{Kind: OpDelete, Time: ev.t, OID: ev.oid, Point: old})
+	}
+	g.queue = append(g.queue, Op{Kind: OpInsert, Time: ev.t, OID: ev.oid, Point: p})
+	g.records[ev.oid] = p
+	g.inserted++
+
+	heap.Push(&g.events, event{t: m.nextEvent(g, ev.t), oid: ev.oid})
+
+	g.sinceQuery++
+	if g.sinceQuery >= g.p.QueriesPerInsertions {
+		g.sinceQuery = 0
+		g.queue = append(g.queue, g.genQuery())
+	}
+	if g.replaceEvery > 0 {
+		g.sinceReplace++
+		if g.sinceReplace >= g.replaceEvery && len(g.liveIDs) > 0 {
+			g.sinceReplace = 0
+			victim := g.liveIDs[g.rng.Intn(len(g.liveIDs))]
+			g.turnOff(victim)
+			g.spawn(g.now)
+		}
+	}
+}
+
+// genQuery draws one query: timeslice / window / moving with
+// probability 0.6 / 0.2 / 0.2, square spatial extent of QueryArea of
+// the space, temporal extent within [now, now+W] (§5.1).
+func (g *Generator) genQuery() Op {
+	side := (Space.Hi[0] - Space.Lo[0]) * math.Sqrt(g.p.QueryArea)
+	randRect := func() geom.Rect {
+		var r geom.Rect
+		for i := 0; i < 2; i++ {
+			lo := Space.Lo[i] + g.rng.Float64()*(Space.Hi[i]-Space.Lo[i]-side)
+			r.Lo[i], r.Hi[i] = lo, lo+side
+		}
+		return r
+	}
+	ta := g.now + g.rng.Float64()*g.p.QueryW
+	tb := g.now + g.rng.Float64()*g.p.QueryW
+	t1, t2 := math.Min(ta, tb), math.Max(ta, tb)
+	if t2 == t1 {
+		t2 += 1e-6
+	}
+	var q geom.Query
+	switch u := g.rng.Float64(); {
+	case u < 0.6:
+		q = geom.Timeslice(randRect(), t1)
+	case u < 0.8:
+		q = geom.Window(randRect(), t1, t2)
+	default:
+		// The moving query's center follows the trajectory of a point
+		// currently in the index.
+		centered := func(c geom.Vec) geom.Rect {
+			var r geom.Rect
+			for i := 0; i < 2; i++ {
+				r.Lo[i], r.Hi[i] = c[i]-side/2, c[i]+side/2
+			}
+			return r
+		}
+		if len(g.liveIDs) == 0 {
+			q = geom.Window(randRect(), t1, t2)
+			break
+		}
+		oid := g.liveIDs[g.rng.Intn(len(g.liveIDs))]
+		rec := g.records[oid]
+		q = geom.Moving(centered(rec.At(t1)), centered(rec.At(t2)), t1, t2, 2)
+	}
+	return Op{Kind: OpQuery, Time: g.now, Query: q}
+}

@@ -1,0 +1,344 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"rexptree/internal/geom"
+)
+
+func smallParams() Params {
+	return Params{Seed: 1, Objects: 500, Insertions: 6000, UI: 60}
+}
+
+func collect(t *testing.T, p Params) []Op {
+	t.Helper()
+	g, err := NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []Op
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+func TestDeterminism(t *testing.T) {
+	a := collect(t, smallParams())
+	b := collect(t, smallParams())
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := collect(t, Params{Seed: 2, Objects: 500, Insertions: 6000, UI: 60})
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical workloads")
+		}
+	}
+}
+
+func TestStreamWellFormed(t *testing.T) {
+	p := smallParams()
+	ops := collect(t, p)
+	inserts, deletes, queries := 0, 0, 0
+	last := map[uint32]geom.MovingPoint{}
+	prevTime := 0.0
+	for i, op := range ops {
+		if op.Time < prevTime-1e-9 {
+			t.Fatalf("op %d: time went backwards (%v after %v)", i, op.Time, prevTime)
+		}
+		prevTime = math.Max(prevTime, op.Time)
+		switch op.Kind {
+		case OpInsert:
+			inserts++
+			last[op.OID] = op.Point
+			// The reported position at op.Time must lie in the space.
+			at := op.Point.At(op.Time)
+			for d := 0; d < 2; d++ {
+				if at[d] < Space.Lo[d]-1e-6 || at[d] > Space.Hi[d]+1e-6 {
+					t.Fatalf("op %d: insert position %v outside space at t=%v", i, at, op.Time)
+				}
+			}
+			if op.Point.TExp <= op.Time {
+				t.Fatalf("op %d: expiration %v not after report time %v", i, op.Point.TExp, op.Time)
+			}
+		case OpDelete:
+			deletes++
+			old, ok := last[op.OID]
+			if !ok {
+				t.Fatalf("op %d: delete of never-inserted object %d", i, op.OID)
+			}
+			if op.Point != old {
+				t.Fatalf("op %d: delete record differs from last insert", i)
+			}
+		case OpQuery:
+			queries++
+			if op.Query.T1 < op.Time-1e-9 {
+				t.Fatalf("op %d: query in the past (T1=%v, now=%v)", i, op.Query.T1, op.Time)
+			}
+			if op.Query.T2 > op.Time+p.UI/2+1e-6 {
+				t.Fatalf("op %d: query beyond the window (T2=%v, now=%v, W=%v)", i, op.Query.T2, op.Time, p.UI/2)
+			}
+		}
+	}
+	if inserts != p.Insertions {
+		t.Errorf("inserts = %d, want %d", inserts, p.Insertions)
+	}
+	wantQ := p.Insertions / 100
+	if queries < wantQ-2 || queries > wantQ+2 {
+		t.Errorf("queries = %d, want about %d", queries, wantQ)
+	}
+	if deletes == 0 || deletes >= inserts {
+		t.Errorf("deletes = %d (inserts %d)", deletes, inserts)
+	}
+}
+
+func TestAverageUpdateInterval(t *testing.T) {
+	p := smallParams()
+	p.Insertions = 20000
+	ops := collect(t, p)
+	lastT := map[uint32]float64{}
+	var sum float64
+	var count int
+	for _, op := range ops {
+		if op.Kind != OpInsert {
+			continue
+		}
+		if prev, ok := lastT[op.OID]; ok {
+			sum += op.Time - prev
+			count++
+		}
+		lastT[op.OID] = op.Time
+	}
+	avg := sum / float64(count)
+	if avg < 0.3*p.UI || avg > 1.5*p.UI {
+		t.Errorf("average update interval %v, want near UI=%v", avg, p.UI)
+	}
+}
+
+func TestExpTPolicy(t *testing.T) {
+	p := smallParams()
+	p.ExpT = 45
+	for _, op := range collect(t, p) {
+		if op.Kind != OpInsert {
+			continue
+		}
+		if math.Abs(op.Point.TExp-(op.Time+45)) > 1e-6 {
+			t.Fatalf("ExpT: texp = %v, want %v", op.Point.TExp, op.Time+45)
+		}
+	}
+}
+
+func TestExpDPolicy(t *testing.T) {
+	p := smallParams()
+	p.ExpD = 90
+	sawFastShort := false
+	for _, op := range collect(t, p) {
+		if op.Kind != OpInsert {
+			continue
+		}
+		speed := op.Point.Vel.Dist(geom.Vec{}, 2)
+		want := op.Time + 90/math.Max(speed, speedFloor)
+		if math.Abs(op.Point.TExp-want) > 1e-6 {
+			t.Fatalf("ExpD: texp = %v, want %v (speed %v)", op.Point.TExp, want, speed)
+		}
+		if speed > 2 && op.Point.TExp-op.Time < 60 {
+			sawFastShort = true
+		}
+	}
+	if !sawFastShort {
+		t.Error("no fast object received a short expiration")
+	}
+}
+
+func TestNoExpiry(t *testing.T) {
+	p := smallParams()
+	p.NoExpiry = true
+	for _, op := range collect(t, p) {
+		if op.Kind == OpInsert && geom.IsFinite(op.Point.TExp) {
+			t.Fatalf("NoExpiry workload produced finite texp %v", op.Point.TExp)
+		}
+	}
+}
+
+func TestNewObReplacements(t *testing.T) {
+	p := smallParams()
+	p.NewOb = 1
+	g, err := NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := len(g.liveIDs)
+	oids := map[uint32]bool{}
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		if op.Kind == OpInsert {
+			oids[op.OID] = true
+		}
+	}
+	// With NewOb=1, about `initial` extra objects appear.
+	extra := len(oids) - initial
+	if extra < initial/2 {
+		t.Errorf("distinct objects %d with %d initial: too few replacements", len(oids), initial)
+	}
+	// Turned-off objects must stop reporting: their final record's
+	// expiry passes without further deletes — verified implicitly by
+	// the generator dropping their movers.
+	if len(g.movers) >= len(oids) {
+		t.Errorf("no movers were turned off: %d movers, %d oids", len(g.movers), len(oids))
+	}
+}
+
+func TestObjectInflationForShortExpiry(t *testing.T) {
+	base, err := NewGenerator(Params{Seed: 1, Objects: 1000, Insertions: 20000, UI: 60, ExpT: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := NewGenerator(Params{Seed: 1, Objects: 1000, Insertions: 20000, UI: 60, ExpT: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(short.liveIDs) <= len(base.liveIDs) {
+		t.Errorf("short expiry should inflate object count: %d vs %d",
+			len(short.liveIDs), len(base.liveIDs))
+	}
+}
+
+func TestQueryMix(t *testing.T) {
+	p := smallParams()
+	p.Insertions = 60000
+	ts, win, mov := 0, 0, 0
+	for _, op := range collect(t, p) {
+		if op.Kind != OpQuery {
+			continue
+		}
+		switch {
+		case op.Query.T1 == op.Query.T2:
+			ts++
+		case op.Query.Region.VLo == (geom.Vec{}) && op.Query.Region.VHi == (geom.Vec{}):
+			win++
+		default:
+			mov++
+		}
+	}
+	total := ts + win + mov
+	if total == 0 {
+		t.Fatal("no queries")
+	}
+	if f := float64(ts) / float64(total); f < 0.5 || f > 0.7 {
+		t.Errorf("timeslice fraction %v, want about 0.6", f)
+	}
+	if f := float64(win) / float64(total); f < 0.1 || f > 0.3 {
+		t.Errorf("window fraction %v, want about 0.2", f)
+	}
+	if f := float64(mov) / float64(total); f < 0.1 || f > 0.3 {
+		t.Errorf("moving fraction %v, want about 0.2", f)
+	}
+}
+
+func TestUniformScenario(t *testing.T) {
+	p := smallParams()
+	p.Uniform = true
+	ops := collect(t, p)
+	saw := 0
+	for _, op := range ops {
+		if op.Kind != OpInsert {
+			continue
+		}
+		saw++
+		speed := op.Point.Vel.Dist(geom.Vec{}, 2)
+		if speed > 3+1e-9 {
+			t.Fatalf("uniform speed %v exceeds 3", speed)
+		}
+	}
+	if saw != p.Insertions {
+		t.Errorf("inserts = %d", saw)
+	}
+}
+
+func TestScale(t *testing.T) {
+	p := Params{}.Scale(0.1)
+	if p.Objects != 10000 || p.Insertions != 100000 {
+		t.Errorf("scaled params: %+v", p)
+	}
+	tiny := Params{}.Scale(0.0001)
+	if tiny.Objects < 100 || tiny.Insertions < 10*tiny.Objects {
+		t.Errorf("tiny scale floors violated: %+v", tiny)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewGenerator(Params{Objects: 100, Insertions: 50}); err == nil {
+		t.Error("insertions below population accepted")
+	}
+	if _, err := NewGenerator(Params{NewOb: -1}); err == nil {
+		t.Error("negative NewOb accepted")
+	}
+}
+
+func TestNetworkProfileInverse(t *testing.T) {
+	g, err := NewGenerator(Params{Seed: 3, Objects: 100, Insertions: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := newNetObject(g, 5)
+	for _, frac := range []float64{0, 0.05, 0.2, 0.5, 0.8, 0.95, 1} {
+		s := o.length * frac
+		tau := o.timeAt(s)
+		s2, v := o.profile(tau)
+		if math.Abs(s2-s) > 1e-6*o.length {
+			t.Errorf("profile(timeAt(%v)) = %v", s, s2)
+		}
+		if v < 0 || v > o.vmax+1e-9 {
+			t.Errorf("speed %v outside [0, vmax=%v]", v, o.vmax)
+		}
+	}
+	// Speed in the cruise phase equals vmax.
+	if _, v := o.profile((o.t1 + o.t2) / 2); v != o.vmax {
+		t.Errorf("cruise speed %v != vmax %v", v, o.vmax)
+	}
+}
+
+func TestNetworkSpeedGroups(t *testing.T) {
+	p := smallParams()
+	counts := map[float64]int{}
+	for _, op := range collect(t, p) {
+		if op.Kind != OpInsert {
+			continue
+		}
+		speed := op.Point.Vel.Dist(geom.Vec{}, 2)
+		for _, vm := range speedGroups {
+			if math.Abs(speed-vm) < 1e-9 {
+				counts[vm]++
+			}
+		}
+		if speed > 3+1e-9 {
+			t.Fatalf("speed %v exceeds the fastest group", speed)
+		}
+	}
+	for _, vm := range speedGroups {
+		if counts[vm] == 0 {
+			t.Errorf("no cruise reports at group speed %v", vm)
+		}
+	}
+}

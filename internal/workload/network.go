@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"rexptree/internal/geom"
+)
+
+// The network scenario of §5.1: numDestinations destinations uniformly
+// distributed in the space, fully connected by one-way routes (20
+// destinations give the paper's 380 routes).  Objects pick a route,
+// accelerate from standstill over its first sixth, cruise over the
+// middle two thirds at their group's maximum speed, decelerate over
+// the last sixth, and then pick a new destination at random.
+const numDestinations = 20
+
+// speedGroups are the maximum speeds in km/min (45, 90 and 180 km/h).
+var speedGroups = [3]float64{0.75, 1.5, 3.0}
+
+type network struct {
+	dest [numDestinations]geom.Vec
+}
+
+func newNetwork(rng *rand.Rand) *network {
+	n := &network{}
+	for i := range n.dest {
+		for d := 0; d < 2; d++ {
+			n.dest[i][d] = Space.Lo[d] + rng.Float64()*(Space.Hi[d]-Space.Lo[d])
+		}
+	}
+	return n
+}
+
+// randomRoute picks a one-way route, optionally required to start at
+// the given origin (when from >= 0).
+func (n *network) randomRoute(rng *rand.Rand, from int) (a, b int) {
+	a = from
+	if a < 0 {
+		a = rng.Intn(numDestinations)
+	}
+	b = rng.Intn(numDestinations - 1)
+	if b >= a {
+		b++
+	}
+	return a, b
+}
+
+// netObject is an object traversing the network.
+type netObject struct {
+	vmax float64
+
+	// Current route.
+	from, to   int
+	origin     geom.Vec
+	dir        geom.Vec // unit direction
+	length     float64
+	t0         float64 // route start time
+	t1, t2, tT float64 // phase boundaries relative to t0
+
+	updates []float64 // scheduled report times within this traversal
+	uIdx    int
+}
+
+// newNetObject creates an object placed at a random position on a
+// random route, as when objects are introduced (§5.1).  t is the time
+// of its first report.
+func newNetObject(g *Generator, t float64) *netObject {
+	o := &netObject{vmax: speedGroups[g.rng.Intn(len(speedGroups))]}
+	a, b := g.net.randomRoute(g.rng, -1)
+	// Back-date the route start so the object is mid-route at t.
+	s := g.rng.Float64() * g.net.dest[a].Dist(g.net.dest[b], 2)
+	o.setRoute(g, a, b, 0)
+	tau := o.timeAt(s)
+	o.setRoute(g, a, b, t-tau)
+	return o
+}
+
+// setRoute installs the route a->b starting at time t0 and schedules
+// its reports.
+func (o *netObject) setRoute(g *Generator, a, b int, t0 float64) {
+	o.from, o.to = a, b
+	o.origin = g.net.dest[a]
+	d := g.net.dest[b].Sub(g.net.dest[a])
+	o.length = d.Dist(geom.Vec{}, 2)
+	o.dir = d.Scale(1 / o.length)
+	o.t0 = t0
+	o.t1 = o.length / (3 * o.vmax)
+	o.t2 = o.t1 + 2*o.length/(3*o.vmax)
+	o.tT = o.t2 + o.length/(3*o.vmax)
+	o.scheduleUpdates(g)
+}
+
+// scheduleUpdates places the traversal's reports inside the
+// acceleration and deceleration stretches, their count chosen so that
+// the average interval between reports approximates UI (§5.1).
+func (o *netObject) scheduleUpdates(g *Generator) {
+	k := int(math.Round(o.tT / g.p.UI))
+	if k < 2 {
+		k = 2
+	}
+	na := (k + 1) / 2
+	nd := k - na
+	o.updates = o.updates[:0]
+	for i := 1; i <= na; i++ {
+		o.updates = append(o.updates, o.t0+o.t1*float64(i)/float64(na))
+	}
+	for i := 1; i <= nd; i++ {
+		o.updates = append(o.updates, o.t0+o.t2+(o.tT-o.t2)*float64(i)/float64(nd+1))
+	}
+	o.uIdx = 0
+}
+
+// profile returns distance traveled and speed at time tau into the
+// route (uniform acceleration / cruise / uniform deceleration).
+func (o *netObject) profile(tau float64) (s, v float64) {
+	a := o.vmax / o.t1
+	switch {
+	case tau <= 0:
+		return 0, 0
+	case tau <= o.t1:
+		return a * tau * tau / 2, a * tau
+	case tau <= o.t2:
+		return o.length/6 + o.vmax*(tau-o.t1), o.vmax
+	case tau < o.tT:
+		dt := tau - o.t2
+		return 5*o.length/6 + o.vmax*dt - a*dt*dt/2, o.vmax - a*dt
+	default:
+		return o.length, 0
+	}
+}
+
+// timeAt inverts the profile: the time into the route at which the
+// object has traveled distance s.
+func (o *netObject) timeAt(s float64) float64 {
+	a := o.vmax / o.t1
+	switch {
+	case s <= 0:
+		return 0
+	case s <= o.length/6:
+		return math.Sqrt(2 * s / a)
+	case s <= 5*o.length/6:
+		return o.t1 + (s-o.length/6)/o.vmax
+	case s < o.length:
+		disc := o.vmax*o.vmax - 2*a*(s-5*o.length/6)
+		if disc < 0 {
+			disc = 0
+		}
+		return o.t2 + (o.vmax-math.Sqrt(disc))/a
+	default:
+		return o.tT
+	}
+}
+
+// reportAt implements mover.
+func (o *netObject) reportAt(g *Generator, tt float64) (pos, vel geom.Vec) {
+	// Chain onto new routes until tt falls inside the current one.
+	for tt >= o.t0+o.tT-1e-9 {
+		arrive := o.t0 + o.tT
+		_, b := g.net.randomRoute(g.rng, o.to)
+		o.setRoute(g, o.to, b, arrive)
+	}
+	s, v := o.profile(tt - o.t0)
+	return o.origin.Add(o.dir.Scale(s)), o.dir.Scale(v)
+}
+
+// nextEvent implements mover.
+func (o *netObject) nextEvent(g *Generator, tt float64) float64 {
+	for o.uIdx < len(o.updates) {
+		u := o.updates[o.uIdx]
+		o.uIdx++
+		if u > tt+1e-9 {
+			return u
+		}
+	}
+	// No report left in this traversal: report at arrival, where the
+	// new route is assigned.
+	if arrive := o.t0 + o.tT; arrive > tt+1e-9 {
+		return arrive
+	}
+	return tt + 1e-6
+}

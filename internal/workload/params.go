@@ -1,0 +1,152 @@
+// Package workload generates the index workloads of the paper's
+// performance experiments (§5.1): streams of insertions, deletions and
+// queries that simulate objects moving in a network of routes between
+// destinations — or uniformly at random — reporting their positions
+// with expiration times, interleaved with timeslice, window and moving
+// queries.
+package workload
+
+import (
+	"fmt"
+
+	"rexptree/internal/geom"
+)
+
+// Space is the extent of the simulated space: 1000 x 1000 kilometers.
+var Space = geom.Rect{Lo: geom.Vec{0, 0}, Hi: geom.Vec{1000, 1000}}
+
+// Params configures a workload.  Zero values select the paper's
+// defaults (bold in Table 1).
+type Params struct {
+	// Seed makes the workload deterministic; replaying with the same
+	// parameters yields the identical operation stream.
+	Seed int64
+
+	// Objects is the target average number of live index entries
+	// (paper: 100,000).  The generator increases the number of
+	// simulated objects when expiration removes entries early, exactly
+	// as §5.1 describes.
+	Objects int
+
+	// Insertions is the total number of insert operations in the
+	// workload (paper: 1,000,000).
+	Insertions int
+
+	// UI is the average update interval length (Table 1: 30/60/90/120,
+	// default 60).
+	UI float64
+
+	// ExpT, when positive, assigns each report the expiration time
+	// t_upd + ExpT (Table 1: 30..240, default 2·UI).
+	ExpT float64
+
+	// ExpD, when positive, assigns speed-dependent expiration times
+	// t_upd + ExpD/v (Table 1: 45..360).  ExpD takes precedence over
+	// ExpT when both are set.
+	ExpD float64
+
+	// NoExpiry makes all reports never expire (used to stress the
+	// baseline; by default ExpT = 2·UI applies).
+	NoExpiry bool
+
+	// NewOb is the fraction of the initial objects that are "turned
+	// off" and replaced by new objects during the workload (Table 1:
+	// 0..2, default 0).  Turned-off objects never report again and are
+	// never explicitly deleted.
+	NewOb float64
+
+	// Uniform selects the uniform scenario instead of the network
+	// scenario.
+	Uniform bool
+
+	// W is the querying window length; queries look at most W time
+	// units past the current time (default UI/2).
+	QueryW float64
+
+	// QueriesPerInsertions controls query frequency: one query per
+	// this many insertions (paper: 100).
+	QueriesPerInsertions int
+
+	// QueryArea is the fraction of the space a query square occupies
+	// (paper: 0.25%).
+	QueryArea float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Objects == 0 {
+		p.Objects = 100000
+	}
+	if p.Insertions == 0 {
+		p.Insertions = 1000000
+	}
+	if p.UI == 0 {
+		p.UI = 60
+	}
+	if p.ExpT == 0 && p.ExpD == 0 && !p.NoExpiry {
+		p.ExpT = 2 * p.UI
+	}
+	if p.QueryW == 0 {
+		p.QueryW = p.UI / 2
+	}
+	if p.QueriesPerInsertions == 0 {
+		p.QueriesPerInsertions = 100
+	}
+	if p.QueryArea == 0 {
+		p.QueryArea = 0.0025
+	}
+	return p
+}
+
+func (p Params) validate() error {
+	if p.Objects < 1 {
+		return fmt.Errorf("workload: Objects must be positive")
+	}
+	if p.Insertions < p.Objects {
+		return fmt.Errorf("workload: Insertions (%d) must cover the initial population (%d)", p.Insertions, p.Objects)
+	}
+	if p.NewOb < 0 {
+		return fmt.Errorf("workload: NewOb must be non-negative")
+	}
+	if p.UI <= 0 || p.QueryW <= 0 {
+		return fmt.Errorf("workload: UI and QueryW must be positive")
+	}
+	return nil
+}
+
+// Scale returns a copy of p with the object and insertion counts
+// multiplied by f, preserving all rates.  It lets the experiments run
+// at a fraction of the paper's scale.
+func (p Params) Scale(f float64) Params {
+	p = p.withDefaults()
+	p.Objects = int(float64(p.Objects) * f)
+	if p.Objects < 100 {
+		p.Objects = 100
+	}
+	p.Insertions = int(float64(p.Insertions) * f)
+	if p.Insertions < 10*p.Objects {
+		p.Insertions = 10 * p.Objects
+	}
+	return p
+}
+
+// OpKind distinguishes the operations of a workload stream.
+type OpKind int
+
+const (
+	// OpInsert adds an object's report to the index.
+	OpInsert OpKind = iota
+	// OpDelete removes the object's previous report (the first half of
+	// an update).
+	OpDelete
+	// OpQuery runs a query.
+	OpQuery
+)
+
+// Op is one element of the workload stream.
+type Op struct {
+	Kind  OpKind
+	Time  float64
+	OID   uint32
+	Point geom.MovingPoint // OpInsert: new report; OpDelete: the report to remove
+	Query geom.Query       // OpQuery only
+}

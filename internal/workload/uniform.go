@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"math"
+
+	"rexptree/internal/geom"
+)
+
+// uniformObject implements the uniform scenario of §5.1: positions and
+// velocity directions drawn uniformly at random (initially and on each
+// update), speeds uniform in (0, 3) km/min, update intervals uniform
+// in (0, 2·UI).
+type uniformObject struct {
+	pos geom.Vec // position at the last report
+	vel geom.Vec
+	t   float64 // time of the last report
+	new bool
+}
+
+func newUniformObject(g *Generator) *uniformObject {
+	o := &uniformObject{new: true}
+	for i := 0; i < 2; i++ {
+		o.pos[i] = Space.Lo[i] + g.rng.Float64()*(Space.Hi[i]-Space.Lo[i])
+	}
+	return o
+}
+
+// randVel draws a random direction with speed uniform in (0, 3),
+// reflecting components that would immediately push the object out of
+// the space.
+func (o *uniformObject) randVel(g *Generator) geom.Vec {
+	speed := g.rng.Float64() * 3
+	angle := g.rng.Float64() * 2 * math.Pi
+	v := geom.Vec{speed * math.Cos(angle), speed * math.Sin(angle)}
+	for i := 0; i < 2; i++ {
+		if (o.pos[i] <= Space.Lo[i] && v[i] < 0) || (o.pos[i] >= Space.Hi[i] && v[i] > 0) {
+			v[i] = -v[i]
+		}
+	}
+	return v
+}
+
+// reportAt implements mover.
+func (o *uniformObject) reportAt(g *Generator, tt float64) (pos, vel geom.Vec) {
+	if !o.new {
+		// Advance along the previously reported motion, clamped to the
+		// space.
+		o.pos = o.pos.Add(o.vel.Scale(tt - o.t))
+		for i := 0; i < 2; i++ {
+			o.pos[i] = math.Max(Space.Lo[i], math.Min(Space.Hi[i], o.pos[i]))
+		}
+	}
+	o.new = false
+	o.t = tt
+	o.vel = o.randVel(g)
+	return o.pos, o.vel
+}
+
+// nextEvent implements mover.
+func (o *uniformObject) nextEvent(g *Generator, tt float64) float64 {
+	return tt + g.rng.Float64()*2*g.p.UI
+}

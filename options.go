@@ -1,0 +1,128 @@
+package rexptree
+
+import (
+	"rexptree/internal/core"
+	"rexptree/internal/hull"
+)
+
+// BoundingKind selects how the bounding rectangles of internal index
+// entries are computed (paper §4.1).
+type BoundingKind int
+
+const (
+	// Conservative rectangles move their edges with the extreme
+	// velocities of the enclosed entries; they never exploit
+	// expiration times.  This is what the TPR-tree uses.
+	Conservative BoundingKind = iota
+	// Static rectangles have zero edge velocities and rely entirely on
+	// expiration times; competitive only under speed-dependent expiry.
+	Static
+	// UpdateMinimum rectangles are tight at computation time with edge
+	// speeds reduced as far as expiration times allow.
+	UpdateMinimum
+	// NearOptimal rectangles minimize the bounding-trapezoid volume
+	// per dimension via convex-hull bridges; the paper's overall best.
+	NearOptimal
+	// Optimal rectangles minimize the trapezoid volume exactly; more
+	// expensive to compute and, notably, no better in search
+	// performance than NearOptimal (paper §5.3).
+	Optimal
+)
+
+func (k BoundingKind) internal() hull.Kind {
+	switch k {
+	case Static:
+		return hull.KindStatic
+	case UpdateMinimum:
+		return hull.KindUpdateMinimum
+	case NearOptimal:
+		return hull.KindNearOptimal
+	case Optimal:
+		return hull.KindOptimal
+	default:
+		return hull.KindConservative
+	}
+}
+
+// Options configures a Tree.  The zero value is not valid; start from
+// DefaultOptions or TPROptions.
+type Options struct {
+	// Dims is the dimensionality of the space (1..MaxDims).
+	Dims int
+
+	// Bounding selects the bounding-rectangle type.
+	Bounding BoundingKind
+
+	// ExpireAware enables the R^exp-tree behaviour: expired reports
+	// become invisible to queries and are lazily purged.  When false
+	// the index is a plain TPR-tree.
+	ExpireAware bool
+
+	// StoreBRExpiration records expiration times inside internal index
+	// entries.  The paper found this generally not worthwhile (§5.2);
+	// leave it false unless experimenting.
+	StoreBRExpiration bool
+
+	// HeuristicsUseExpiration makes the insertion heuristics clamp
+	// their objective integrals at entry expiration times (§4.2.2).
+	HeuristicsUseExpiration bool
+
+	// World is the extent of the data space.  Defaults to the paper's
+	// 1000 x 1000 km.
+	World Rect
+
+	// BufferPages is the LRU buffer-pool capacity in 4 KiB pages
+	// (default 50).
+	BufferPages int
+
+	// Path, when non-empty, stores the index in a page file at this
+	// location instead of in memory.
+	Path string
+
+	// Beta sets the assumed querying-window length W = Beta·UI used by
+	// the self-tuning horizon (default 0.5); FixedW overrides it with
+	// a constant when positive.
+	Beta   float64
+	FixedW float64
+
+	// Seed makes tie-breaking (the random dimension order of
+	// near-optimal rectangles) deterministic.
+	Seed int64
+}
+
+// DefaultOptions returns the paper's recommended R^exp-tree
+// configuration: two dimensions, near-optimal bounding rectangles
+// without recorded internal expiration times, expiration-aware
+// heuristics.
+func DefaultOptions() Options {
+	return Options{
+		Dims:                    2,
+		Bounding:                NearOptimal,
+		ExpireAware:             true,
+		HeuristicsUseExpiration: true,
+	}
+}
+
+// TPROptions returns the baseline TPR-tree configuration: conservative
+// bounding rectangles and no expiration support.
+func TPROptions() Options {
+	return Options{
+		Dims:     2,
+		Bounding: Conservative,
+	}
+}
+
+func (o Options) internal() core.Config {
+	return core.Config{
+		Dims:        o.Dims,
+		BRKind:      o.Bounding.internal(),
+		ExpireAware: o.ExpireAware,
+		StoreBRExp:  o.StoreBRExpiration,
+		AlgsUseExp:  o.HeuristicsUseExpiration,
+		World:       toRect(o.World),
+		BufferPages: o.BufferPages,
+		Beta:        o.Beta,
+		FixedW:      o.FixedW,
+		Seed:        o.Seed,
+	}
+}

@@ -1,0 +1,264 @@
+package rexptree
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"rexptree/internal/core"
+	"rexptree/internal/geom"
+	"rexptree/internal/storage"
+)
+
+// Tree is a thread-safe moving-object index.  It keeps an in-memory
+// table of each object's current report (the primary store of a
+// moving-objects database), so updates and deletions need only the
+// object id.
+type Tree struct {
+	mu      sync.Mutex
+	t       *core.Tree
+	store   storage.Store
+	dims    int
+	objects map[uint32]geom.MovingPoint
+}
+
+// Open creates a tree with the given options.  When Options.Path names
+// an existing index file (previously Closed cleanly), the stored tree
+// is reopened and its object table rebuilt; otherwise a fresh index is
+// created.
+func Open(opts Options) (*Tree, error) {
+	var (
+		store    storage.Store
+		existing bool
+	)
+	if opts.Path != "" {
+		if _, err := os.Stat(opts.Path); err == nil {
+			fs, err := storage.OpenFileStore(opts.Path)
+			if err != nil {
+				return nil, err
+			}
+			store, existing = fs, true
+		} else {
+			fs, err := storage.CreateFileStore(opts.Path)
+			if err != nil {
+				return nil, err
+			}
+			store = fs
+		}
+	} else {
+		store = storage.NewMemStore()
+	}
+	var (
+		t   *core.Tree
+		err error
+	)
+	if existing {
+		t, err = core.Open(opts.internal(), store)
+	} else {
+		t, err = core.New(opts.internal(), store)
+	}
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	tr := &Tree{
+		t:       t,
+		store:   store,
+		dims:    t.Config().Dims,
+		objects: make(map[uint32]geom.MovingPoint),
+	}
+	if existing {
+		err := t.Records(func(oid uint32, p geom.MovingPoint) error {
+			tr.objects[oid] = p
+			return nil
+		})
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// Close persists the tree's metadata and releases the underlying
+// storage.  The tree must not be used afterwards.
+func (tr *Tree) Close() error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if err := tr.t.Sync(); err != nil {
+		tr.store.Close()
+		return err
+	}
+	return tr.store.Close()
+}
+
+// Update inserts the object's report, replacing any previous report
+// (an update is a deletion of the old report followed by an insertion
+// of the new one, as in the paper's workloads).  now is the current
+// time; p.Time must not precede now's meaning for the caller, and time
+// must never run backwards across calls.
+func (tr *Tree) Update(id uint32, p Point, now float64) error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if old, ok := tr.objects[id]; ok {
+		if _, err := tr.t.Delete(id, old, now); err != nil {
+			return err
+		}
+		// The old report is gone; if the insert below fails, the
+		// object table must not keep pointing at it.
+		delete(tr.objects, id)
+	}
+	mp := toInternal(p, tr.dims)
+	if err := tr.t.Insert(id, mp, now); err != nil {
+		return err
+	}
+	tr.objects[id] = tr.t.Stored(mp)
+	return nil
+}
+
+// Delete removes the object's report.  It returns false when the
+// object is unknown or its report has already expired (an expired
+// entry is invisible to the deletion search, §4.3; it will be purged
+// lazily).
+func (tr *Tree) Delete(id uint32, now float64) (bool, error) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	old, ok := tr.objects[id]
+	if !ok {
+		return false, nil
+	}
+	delete(tr.objects, id)
+	return tr.t.Delete(id, old, now)
+}
+
+// Timeslice reports the objects predicted to be inside r at time at
+// (Type 1 query).  now is the current time; at must not precede it.
+func (tr *Tree) Timeslice(r Rect, at, now float64) ([]Result, error) {
+	if at < now {
+		return nil, fmt.Errorf("rexptree: query time %v precedes current time %v", at, now)
+	}
+	return tr.search(geom.Timeslice(toRect(r), at), now)
+}
+
+// Window reports the objects predicted to cross r at some time in
+// [t1, t2] (Type 2 query).
+func (tr *Tree) Window(r Rect, t1, t2, now float64) ([]Result, error) {
+	if t1 > t2 || t1 < now {
+		return nil, fmt.Errorf("rexptree: invalid query window [%v, %v] at time %v", t1, t2, now)
+	}
+	return tr.search(geom.Window(toRect(r), t1, t2), now)
+}
+
+// Moving reports the objects predicted to cross the trapezoid
+// connecting r1 at t1 to r2 at t2 (Type 3 query).
+func (tr *Tree) Moving(r1, r2 Rect, t1, t2, now float64) ([]Result, error) {
+	if t1 >= t2 || t1 < now {
+		return nil, fmt.Errorf("rexptree: invalid moving query interval [%v, %v] at time %v", t1, t2, now)
+	}
+	return tr.search(geom.Moving(toRect(r1), toRect(r2), t1, t2, tr.dims), now)
+}
+
+// Nearest returns the k objects whose predicted positions at time at
+// are closest to pos, nearest first.  Expired reports never qualify.
+func (tr *Tree) Nearest(pos Vec, at float64, k int, now float64) ([]Result, error) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	rs, err := tr.t.Nearest(geom.Vec(pos), at, k, now)
+	if err != nil {
+		return nil, err
+	}
+	return fromResults(rs, now, tr.dims), nil
+}
+
+func (tr *Tree) search(q geom.Query, now float64) ([]Result, error) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	rs, err := tr.t.Search(q, now)
+	if err != nil {
+		return nil, err
+	}
+	return fromResults(rs, now, tr.dims), nil
+}
+
+// Get returns the object's current report (positioned at now), if any
+// non-expired report is stored.
+func (tr *Tree) Get(id uint32, now float64) (Point, bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	mp, ok := tr.objects[id]
+	if !ok || (tr.t.Config().ExpireAware && mp.Expired(now)) {
+		return Point{}, false
+	}
+	return fromInternal(mp, now, tr.dims), true
+}
+
+// Len returns the number of objects with a stored report (including
+// reports that have expired but were not yet purged).
+func (tr *Tree) Len() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.t.LeafEntries()
+}
+
+// Stats describes the tree's state and accumulated I/O.
+type Stats struct {
+	Height      int
+	Pages       int
+	LeafEntries int
+	Reads       uint64
+	Writes      uint64
+	BufferHits  uint64
+	UIEstimate  float64
+}
+
+// Stats returns current statistics.
+func (tr *Tree) Stats() Stats {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	io := tr.t.IOStats()
+	return Stats{
+		Height:      tr.t.Height(),
+		Pages:       tr.t.Size(),
+		LeafEntries: tr.t.LeafEntries(),
+		Reads:       io.Reads,
+		Writes:      io.Writes,
+		BufferHits:  io.Hits,
+		UIEstimate:  tr.t.UI(),
+	}
+}
+
+// ResetIOStats zeroes the read/write/hit counters.
+func (tr *Tree) ResetIOStats() {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.t.ResetIOStats()
+}
+
+// ForEach visits every stored report (positioned at now, including
+// expired reports not yet purged) until fn returns false.
+func (tr *Tree) ForEach(now float64, fn func(Result) bool) error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	stop := errStopIteration
+	err := tr.t.Records(func(oid uint32, p geom.MovingPoint) error {
+		if !fn(Result{ID: oid, Point: fromInternal(p, now, tr.dims)}) {
+			return stop
+		}
+		return nil
+	})
+	if err == stop {
+		return nil
+	}
+	return err
+}
+
+var errStopIteration = fmt.Errorf("rexptree: stop iteration")
+
+// Validate checks the index's structural invariants (balance, fan-out
+// bounds, bounding-rectangle containment, unique ids).  It reads the
+// whole tree and is intended for tests and tooling.
+func (tr *Tree) Validate() error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.t.CheckInvariants()
+}

@@ -1,0 +1,314 @@
+package rexptree
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	tr, err := Open(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	// A car at (100, 200) heading east at 1 km/min, report good for 60
+	// minutes.
+	if err := tr.Update(1, Point{Pos: Vec{100, 200}, Vel: Vec{1, 0}, Time: 0, Expires: 60}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A pedestrian wandering near (105, 200).
+	if err := tr.Update(2, Point{Pos: Vec{105, 200}, Vel: Vec{0.05, 0}, Time: 0, Expires: 60}, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Where will they be at t = 10?  The car at (110, 200).
+	res, err := tr.Timeslice(Rect{Lo: Vec{108, 198}, Hi: Vec{112, 202}}, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != 1 {
+		t.Fatalf("timeslice = %v", res)
+	}
+	// Results are positioned at now; predict with At.
+	if got := res[0].Point.At(10); math.Abs(got[0]-110) > 1e-3 || math.Abs(got[1]-200) > 1e-3 {
+		t.Fatalf("predicted position %v, want ~(110,200)", got)
+	}
+
+	// Window query over a region only the pedestrian stays in.
+	res, err = tr.Window(Rect{Lo: Vec{104, 199}, Hi: Vec{107, 201}}, 20, 30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != 2 {
+		t.Fatalf("window = %v", res)
+	}
+
+	// Moving query following the car.
+	res, err = tr.Moving(
+		Rect{Lo: Vec{104, 195}, Hi: Vec{114, 205}},
+		Rect{Lo: Vec{114, 195}, Hi: Vec{124, 205}}, 5, 15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res {
+		if r.ID == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("moving query missed the car: %v", res)
+	}
+}
+
+func TestExpiryVisibility(t *testing.T) {
+	tr, err := Open(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.Update(7, Point{Pos: Vec{500, 500}, Time: 0, Expires: 10}, 0)
+	world := Rect{Lo: Vec{0, 0}, Hi: Vec{1000, 1000}}
+	if res, _ := tr.Timeslice(world, 5, 5); len(res) != 1 {
+		t.Fatalf("live object invisible: %v", res)
+	}
+	if res, _ := tr.Timeslice(world, 20, 20); len(res) != 0 {
+		t.Fatalf("expired object visible: %v", res)
+	}
+	if _, ok := tr.Get(7, 20); ok {
+		t.Fatal("Get returned expired object")
+	}
+	if found, _ := tr.Delete(7, 20); found {
+		t.Fatal("deleted expired object")
+	}
+}
+
+func TestUpdateReplaces(t *testing.T) {
+	tr, _ := Open(DefaultOptions())
+	defer tr.Close()
+	tr.Update(1, Point{Pos: Vec{100, 100}, Time: 0, Expires: NoExpiry()}, 0)
+	tr.Update(1, Point{Pos: Vec{900, 900}, Time: 5, Expires: NoExpiry()}, 5)
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d after update", tr.Len())
+	}
+	res, _ := tr.Timeslice(Rect{Lo: Vec{850, 850}, Hi: Vec{950, 950}}, 6, 6)
+	if len(res) != 1 {
+		t.Fatalf("updated position not found: %v", res)
+	}
+	res, _ = tr.Timeslice(Rect{Lo: Vec{50, 50}, Hi: Vec{150, 150}}, 6, 6)
+	if len(res) != 0 {
+		t.Fatalf("old position still indexed: %v", res)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	tr, _ := Open(DefaultOptions())
+	defer tr.Close()
+	r := Rect{Lo: Vec{0, 0}, Hi: Vec{10, 10}}
+	if _, err := tr.Timeslice(r, 5, 10); err == nil {
+		t.Error("past timeslice accepted")
+	}
+	if _, err := tr.Window(r, 10, 5, 0); err == nil {
+		t.Error("inverted window accepted")
+	}
+	if _, err := tr.Moving(r, r, 5, 5, 0); err == nil {
+		t.Error("zero-length moving query accepted")
+	}
+}
+
+func TestFileBackedTree(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tree.db")
+	tr, err := Open(func() Options { o := DefaultOptions(); o.Path = path; return o }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		err := tr.Update(uint32(i), Point{
+			Pos:     Vec{float64(i % 100 * 10), float64(i / 100 * 100)},
+			Vel:     Vec{1, -1},
+			Time:    0,
+			Expires: NoExpiry(),
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := tr.Timeslice(Rect{Lo: Vec{0, 0}, Hi: Vec{1000, 1000}}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results from file-backed tree")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the index, its clock, and the object table survive.
+	re, err := Open(func() Options { o := DefaultOptions(); o.Path = path; return o }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 1000 {
+		t.Fatalf("reopened Len = %d", re.Len())
+	}
+	if _, ok := re.Get(42, 1); !ok {
+		t.Fatal("object table not rebuilt on reopen")
+	}
+	res2, err := re.Timeslice(Rect{Lo: Vec{0, 0}, Hi: Vec{1000, 1000}}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2) != len(res) {
+		t.Fatalf("reopened query: %d results, want %d", len(res2), len(res))
+	}
+	// Updates keep working after reopen.
+	if err := re.Update(42, Point{Pos: Vec{1, 1}, Time: 2, Expires: NoExpiry()}, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTPRMode(t *testing.T) {
+	tr, err := Open(TPROptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.Update(1, Point{Pos: Vec{100, 100}, Time: 0, Expires: 5}, 0)
+	// The TPR-tree ignores expiration: the report is a false drop at
+	// t = 100.
+	res, _ := tr.Timeslice(Rect{Lo: Vec{0, 0}, Hi: Vec{1000, 1000}}, 100, 100)
+	if len(res) != 1 {
+		t.Fatalf("TPR mode dropped the report: %v", res)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	tr, err := Open(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	// Preload.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		tr.Update(uint32(i), Point{
+			Pos:     Vec{rng.Float64() * 1000, rng.Float64() * 1000},
+			Vel:     Vec{rng.Float64()*2 - 1, rng.Float64()*2 - 1},
+			Expires: NoExpiry(),
+		}, 0)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				switch w % 2 {
+				case 0:
+					tr.Update(uint32(r.Intn(500)), Point{
+						Pos:     Vec{r.Float64() * 1000, r.Float64() * 1000},
+						Time:    1,
+						Expires: NoExpiry(),
+					}, 1)
+				default:
+					a := Vec{r.Float64() * 900, r.Float64() * 900}
+					tr.Timeslice(Rect{Lo: a, Hi: Vec{a[0] + 100, a[1] + 100}}, 2, 1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 500 {
+		t.Fatalf("len = %d after concurrent updates", tr.Len())
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	tr, _ := Open(DefaultOptions())
+	defer tr.Close()
+	for i := 0; i < 2000; i++ {
+		tr.Update(uint32(i), Point{
+			Pos: Vec{float64(i%200) * 5, float64(i/200) * 100}, Expires: NoExpiry(),
+		}, 0)
+	}
+	s := tr.Stats()
+	if s.Height < 2 || s.Pages < 2 || s.LeafEntries != 2000 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Writes == 0 {
+		t.Fatal("no writes recorded")
+	}
+	tr.ResetIOStats()
+	if s2 := tr.Stats(); s2.Reads != 0 || s2.Writes != 0 {
+		t.Fatalf("reset failed: %+v", s2)
+	}
+}
+
+func TestNearestPublic(t *testing.T) {
+	tr, _ := Open(DefaultOptions())
+	defer tr.Close()
+	tr.Update(1, Point{Pos: Vec{100, 100}, Expires: NoExpiry()}, 0)
+	tr.Update(2, Point{Pos: Vec{105, 100}, Expires: 5}, 0)
+	tr.Update(3, Point{Pos: Vec{500, 500}, Expires: NoExpiry()}, 0)
+	res, err := tr.Nearest(Vec{104, 100}, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].ID != 2 || res[1].ID != 1 {
+		t.Fatalf("nearest = %v", res)
+	}
+	// After object 2 expires it cannot be a neighbor.
+	res, err = tr.Nearest(Vec{104, 100}, 10, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].ID != 1 || res[1].ID != 3 {
+		t.Fatalf("nearest after expiry = %v", res)
+	}
+	if _, err := tr.Nearest(Vec{0, 0}, 5, 1, 10); err == nil {
+		t.Error("past nearest query accepted")
+	}
+}
+
+func TestForEachAndValidate(t *testing.T) {
+	tr, _ := Open(DefaultOptions())
+	defer tr.Close()
+	for i := 0; i < 50; i++ {
+		tr.Update(uint32(i), Point{Pos: Vec{float64(i) * 10, 5}, Expires: NoExpiry()}, 0)
+	}
+	seen := map[uint32]bool{}
+	err := tr.ForEach(0, func(r Result) bool {
+		seen[r.ID] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 50 {
+		t.Fatalf("ForEach visited %d of 50", len(seen))
+	}
+	// Early stop.
+	visits := 0
+	tr.ForEach(0, func(Result) bool { visits++; return visits < 3 })
+	if visits != 3 {
+		t.Fatalf("early stop visited %d", visits)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointAt(t *testing.T) {
+	p := Point{Pos: Vec{10, 20}, Vel: Vec{1, -2}, Time: 5}
+	got := p.At(8)
+	if got[0] != 13 || got[1] != 14 {
+		t.Fatalf("At = %v", got)
+	}
+}
