@@ -1,0 +1,36 @@
+# Makefile — CI entry points for the rexptree repository.
+#
+#   make check      vet + build + tests + race-enabled tests
+#   make bench-obs  metrics-overhead microbenchmark -> BENCH_obs.json
+#   make all        both of the above
+
+GO ?= go
+
+.PHONY: all check vet build test race bench-obs clean
+
+all: check bench-obs
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The new instrumentation must hold up under the race detector: the
+# metric counters are read (snapshots, Prometheus scrapes) while
+# parallel Update/query load runs.
+race:
+	$(GO) test -race ./...
+
+# Compares instrumented vs. nil-metrics Update/query throughput; the
+# observability layer's budget is a <2% regression.
+bench-obs:
+	$(GO) run ./cmd/rexpobsbench -out BENCH_obs.json
+
+clean:
+	rm -f BENCH_obs.json

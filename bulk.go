@@ -41,7 +41,10 @@ func OpenBulk(opts Options, objs []BulkObject, now float64) (*Tree, error) {
 	for i, o := range objs {
 		items[i] = core.BulkItem{OID: o.ID, Point: toInternal(o.Point, dims)}
 	}
-	t, err := core.BulkLoad(opts.internal(), store, items, now)
+	m := newMetrics(opts)
+	cfg := opts.internal()
+	cfg.Metrics = m
+	t, err := core.BulkLoad(cfg, store, items, now)
 	if err != nil {
 		store.Close()
 		return nil, err
@@ -51,6 +54,7 @@ func OpenBulk(opts Options, objs []BulkObject, now float64) (*Tree, error) {
 		store:   store,
 		dims:    dims,
 		objects: make(map[uint32]geom.MovingPoint, len(objs)),
+		m:       m,
 	}
 	for _, it := range items {
 		tr.objects[it.OID] = t.Stored(it.Point)

@@ -13,12 +13,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
 	"rexptree/internal/experiments"
+	"rexptree/internal/obs"
 )
 
 func main() {
@@ -28,8 +31,23 @@ func main() {
 		seed   = flag.Int64("seed", 1, "workload and tree seed")
 		quiet  = flag.Bool("quiet", false, "suppress per-run progress lines")
 		csv    = flag.String("csv", "", "also append raw results as CSV to this file")
+		asJSON = flag.Bool("json", false, "print the aggregate metrics snapshot as JSON after all figures")
+		serve  = flag.String("serve", "", "serve live Prometheus metrics at /metrics on this address while figures run (e.g. :9090)")
 	)
 	flag.Parse()
+
+	met := obs.New()
+	experiments.Instrument = met
+	if *serve != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(met.Snapshot))
+		go func() {
+			fmt.Fprintf(os.Stderr, "rexpbench: serving Prometheus metrics at http://%s/metrics\n", *serve)
+			if err := http.ListenAndServe(*serve, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "rexpbench: metrics server: %v\n", err)
+			}
+		}()
+	}
 
 	var csvW *os.File
 	if *csv != "" {
@@ -73,5 +91,14 @@ func main() {
 				}
 			}
 		}
+	}
+
+	if *asJSON {
+		out, err := json.MarshalIndent(met.Snapshot(), "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rexpbench: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(out, '\n'))
 	}
 }

@@ -4,21 +4,46 @@
 // traffic, and the self-tuned update-interval estimate.  It is a quick
 // way to inspect how a configuration organizes a workload.
 //
+// With -json the full metrics snapshot is printed as JSON instead of
+// the human-readable report; with -serve the process stays up after
+// the workload and exposes the metrics in Prometheus text format at
+// /metrics on the given address.
+//
 // Usage:
 //
-//	rexpstat [-mode rexp|tpr] [-br near-optimal] [-scale 0.01] ...
+//	rexpstat [-mode rexp|tpr] [-br near-optimal] [-scale 0.01] [-json] [-serve :9090] ...
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"time"
 
 	"rexptree/internal/core"
+	"rexptree/internal/geom"
 	"rexptree/internal/hull"
+	"rexptree/internal/obs"
 	"rexptree/internal/storage"
 	"rexptree/internal/workload"
 )
+
+// queryOp classifies a workload query by shape for the per-op latency
+// histograms: an instant is a timeslice, a moving region a Type 3
+// query, anything else a window.
+func queryOp(q geom.Query) obs.Op {
+	if q.T1 == q.T2 {
+		return obs.OpTimeslice
+	}
+	for i := range q.Region.VLo {
+		if q.Region.VLo[i] != 0 || q.Region.VHi[i] != 0 {
+			return obs.OpMoving
+		}
+	}
+	return obs.OpWindow
+}
 
 func brKind(name string) (hull.Kind, error) {
 	for k := hull.KindConservative; k <= hull.KindOptimal; k++ {
@@ -42,6 +67,8 @@ func main() {
 		storeBR = flag.Bool("brexp", false, "record expiration times in internal entries")
 		replay  = flag.String("replay", "", "replay a workload file written by rexpgen instead of generating one")
 		check   = flag.Bool("check", false, "validate the tree's structural invariants after the workload")
+		asJSON  = flag.Bool("json", false, "print the metrics snapshot as JSON instead of the report")
+		serve   = flag.String("serve", "", "serve Prometheus metrics at /metrics on this address and block (e.g. :9090)")
 	)
 	flag.Parse()
 
@@ -50,7 +77,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rexpstat:", err)
 		os.Exit(1)
 	}
-	cfg := core.Config{Dims: 2, BRKind: kind, Seed: *seed}
+	met := obs.New()
+	cfg := core.Config{Dims: 2, BRKind: kind, Seed: *seed, Metrics: met}
 	if *mode == "rexp" {
 		cfg.ExpireAware = true
 		cfg.AlgsUseExp = true
@@ -66,16 +94,22 @@ func main() {
 		os.Exit(1)
 	}
 	apply := func(op workload.Op) error {
+		start := time.Now()
+		var kind obs.Op
+		var err error
 		switch op.Kind {
 		case workload.OpInsert:
-			return tree.Insert(op.OID, op.Point, op.Time)
+			kind = obs.OpUpdate
+			err = tree.Insert(op.OID, op.Point, op.Time)
 		case workload.OpDelete:
-			_, err := tree.Delete(op.OID, op.Point, op.Time)
-			return err
+			kind = obs.OpDelete
+			_, err = tree.Delete(op.OID, op.Point, op.Time)
 		default:
-			_, err := tree.Search(op.Query, op.Time)
-			return err
+			kind = queryOp(op.Query)
+			_, err = tree.Search(op.Query, op.Time)
 		}
+		met.ObserveOp(kind, time.Since(start), err)
+		return err
 	}
 
 	ops := 0
@@ -121,38 +155,67 @@ func main() {
 		}
 	}
 
-	fmt.Printf("configuration : mode=%s br=%s brexp=%v\n", *mode, kind, cfg.StoreBRExp)
-	fmt.Printf("workload      : %s, %d ops\n", source, ops)
-	fmt.Printf("height        : %d\n", tree.Height())
-	counts, err := tree.NodeCount()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rexpstat:", err)
-		os.Exit(1)
-	}
-	for lvl := len(counts) - 1; lvl >= 0; lvl-- {
-		fmt.Printf("level %-2d      : %d nodes\n", lvl, counts[lvl])
-	}
-	live, expired, err := tree.EntryStats()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rexpstat:", err)
-		os.Exit(1)
-	}
-	total := live + expired
-	fmt.Printf("leaf entries  : %d live, %d expired (%.2f%% expired)\n",
-		live, expired, 100*float64(expired)/float64(max(total, 1)))
-	if counts[0] > 0 {
-		fmt.Printf("leaf fill     : %.1f avg entries (capacity %d)\n",
-			float64(total)/float64(counts[0]), tree.LeafCapacity())
-	}
-	fmt.Printf("index size    : %d pages (%.1f KiB)\n", tree.Size(), float64(tree.Size())*storage.PageSize/1024)
-	io := tree.IOStats()
-	fmt.Printf("I/O           : %d reads, %d writes, %d buffer hits\n", io.Reads, io.Writes, io.Hits)
-	fmt.Printf("UI estimate   : %.1f (assumed W %.1f)\n", tree.UI(), tree.W())
-	if *check {
-		if err := tree.CheckInvariants(); err != nil {
-			fmt.Printf("invariants    : FAILED: %v\n", err)
+	tree.SyncGauges()
+	if *asJSON {
+		out, err := json.MarshalIndent(met.Snapshot(), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rexpstat:", err)
 			os.Exit(1)
 		}
-		fmt.Println("invariants    : ok")
+		os.Stdout.Write(append(out, '\n'))
+	} else {
+		fmt.Printf("configuration : mode=%s br=%s brexp=%v\n", *mode, kind, cfg.StoreBRExp)
+		fmt.Printf("workload      : %s, %d ops\n", source, ops)
+		fmt.Printf("height        : %d\n", tree.Height())
+		counts, err := tree.NodeCount()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rexpstat:", err)
+			os.Exit(1)
+		}
+		for lvl := len(counts) - 1; lvl >= 0; lvl-- {
+			fmt.Printf("level %-2d      : %d nodes\n", lvl, counts[lvl])
+		}
+		live, expired, err := tree.EntryStats()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rexpstat:", err)
+			os.Exit(1)
+		}
+		total := live + expired
+		fmt.Printf("leaf entries  : %d live, %d expired (%.2f%% expired)\n",
+			live, expired, 100*float64(expired)/float64(max(total, 1)))
+		if counts[0] > 0 {
+			fmt.Printf("leaf fill     : %.1f avg entries (capacity %d)\n",
+				float64(total)/float64(counts[0]), tree.LeafCapacity())
+		}
+		fmt.Printf("index size    : %d pages (%.1f KiB)\n", tree.Size(), float64(tree.Size())*storage.PageSize/1024)
+		io := tree.IOStats()
+		fmt.Printf("I/O           : %d reads, %d writes (%d dirty writebacks), %d buffer hits, %d evictions\n",
+			io.Reads, io.Writes, io.DirtyWritebacks, io.Hits, io.Evictions)
+		fmt.Printf("structure ops : %d splits, %d forced reinserts, %d condenses, %d purged, %d orphans reinserted\n",
+			met.Splits.Load(), met.ForcedReinserts.Load(), met.Condenses.Load(),
+			met.ExpiredPurged.Load(), met.OrphansReinserted.Load())
+		fmt.Printf("UI estimate   : %.1f (assumed W %.1f)\n", tree.UI(), tree.W())
+	}
+	if *check {
+		if err := tree.CheckInvariants(); err != nil {
+			fmt.Fprintf(os.Stderr, "rexpstat: invariants FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		if !*asJSON {
+			fmt.Println("invariants    : ok")
+		}
+	}
+
+	if *serve != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(func() obs.Snapshot {
+			tree.SyncGauges()
+			return met.Snapshot()
+		}))
+		fmt.Fprintf(os.Stderr, "rexpstat: serving Prometheus metrics at http://%s/metrics\n", *serve)
+		if err := http.ListenAndServe(*serve, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "rexpstat:", err)
+			os.Exit(1)
+		}
 	}
 }

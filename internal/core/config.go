@@ -21,6 +21,7 @@ import (
 
 	"rexptree/internal/geom"
 	"rexptree/internal/hull"
+	"rexptree/internal/obs"
 )
 
 // Config selects the variant of the tree engine.
@@ -98,6 +99,13 @@ type Config struct {
 	// Seed initializes the deterministic RNG used for the random
 	// dimension order of near-optimal bounding rectangles.
 	Seed int64
+
+	// Metrics, when non-nil, attaches the observability registry of
+	// internal/obs: the engine counts buffer traffic, ChooseSubtree
+	// descents, node visits, splits, forced reinserts, condensing and
+	// lazy purges, and emits structural events to Metrics.Observer.
+	// When nil the engine runs uninstrumented (the nil fast path).
+	Metrics *obs.Metrics
 }
 
 // DefaultWorld is the 1000 km x 1000 km space of the experiments.

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"rexptree/internal/geom"
+	"rexptree/internal/obs"
 	"rexptree/internal/storage"
 )
 
@@ -61,6 +62,10 @@ func (t *Tree) drainOrphans(orphans *[]orphan) error {
 		}
 		o := (*orphans)[best]
 		*orphans = append((*orphans)[:best], (*orphans)[best+1:]...)
+		if t.met != nil {
+			t.met.OrphansReinserted.Inc()
+			t.met.Emit(obs.Event{Kind: obs.EvOrphanReinserted, Level: o.level, N: 1})
+		}
 		if err := t.insertOrphan(o, orphans); err != nil {
 			return err
 		}
@@ -134,6 +139,9 @@ func (t *Tree) replaceEmptyRoot(level int) error {
 // enlargement, which keeps the algorithm linear (§4.2.2).  Expired
 // entries are never chosen while any live entry exists.
 func (t *Tree) chooseChild(n *node, r geom.TPRect) int {
+	if t.met != nil {
+		t.met.ChooseSubtree.Inc()
+	}
 	if t.cfg.UseOverlapHeuristic && n.level == 1 {
 		if best := t.chooseChildOverlap(n, r); best >= 0 {
 			return best
@@ -230,6 +238,10 @@ func (t *Tree) propagateUp(path []*node, orphans *[]orphan) error {
 				// per operation.
 				t.reinsertedAt[n.level] = true
 				moved := t.pickReinsert(n)
+				if t.met != nil {
+					t.met.ForcedReinserts.Inc()
+					t.met.Emit(obs.Event{Kind: obs.EvForcedReinsert, Level: n.level, N: len(moved)})
+				}
 				for _, e := range moved {
 					*orphans = append(*orphans, orphan{e: e, level: n.level})
 				}
@@ -255,6 +267,10 @@ func (t *Tree) propagateUp(path []*node, orphans *[]orphan) error {
 			parent.entries = append(parent.entries, entry{id: uint32(sib.id), rect: t.computeBR(sib)})
 		case !isRoot && len(n.entries) < t.lay.min(n.level):
 			// PU2: orphan the live entries and drop the node.
+			if t.met != nil {
+				t.met.Condenses.Inc()
+				t.met.Emit(obs.Event{Kind: obs.EvCondense, Level: n.level, N: len(n.entries)})
+			}
 			for _, e := range n.entries {
 				*orphans = append(*orphans, orphan{e: e, level: n.level})
 			}

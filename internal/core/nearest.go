@@ -32,6 +32,7 @@ func (t *Tree) Nearest(q geom.Vec, at float64, k int, now float64) ([]Result, er
 	pq := &nnQueue{}
 	heap.Push(pq, nnItem{dist: 0, page: t.root, isNode: true})
 	var out []Result
+	var nodes, leaves uint64
 	for pq.Len() > 0 && len(out) < k {
 		it := heap.Pop(pq).(nnItem)
 		if !it.isNode {
@@ -40,7 +41,12 @@ func (t *Tree) Nearest(q geom.Vec, at float64, k int, now float64) ([]Result, er
 		}
 		n, err := t.readNode(it.page)
 		if err != nil {
+			t.addQueryStats(nodes, leaves)
 			return nil, err
+		}
+		nodes++
+		if n.level == 0 {
+			leaves += uint64(len(n.entries))
 		}
 		for i := range n.entries {
 			e := &n.entries[i]
@@ -64,6 +70,7 @@ func (t *Tree) Nearest(q geom.Vec, at float64, k int, now float64) ([]Result, er
 			})
 		}
 	}
+	t.addQueryStats(nodes, leaves)
 	return out, nil
 }
 

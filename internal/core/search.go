@@ -32,13 +32,19 @@ func (t *Tree) Search(q geom.Query, now float64) ([]Result, error) {
 // large result sets.
 func (t *Tree) SearchFunc(q geom.Query, now float64, fn func(Result) bool) error {
 	t.advance(now)
+	var nodes, leaves uint64
 	stack := []storage.PageID{t.root}
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		n, err := t.readNode(id)
 		if err != nil {
+			t.addQueryStats(nodes, leaves)
 			return err
+		}
+		nodes++
+		if n.level == 0 {
+			leaves += uint64(len(n.entries))
 		}
 		for i := range n.entries {
 			e := &n.entries[i]
@@ -48,6 +54,7 @@ func (t *Tree) SearchFunc(q geom.Query, now float64, fn func(Result) bool) error
 			if n.level == 0 {
 				if q.MatchesPoint(e.point(), t.cfg.Dims, t.cfg.ExpireAware) {
 					if !fn(Result{OID: e.id, Point: e.point()}) {
+						t.addQueryStats(nodes, leaves)
 						return nil
 					}
 				}
@@ -60,7 +67,19 @@ func (t *Tree) SearchFunc(q geom.Query, now float64, fn func(Result) bool) error
 			}
 		}
 	}
+	t.addQueryStats(nodes, leaves)
 	return nil
+}
+
+// addQueryStats folds a query's locally accumulated traversal counts
+// into the metric counters, so hot loops pay one atomic add per query
+// rather than one per node.
+func (t *Tree) addQueryStats(nodes, leaves uint64) {
+	if t.met == nil {
+		return
+	}
+	t.met.NodeVisits.Add(nodes)
+	t.met.LeafScans.Add(leaves)
 }
 
 // EntryStats walks the leaf level and reports how many stored leaf

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"rexptree/internal/geom"
+	"rexptree/internal/obs"
 )
 
 // split divides the overfull node n with the R*-tree topological split
@@ -27,6 +28,10 @@ func (t *Tree) split(n *node) (*node, error) {
 	}
 	if err := t.writeNode(sib); err != nil {
 		return nil, err
+	}
+	if t.met != nil {
+		t.met.Splits.Inc()
+		t.met.Emit(obs.Event{Kind: obs.EvSplit, Level: n.level, N: len(g2)})
 	}
 	return sib, nil
 }

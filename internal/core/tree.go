@@ -7,6 +7,7 @@ import (
 
 	"rexptree/internal/geom"
 	"rexptree/internal/hull"
+	"rexptree/internal/obs"
 	"rexptree/internal/storage"
 )
 
@@ -16,6 +17,7 @@ type Tree struct {
 	cfg Config
 	lay layout
 	bp  *storage.BufferPool
+	met *obs.Metrics // nil when uninstrumented
 
 	root   storage.PageID
 	height int // number of levels; the root is at level height-1
@@ -45,13 +47,38 @@ type Tree struct {
 
 // newTreeShell builds a Tree with its runtime machinery but no pages.
 func newTreeShell(cfg Config, store storage.Store) *Tree {
-	return &Tree{
+	t := &Tree{
 		cfg:   cfg,
 		lay:   newLayout(cfg),
 		bp:    storage.NewBufferPool(store, cfg.BufferPages),
+		met:   cfg.Metrics,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		cache: make(map[storage.PageID]*node),
 	}
+	if t.met != nil {
+		t.bp.SetMetrics(t.met)
+	}
+	return t
+}
+
+// Metrics returns the attached instrument registry (nil when the tree
+// is uninstrumented).
+func (t *Tree) Metrics() *obs.Metrics { return t.met }
+
+// SyncGauges pushes the tree's structural state (height, pages, leaf
+// entries, buffered pages, UI and horizon estimates) into the metric
+// gauges.  Call it before taking a snapshot; it is not needed on hot
+// paths because gauges only matter at observation time.
+func (t *Tree) SyncGauges() {
+	if t.met == nil {
+		return
+	}
+	t.met.Height.Set(int64(t.height))
+	t.met.Pages.Set(int64(t.Size()))
+	t.met.LeafEntries.Set(int64(t.leafEntries))
+	t.met.BufResident.Set(int64(t.bp.Resident()))
+	t.met.UI.Set(t.UI())
+	t.met.Horizon.Set(t.metricH())
 }
 
 // New creates an empty tree over the given (empty) store.  Use Open to
@@ -350,6 +377,9 @@ func (t *Tree) freeSubtree(id storage.PageID, level int) error {
 	}
 	if n.level == 0 {
 		t.leafEntries -= len(n.entries)
+		if t.met != nil {
+			t.met.ExpiredPurged.Add(uint64(len(n.entries)))
+		}
 	} else {
 		for _, e := range n.entries {
 			if err := t.freeSubtree(e.child(), n.level-1); err != nil {
@@ -369,19 +399,34 @@ func (t *Tree) purgeNode(n *node) error {
 		return nil
 	}
 	keep := n.entries[:0]
+	dropped, freed := 0, 0
 	for i := range n.entries {
 		e := &n.entries[i]
 		if !t.isExpired(&e.rect, n.level) {
 			keep = append(keep, *e)
 			continue
 		}
+		dropped++
 		if n.level == 0 {
 			t.leafEntries--
-		} else if err := t.freeSubtree(e.child(), n.level-1); err != nil {
-			return err
+		} else {
+			freed++
+			if err := t.freeSubtree(e.child(), n.level-1); err != nil {
+				return err
+			}
 		}
 	}
 	n.entries = keep
+	if t.met != nil && dropped > 0 {
+		if n.level == 0 {
+			t.met.ExpiredPurged.Add(uint64(dropped))
+		}
+		if freed > 0 {
+			t.met.SubtreesFreed.Add(uint64(freed))
+			t.met.Emit(obs.Event{Kind: obs.EvSubtreeFreed, Level: n.level, N: freed})
+		}
+		t.met.Emit(obs.Event{Kind: obs.EvPurge, Level: n.level, N: dropped})
+	}
 	return nil
 }
 

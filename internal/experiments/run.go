@@ -9,10 +9,18 @@ import (
 	"fmt"
 
 	"rexptree/internal/core"
+	"rexptree/internal/obs"
 	"rexptree/internal/sched"
 	"rexptree/internal/storage"
 	"rexptree/internal/workload"
 )
+
+// Instrument, when non-nil, is attached to every tree the harness
+// builds, so callers (cmd/rexpbench) can expose or dump aggregate
+// observability counters across a whole experiment run.  Gauges
+// reflect the most recently synced tree.  Set it before running
+// figures; it is not safe to change concurrently with Run.
+var Instrument *obs.Metrics
 
 // TreeConfig names one index configuration under test.
 type TreeConfig struct {
@@ -57,10 +65,14 @@ func Run(tc TreeConfig, wp workload.Params) (Metrics, error) {
 			tc.Core.BufferPages = 8
 		}
 	}
+	if Instrument != nil && tc.Core.Metrics == nil {
+		tc.Core.Metrics = Instrument
+	}
 	tree, err := core.New(tc.Core, storage.NewMemStore())
 	if err != nil {
 		return Metrics{}, err
 	}
+	defer tree.SyncGauges()
 	var queue *sched.Index
 	if tc.Scheduled {
 		queue, err = sched.New(tree, storage.NewMemStore(), tc.Core.BufferPages)

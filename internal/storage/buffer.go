@@ -3,13 +3,17 @@ package storage
 import (
 	"container/list"
 	"fmt"
+
+	"rexptree/internal/obs"
 )
 
 // Stats counts the page traffic between a BufferPool and its Store.
 type Stats struct {
-	Reads  uint64 // pages read from the store (buffer misses)
-	Writes uint64 // pages written to the store
-	Hits   uint64 // page requests served from the buffer
+	Reads           uint64 // pages read from the store (buffer misses)
+	Writes          uint64 // pages written to the store
+	Hits            uint64 // page requests served from the buffer
+	Evictions       uint64 // frames evicted by LRU replacement
+	DirtyWritebacks uint64 // evictions that had to write the frame back
 }
 
 // IO returns reads + writes, the combined I/O count.
@@ -17,7 +21,13 @@ func (s Stats) IO() uint64 { return s.Reads + s.Writes }
 
 // Sub returns the traffic accumulated since the earlier snapshot o.
 func (s Stats) Sub(o Stats) Stats {
-	return Stats{Reads: s.Reads - o.Reads, Writes: s.Writes - o.Writes, Hits: s.Hits - o.Hits}
+	return Stats{
+		Reads:           s.Reads - o.Reads,
+		Writes:          s.Writes - o.Writes,
+		Hits:            s.Hits - o.Hits,
+		Evictions:       s.Evictions - o.Evictions,
+		DirtyWritebacks: s.DirtyWritebacks - o.DirtyWritebacks,
+	}
 }
 
 type frame struct {
@@ -38,6 +48,7 @@ type BufferPool struct {
 	frames   map[PageID]*frame
 	lru      *list.List // front = most recently used; unpinned frames only
 	stats    Stats
+	met      *obs.Metrics // nil when uninstrumented
 }
 
 // NewBufferPool wraps store with a buffer of the given page capacity.
@@ -55,6 +66,16 @@ func NewBufferPool(store Store, capacity int) *BufferPool {
 
 // Stats returns the accumulated I/O counters.
 func (bp *BufferPool) Stats() Stats { return bp.stats }
+
+// SetMetrics attaches (or with nil detaches) an instrument registry.
+// The registry is forwarded to the underlying store when it supports
+// metrics (a FaultStore counts its trips there).
+func (bp *BufferPool) SetMetrics(m *obs.Metrics) {
+	bp.met = m
+	if s, ok := bp.store.(interface{ SetMetrics(*obs.Metrics) }); ok {
+		s.SetMetrics(m)
+	}
+}
 
 // ResetStats zeroes the I/O counters.
 func (bp *BufferPool) ResetStats() { bp.stats = Stats{} }
@@ -81,6 +102,17 @@ func (bp *BufferPool) evictOne() error {
 			return err
 		}
 		bp.stats.Writes++
+		bp.stats.DirtyWritebacks++
+		if bp.met != nil {
+			bp.met.BufWrites.Inc()
+			bp.met.BufDirtyWritebacks.Inc()
+			bp.met.Emit(obs.Event{Kind: obs.EvDirtyWriteback, Level: -1, N: 1})
+		}
+	}
+	bp.stats.Evictions++
+	if bp.met != nil {
+		bp.met.BufEvictions.Inc()
+		bp.met.Emit(obs.Event{Kind: obs.EvEviction, Level: -1, N: 1})
 	}
 	bp.lru.Remove(e)
 	delete(bp.frames, f.id)
@@ -105,6 +137,9 @@ func (bp *BufferPool) admit(f *frame) error {
 func (bp *BufferPool) Get(id PageID) ([]byte, error) {
 	if f, ok := bp.frames[id]; ok {
 		bp.stats.Hits++
+		if bp.met != nil {
+			bp.met.BufHits.Inc()
+		}
 		bp.touch(f)
 		return f.data, nil
 	}
@@ -113,6 +148,9 @@ func (bp *BufferPool) Get(id PageID) ([]byte, error) {
 		return nil, err
 	}
 	bp.stats.Reads++
+	if bp.met != nil {
+		bp.met.BufReads.Inc()
+	}
 	if err := bp.admit(f); err != nil {
 		return nil, err
 	}
@@ -204,6 +242,9 @@ func (bp *BufferPool) Flush() error {
 		}
 		f.dirty = false
 		bp.stats.Writes++
+		if bp.met != nil {
+			bp.met.BufWrites.Inc()
+		}
 	}
 	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"math/rand"
 	"testing"
+
+	"rexptree/internal/obs"
 )
 
 func TestBufferPoolReadYourWrites(t *testing.T) {
@@ -187,14 +189,88 @@ func TestBufferPoolFreeDropsFrame(t *testing.T) {
 }
 
 func TestBufferPoolStatsSub(t *testing.T) {
-	a := Stats{Reads: 10, Writes: 4, Hits: 100}
-	b := Stats{Reads: 3, Writes: 1, Hits: 40}
+	a := Stats{Reads: 10, Writes: 4, Hits: 100, Evictions: 8, DirtyWritebacks: 5}
+	b := Stats{Reads: 3, Writes: 1, Hits: 40, Evictions: 2, DirtyWritebacks: 1}
 	d := a.Sub(b)
-	if d.Reads != 7 || d.Writes != 3 || d.Hits != 60 {
+	if d.Reads != 7 || d.Writes != 3 || d.Hits != 60 || d.Evictions != 6 || d.DirtyWritebacks != 4 {
 		t.Errorf("Sub = %+v", d)
 	}
 	if a.IO() != 14 {
 		t.Errorf("IO = %d", a.IO())
+	}
+}
+
+// TestBufferPoolEvictionCounters distinguishes evictions from dirty
+// writebacks: evicting a clean frame counts only an eviction, a dirty
+// frame additionally counts a writeback.
+func TestBufferPoolEvictionCounters(t *testing.T) {
+	store := NewMemStore()
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		id, _ := store.Allocate()
+		ids = append(ids, id)
+	}
+	bp := NewBufferPool(store, 2)
+	met := obs.New()
+	var events []obs.Event
+	met.Observer = obs.ObserverFunc(func(e obs.Event) { events = append(events, e) })
+	bp.SetMetrics(met)
+
+	// Clean evictions: reading 3 pages through a cap-2 pool evicts one
+	// clean frame, no writeback.
+	for _, id := range ids {
+		if _, err := bp.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := bp.Stats()
+	if s.Evictions != 1 || s.DirtyWritebacks != 0 {
+		t.Fatalf("clean eviction: evictions=%d writebacks=%d, want 1/0", s.Evictions, s.DirtyWritebacks)
+	}
+
+	// Dirty eviction: dirty both resident pages, then touch the third
+	// page again to force one dirty frame out.
+	for _, f := range bp.frames {
+		f.dirty = true
+	}
+	missing := ids[0] // ids[0] was the first one evicted above
+	if _, err := bp.Get(missing); err != nil {
+		t.Fatal(err)
+	}
+	s = bp.Stats()
+	if s.Evictions != 2 || s.DirtyWritebacks != 1 {
+		t.Fatalf("dirty eviction: evictions=%d writebacks=%d, want 2/1", s.Evictions, s.DirtyWritebacks)
+	}
+
+	// The obs registry mirrors the pool's own stats.
+	snap := met.Snapshot()
+	if snap.BufEvictions != s.Evictions || snap.BufDirtyWritebacks != s.DirtyWritebacks {
+		t.Errorf("obs counters evictions=%d writebacks=%d, want %d/%d",
+			snap.BufEvictions, snap.BufDirtyWritebacks, s.Evictions, s.DirtyWritebacks)
+	}
+	if snap.BufReads != s.Reads || snap.BufHits != s.Hits {
+		t.Errorf("obs reads=%d hits=%d, want %d/%d", snap.BufReads, snap.BufHits, s.Reads, s.Hits)
+	}
+
+	// Events: 2 evictions, 1 dirty writeback, writeback announced
+	// before its eviction, all at storage level -1.
+	var ev, wb int
+	for i, e := range events {
+		if e.Level != -1 {
+			t.Errorf("event %d level = %d, want -1", i, e.Level)
+		}
+		switch e.Kind {
+		case obs.EvEviction:
+			ev++
+		case obs.EvDirtyWriteback:
+			wb++
+			if i+1 >= len(events) || events[i+1].Kind != obs.EvEviction {
+				t.Error("dirty writeback not followed by its eviction event")
+			}
+		}
+	}
+	if ev != 2 || wb != 1 {
+		t.Errorf("events: %d evictions, %d writebacks, want 2/1", ev, wb)
 	}
 }
 

@@ -3,6 +3,8 @@ package storage
 import (
 	"errors"
 	"fmt"
+
+	"rexptree/internal/obs"
 )
 
 // ErrInjected is the base error returned by a FaultStore when a fault
@@ -25,6 +27,16 @@ type FaultStore struct {
 	FailWrites bool
 
 	ops int
+	met *obs.Metrics
+}
+
+// SetMetrics attaches an instrument registry so fired faults are
+// counted; it is forwarded to the wrapped store when supported.
+func (s *FaultStore) SetMetrics(m *obs.Metrics) {
+	s.met = m
+	if inner, ok := s.Inner.(interface{ SetMetrics(*obs.Metrics) }); ok {
+		inner.SetMetrics(m)
+	}
 }
 
 // NewFaultStore wraps inner with both read and write faults armed but
@@ -45,6 +57,10 @@ func (s *FaultStore) maybeFail(kind string) error {
 	}
 	s.ops++
 	if s.ops >= s.FailAfter {
+		if s.met != nil {
+			s.met.FaultTrips.Inc()
+			s.met.Emit(obs.Event{Kind: obs.EvFaultTrip, Level: -1, N: 1})
+		}
 		return fmt.Errorf("%w: %s #%d", ErrInjected, kind, s.ops)
 	}
 	return nil

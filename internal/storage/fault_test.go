@@ -3,6 +3,8 @@ package storage
 import (
 	"errors"
 	"testing"
+
+	"rexptree/internal/obs"
 )
 
 func TestFaultStorePassthrough(t *testing.T) {
@@ -87,5 +89,40 @@ func TestFaultStoreFreeAndAllocateFail(t *testing.T) {
 	}
 	if _, err := fs.Allocate(); !errors.Is(err, ErrInjected) {
 		t.Fatalf("allocate = %v, want injected", err)
+	}
+}
+
+// TestFaultStoreCountsTrips checks that fired faults — and only fired
+// faults — are counted and announced to the observer.
+func TestFaultStoreCountsTrips(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	met := obs.New()
+	var trips int
+	met.Observer = obs.ObserverFunc(func(e obs.Event) {
+		if e.Kind == obs.EvFaultTrip {
+			if e.Level != -1 {
+				t.Errorf("fault-trip level = %d, want -1", e.Level)
+			}
+			trips++
+		}
+	})
+	fs.SetMetrics(met)
+	id, _ := fs.Allocate()
+	buf := make([]byte, PageSize)
+	if err := fs.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if met.FaultTrips.Load() != 0 {
+		t.Fatal("disarmed store counted a trip")
+	}
+	fs.Arm(2)
+	if err := fs.ReadPage(id, buf); err != nil { // op 1 of 2: passes
+		t.Fatal(err)
+	}
+	if err := fs.ReadPage(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read = %v, want injected", err)
+	}
+	if met.FaultTrips.Load() != 1 || trips != 1 {
+		t.Errorf("trips: counter=%d events=%d, want 1/1", met.FaultTrips.Load(), trips)
 	}
 }

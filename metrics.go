@@ -1,0 +1,223 @@
+package rexptree
+
+import (
+	"io"
+	"net/http"
+	"time"
+
+	"rexptree/internal/obs"
+)
+
+// NumOps is the number of instrumented public operations (Update,
+// Delete, Timeslice, Window, Moving, Nearest).
+const NumOps = int(obs.NumOps)
+
+// numBuckets mirrors the fixed latency-histogram bucket count of
+// internal/obs: len(LatencyBucketBounds()) finite bounds plus one
+// overflow bucket.
+const numBuckets = obs.NumBuckets
+
+// LatencyBucketBounds returns the upper bounds, in seconds, of the
+// finite latency-histogram buckets; the last bucket of OpMetrics is
+// the overflow (+Inf) bucket.
+func LatencyBucketBounds() []float64 { return obs.Bounds() }
+
+// OpMetrics is the frozen latency state of one public operation.
+type OpMetrics struct {
+	Op           string  // operation name: update, delete, timeslice, window, moving, nearest
+	Count        uint64  // completed calls
+	Errors       uint64  // calls that returned an error
+	TotalSeconds float64 // summed latency
+	// Buckets holds per-bucket (non-cumulative) latency counts; bucket
+	// i covers latencies up to LatencyBucketBounds()[i], the last
+	// bucket everything slower.
+	Buckets [numBuckets]uint64
+}
+
+// Mean returns the mean latency in seconds (0 before any call).
+func (o OpMetrics) Mean() float64 {
+	if o.Count == 0 {
+		return 0
+	}
+	return o.TotalSeconds / float64(o.Count)
+}
+
+// Sub returns the activity since the earlier snapshot prev.
+func (o OpMetrics) Sub(prev OpMetrics) OpMetrics {
+	d := o
+	d.Count -= prev.Count
+	d.Errors -= prev.Errors
+	d.TotalSeconds -= prev.TotalSeconds
+	for i := range d.Buckets {
+		d.Buckets[i] -= prev.Buckets[i]
+	}
+	return d
+}
+
+// Metrics is a consistent snapshot of the tree's instrumentation,
+// from the buffer pool up to the public API.  Counters are cumulative
+// since Open; Sub turns two snapshots into the activity between them.
+// Each counter's paper section reference is listed in the README's
+// Observability table.
+type Metrics struct {
+	// Structure gauges (current values).
+	Height         int     // tree levels
+	Pages          int     // allocated pages (index size, Figure 15)
+	LeafEntries    int     // stored leaf entries, live plus unpurged expired
+	BufferResident int     // buffered pages
+	UIEstimate     float64 // self-tuned update-interval estimate (§4.2.3)
+	Horizon        float64 // time horizon H = UI + W (§4.2.1)
+
+	// Buffer-pool counters (§5.1).
+	BufferReads           uint64 // pages read from the store (misses)
+	BufferWrites          uint64 // pages written to the store
+	BufferHits            uint64 // requests served from the buffer
+	BufferEvictions       uint64 // frames evicted by LRU replacement
+	BufferDirtyWritebacks uint64 // evictions that wrote the frame back
+	FaultTrips            uint64 // injected storage faults that fired
+
+	// Structural counters.
+	ChooseSubtreeDescents   uint64 // ChooseSubtree steps, one per level (§4.2.2)
+	QueryNodeVisits         uint64 // nodes visited by queries
+	QueryLeafEntriesScanned uint64 // leaf entries examined by queries
+	Splits                  uint64 // node splits (§4.2.2)
+	ForcedReinserts         uint64 // forced-reinsertion rounds (§4.2.2)
+	Condenses               uint64 // underflowing nodes dissolved (§4.3)
+	OrphansReinserted       uint64 // entries placed back via the orphan list (§4.3)
+	ExpiredPurged           uint64 // expired leaf entries lazily purged (§4.3)
+	SubtreesFreed           uint64 // expired internal subtrees deallocated (§4.3)
+
+	// Ops holds the per-operation latency histograms in the fixed
+	// order update, delete, timeslice, window, moving, nearest.
+	Ops [NumOps]OpMetrics
+}
+
+// Sub returns the activity between the earlier snapshot prev and m:
+// counters and histograms are subtracted, while the gauges keep m's
+// (current) values.
+func (m Metrics) Sub(prev Metrics) Metrics {
+	d := m
+	d.BufferReads -= prev.BufferReads
+	d.BufferWrites -= prev.BufferWrites
+	d.BufferHits -= prev.BufferHits
+	d.BufferEvictions -= prev.BufferEvictions
+	d.BufferDirtyWritebacks -= prev.BufferDirtyWritebacks
+	d.FaultTrips -= prev.FaultTrips
+	d.ChooseSubtreeDescents -= prev.ChooseSubtreeDescents
+	d.QueryNodeVisits -= prev.QueryNodeVisits
+	d.QueryLeafEntriesScanned -= prev.QueryLeafEntriesScanned
+	d.Splits -= prev.Splits
+	d.ForcedReinserts -= prev.ForcedReinserts
+	d.Condenses -= prev.Condenses
+	d.OrphansReinserted -= prev.OrphansReinserted
+	d.ExpiredPurged -= prev.ExpiredPurged
+	d.SubtreesFreed -= prev.SubtreesFreed
+	for i := range d.Ops {
+		d.Ops[i] = m.Ops[i].Sub(prev.Ops[i])
+	}
+	return d
+}
+
+// Op returns the metrics of the named operation (update, delete,
+// timeslice, window, moving, nearest); ok is false for unknown names.
+func (m Metrics) Op(name string) (o OpMetrics, ok bool) {
+	for i := range m.Ops {
+		if m.Ops[i].Op == name {
+			return m.Ops[i], true
+		}
+	}
+	return OpMetrics{}, false
+}
+
+// snapshot refreshes the structure gauges and freezes the registry.
+func (tr *Tree) snapshot() obs.Snapshot {
+	tr.mu.Lock()
+	tr.t.SyncGauges()
+	tr.mu.Unlock()
+	return tr.m.Snapshot()
+}
+
+// Metrics returns a snapshot of the tree's full instrumentation.  It
+// is safe to call concurrently with operations; see Metrics.Sub for
+// interval accounting.
+func (tr *Tree) Metrics() Metrics {
+	return fromSnapshot(tr.snapshot())
+}
+
+func fromSnapshot(s obs.Snapshot) Metrics {
+	m := Metrics{
+		Height:         int(s.Height),
+		Pages:          int(s.Pages),
+		LeafEntries:    int(s.LeafEntries),
+		BufferResident: int(s.BufResident),
+		UIEstimate:     s.UI,
+		Horizon:        s.Horizon,
+
+		BufferReads:           s.BufReads,
+		BufferWrites:          s.BufWrites,
+		BufferHits:            s.BufHits,
+		BufferEvictions:       s.BufEvictions,
+		BufferDirtyWritebacks: s.BufDirtyWritebacks,
+		FaultTrips:            s.FaultTrips,
+
+		ChooseSubtreeDescents:   s.ChooseSubtree,
+		QueryNodeVisits:         s.NodeVisits,
+		QueryLeafEntriesScanned: s.LeafScans,
+		Splits:                  s.Splits,
+		ForcedReinserts:         s.ForcedReinserts,
+		Condenses:               s.Condenses,
+		OrphansReinserted:       s.OrphansReinserted,
+		ExpiredPurged:           s.ExpiredPurged,
+		SubtreesFreed:           s.SubtreesFreed,
+	}
+	for i := range s.Ops {
+		m.Ops[i] = OpMetrics{
+			Op:           s.Ops[i].Op,
+			Count:        s.Ops[i].Count,
+			Errors:       s.Ops[i].Errors,
+			TotalSeconds: s.Ops[i].SumSeconds,
+			Buckets:      s.Ops[i].Buckets,
+		}
+	}
+	return m
+}
+
+// WriteMetrics writes the current metrics in the Prometheus text
+// exposition format (version 0.0.4).
+func (tr *Tree) WriteMetrics(w io.Writer) error {
+	return obs.WriteSnapshot(w, tr.snapshot())
+}
+
+// MetricsHandler returns an http.Handler serving the tree's metrics
+// in Prometheus text format, for mounting on a scrape endpoint:
+//
+//	http.Handle("/metrics", tree.MetricsHandler())
+func (tr *Tree) MetricsHandler() http.Handler {
+	return obs.Handler(tr.snapshot)
+}
+
+// SetSlowOpHook installs a hook invoked synchronously whenever a
+// public operation takes at least threshold; a nil fn (or zero
+// threshold) removes the hook.  It overrides the Options.SlowOp
+// configuration and is safe to call while operations run.
+func (tr *Tree) SetSlowOpHook(threshold time.Duration, fn func(op string, d time.Duration)) {
+	if fn == nil {
+		tr.m.SetSlowOp(0, nil)
+		return
+	}
+	tr.m.SetSlowOp(threshold, func(op obs.Op, d time.Duration) { fn(op.String(), d) })
+}
+
+// ObserverEvent is one structural event delivered to the
+// Options.Observer hook, in the order the events occur.
+type ObserverEvent struct {
+	// Kind names the event: split, forced-reinsert, condense,
+	// orphan-reinserted, purge, subtree-freed, eviction,
+	// dirty-writeback or fault-trip.
+	Kind string
+	// Level is the tree level of structural events (leaves are level
+	// 0); storage events carry level -1.
+	Level int
+	// Count is the number of entries or pages affected.
+	Count int
+}

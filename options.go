@@ -1,6 +1,8 @@
 package rexptree
 
 import (
+	"time"
+
 	"rexptree/internal/core"
 	"rexptree/internal/hull"
 )
@@ -88,6 +90,23 @@ type Options struct {
 	// Seed makes tie-breaking (the random dimension order of
 	// near-optimal rectangles) deterministic.
 	Seed int64
+
+	// Observer, when non-nil, receives structural events (splits,
+	// forced reinserts, condensing, lazy purges, buffer evictions)
+	// synchronously as they occur.  The hook must be fast and must not
+	// call back into the tree.  Leave nil for the uninstrumented fast
+	// path; metrics counters accumulate either way.
+	Observer func(ObserverEvent)
+
+	// SlowOpThreshold, when positive, enables the slow-operation hook:
+	// every public operation that takes at least this long is reported
+	// to SlowOp (or, when SlowOp is nil, logged via the standard log
+	// package).
+	SlowOpThreshold time.Duration
+
+	// SlowOp receives slow operations (name and duration).  Only used
+	// when SlowOpThreshold is positive.
+	SlowOp func(op string, d time.Duration)
 }
 
 // DefaultOptions returns the paper's recommended R^exp-tree

@@ -2,11 +2,14 @@ package rexptree
 
 import (
 	"fmt"
+	"log"
 	"os"
 	"sync"
+	"time"
 
 	"rexptree/internal/core"
 	"rexptree/internal/geom"
+	"rexptree/internal/obs"
 	"rexptree/internal/storage"
 )
 
@@ -20,6 +23,7 @@ type Tree struct {
 	store   storage.Store
 	dims    int
 	objects map[uint32]geom.MovingPoint
+	m       *obs.Metrics // always non-nil; see Metrics and WriteMetrics
 }
 
 // Open creates a tree with the given options.  When Options.Path names
@@ -48,14 +52,17 @@ func Open(opts Options) (*Tree, error) {
 	} else {
 		store = storage.NewMemStore()
 	}
+	m := newMetrics(opts)
+	cfg := opts.internal()
+	cfg.Metrics = m
 	var (
 		t   *core.Tree
 		err error
 	)
 	if existing {
-		t, err = core.Open(opts.internal(), store)
+		t, err = core.Open(cfg, store)
 	} else {
-		t, err = core.New(opts.internal(), store)
+		t, err = core.New(cfg, store)
 	}
 	if err != nil {
 		store.Close()
@@ -66,6 +73,7 @@ func Open(opts Options) (*Tree, error) {
 		store:   store,
 		dims:    t.Config().Dims,
 		objects: make(map[uint32]geom.MovingPoint),
+		m:       m,
 	}
 	if existing {
 		err := t.Records(func(oid uint32, p geom.MovingPoint) error {
@@ -78,6 +86,29 @@ func Open(opts Options) (*Tree, error) {
 		}
 	}
 	return tr, nil
+}
+
+// newMetrics builds the tree's instrument registry and wires the
+// observer and slow-op hooks configured in opts.
+func newMetrics(opts Options) *obs.Metrics {
+	m := obs.New()
+	if opts.Observer != nil {
+		hook := opts.Observer
+		m.Observer = obs.ObserverFunc(func(e obs.Event) {
+			hook(ObserverEvent{Kind: e.Kind.String(), Level: e.Level, Count: e.N})
+		})
+	}
+	if opts.SlowOpThreshold > 0 {
+		slow := opts.SlowOp
+		if slow == nil {
+			threshold := opts.SlowOpThreshold
+			slow = func(op string, d time.Duration) {
+				log.Printf("rexptree: slow %s: %v (threshold %v)", op, d, threshold)
+			}
+		}
+		m.SetSlowOp(opts.SlowOpThreshold, func(op obs.Op, d time.Duration) { slow(op.String(), d) })
+	}
+	return m
 }
 
 // Close persists the tree's metadata and releases the underlying
@@ -98,6 +129,13 @@ func (tr *Tree) Close() error {
 // time; p.Time must not precede now's meaning for the caller, and time
 // must never run backwards across calls.
 func (tr *Tree) Update(id uint32, p Point, now float64) error {
+	start := time.Now()
+	err := tr.update(id, p, now)
+	tr.m.ObserveOp(obs.OpUpdate, time.Since(start), err)
+	return err
+}
+
+func (tr *Tree) update(id uint32, p Point, now float64) error {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	if old, ok := tr.objects[id]; ok {
@@ -121,6 +159,13 @@ func (tr *Tree) Update(id uint32, p Point, now float64) error {
 // entry is invisible to the deletion search, §4.3; it will be purged
 // lazily).
 func (tr *Tree) Delete(id uint32, now float64) (bool, error) {
+	start := time.Now()
+	ok, err := tr.delete(id, now)
+	tr.m.ObserveOp(obs.OpDelete, time.Since(start), err)
+	return ok, err
+}
+
+func (tr *Tree) delete(id uint32, now float64) (bool, error) {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	old, ok := tr.objects[id]
@@ -134,6 +179,13 @@ func (tr *Tree) Delete(id uint32, now float64) (bool, error) {
 // Timeslice reports the objects predicted to be inside r at time at
 // (Type 1 query).  now is the current time; at must not precede it.
 func (tr *Tree) Timeslice(r Rect, at, now float64) ([]Result, error) {
+	start := time.Now()
+	res, err := tr.timeslice(r, at, now)
+	tr.m.ObserveOp(obs.OpTimeslice, time.Since(start), err)
+	return res, err
+}
+
+func (tr *Tree) timeslice(r Rect, at, now float64) ([]Result, error) {
 	if at < now {
 		return nil, fmt.Errorf("rexptree: query time %v precedes current time %v", at, now)
 	}
@@ -143,6 +195,13 @@ func (tr *Tree) Timeslice(r Rect, at, now float64) ([]Result, error) {
 // Window reports the objects predicted to cross r at some time in
 // [t1, t2] (Type 2 query).
 func (tr *Tree) Window(r Rect, t1, t2, now float64) ([]Result, error) {
+	start := time.Now()
+	res, err := tr.window(r, t1, t2, now)
+	tr.m.ObserveOp(obs.OpWindow, time.Since(start), err)
+	return res, err
+}
+
+func (tr *Tree) window(r Rect, t1, t2, now float64) ([]Result, error) {
 	if t1 > t2 || t1 < now {
 		return nil, fmt.Errorf("rexptree: invalid query window [%v, %v] at time %v", t1, t2, now)
 	}
@@ -152,6 +211,13 @@ func (tr *Tree) Window(r Rect, t1, t2, now float64) ([]Result, error) {
 // Moving reports the objects predicted to cross the trapezoid
 // connecting r1 at t1 to r2 at t2 (Type 3 query).
 func (tr *Tree) Moving(r1, r2 Rect, t1, t2, now float64) ([]Result, error) {
+	start := time.Now()
+	res, err := tr.moving(r1, r2, t1, t2, now)
+	tr.m.ObserveOp(obs.OpMoving, time.Since(start), err)
+	return res, err
+}
+
+func (tr *Tree) moving(r1, r2 Rect, t1, t2, now float64) ([]Result, error) {
 	if t1 >= t2 || t1 < now {
 		return nil, fmt.Errorf("rexptree: invalid moving query interval [%v, %v] at time %v", t1, t2, now)
 	}
@@ -160,7 +226,18 @@ func (tr *Tree) Moving(r1, r2 Rect, t1, t2, now float64) ([]Result, error) {
 
 // Nearest returns the k objects whose predicted positions at time at
 // are closest to pos, nearest first.  Expired reports never qualify.
+// Like Timeslice, the query time must not precede the current time.
 func (tr *Tree) Nearest(pos Vec, at float64, k int, now float64) ([]Result, error) {
+	start := time.Now()
+	res, err := tr.nearest(pos, at, k, now)
+	tr.m.ObserveOp(obs.OpNearest, time.Since(start), err)
+	return res, err
+}
+
+func (tr *Tree) nearest(pos Vec, at float64, k int, now float64) ([]Result, error) {
+	if at < now {
+		return nil, fmt.Errorf("rexptree: query time %v precedes current time %v", at, now)
+	}
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	rs, err := tr.t.Nearest(geom.Vec(pos), at, k, now)
@@ -200,15 +277,19 @@ func (tr *Tree) Len() int {
 	return tr.t.LeafEntries()
 }
 
-// Stats describes the tree's state and accumulated I/O.
+// Stats describes the tree's state and accumulated I/O.  The richer
+// Metrics snapshot additionally covers structural counters and per-op
+// latencies.
 type Stats struct {
-	Height      int
-	Pages       int
-	LeafEntries int
-	Reads       uint64
-	Writes      uint64
-	BufferHits  uint64
-	UIEstimate  float64
+	Height          int
+	Pages           int
+	LeafEntries     int
+	Reads           uint64
+	Writes          uint64
+	BufferHits      uint64
+	Evictions       uint64
+	DirtyWritebacks uint64
+	UIEstimate      float64
 }
 
 // Stats returns current statistics.
@@ -217,13 +298,15 @@ func (tr *Tree) Stats() Stats {
 	defer tr.mu.Unlock()
 	io := tr.t.IOStats()
 	return Stats{
-		Height:      tr.t.Height(),
-		Pages:       tr.t.Size(),
-		LeafEntries: tr.t.LeafEntries(),
-		Reads:       io.Reads,
-		Writes:      io.Writes,
-		BufferHits:  io.Hits,
-		UIEstimate:  tr.t.UI(),
+		Height:          tr.t.Height(),
+		Pages:           tr.t.Size(),
+		LeafEntries:     tr.t.LeafEntries(),
+		Reads:           io.Reads,
+		Writes:          io.Writes,
+		BufferHits:      io.Hits,
+		Evictions:       io.Evictions,
+		DirtyWritebacks: io.DirtyWritebacks,
+		UIEstimate:      tr.t.UI(),
 	}
 }
 
