@@ -1,16 +1,22 @@
 # Makefile — CI entry points for the rexptree repository.
 #
-#   make check      vet + build + tests + race-enabled tests
-#   make bench-obs  metrics-overhead microbenchmark -> BENCH_obs.json
-#   make all        both of the above
+#   make check        fmt-check + vet + build + tests + race + bench-obs smoke
+#   make bench-obs    metrics-overhead microbenchmark -> BENCH_obs.json
+#   make bench-shard  concurrent-throughput comparison -> BENCH_shard.json
+#   make all          check + both benchmarks
 
 GO ?= go
 
-.PHONY: all check vet build test race bench-obs clean
+.PHONY: all check fmt-check vet build test race bench-obs bench-obs-smoke bench-shard clean
 
-all: check bench-obs
+all: check bench-obs bench-shard
 
-check: vet build test race
+check: fmt-check vet build test race bench-obs-smoke
+
+# Fails (with the offending file list) if anything is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -21,9 +27,9 @@ build:
 test:
 	$(GO) test ./...
 
-# The new instrumentation must hold up under the race detector: the
-# metric counters are read (snapshots, Prometheus scrapes) while
-# parallel Update/query load runs.
+# The instrumentation and the concurrent query path must hold up under
+# the race detector: metric counters are read (snapshots, Prometheus
+# scrapes) and queries fan out while parallel Update load runs.
 race:
 	$(GO) test -race ./...
 
@@ -32,5 +38,16 @@ race:
 bench-obs:
 	$(GO) run ./cmd/rexpobsbench -out BENCH_obs.json
 
+# A fast pass of the same benchmark, as a smoke test for make check:
+# it exercises the full instrumented workload path without committing
+# a result file.
+bench-obs-smoke:
+	$(GO) run ./cmd/rexpobsbench -scale 0.01 -rounds 1 -out -
+
+# Single-mutex vs RWMutex vs sharded throughput under the modeled
+# I/O-bound regime (see cmd/rexpbench/concurrent.go).
+bench-shard:
+	$(GO) run ./cmd/rexpbench -throughput -shardout BENCH_shard.json
+
 clean:
-	rm -f BENCH_obs.json
+	rm -f BENCH_obs.json BENCH_shard.json

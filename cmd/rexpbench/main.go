@@ -6,10 +6,15 @@
 // Usage:
 //
 //	rexpbench [-figure 13] [-scale 0.1] [-seed 1] [-quiet]
+//	rexpbench -throughput [-shards 4] [-workers 4] [-objects 20000] [-duration 2] [-shardout BENCH_shard.json]
 //
 // With no -figure it runs every figure.  -scale is the fraction of the
 // paper's workload size (100,000 objects, 1,000,000 insertions);
 // -scale 1 reproduces the full setup.
+//
+// With -throughput it instead runs the concurrent-throughput
+// comparison (single-mutex tree vs rwmutex tree vs ShardedTree) and
+// writes aggregate ops/sec to -shardout; see concurrent.go.
 package main
 
 import (
@@ -33,8 +38,29 @@ func main() {
 		csv    = flag.String("csv", "", "also append raw results as CSV to this file")
 		asJSON = flag.Bool("json", false, "print the aggregate metrics snapshot as JSON after all figures")
 		serve  = flag.String("serve", "", "serve live Prometheus metrics at /metrics on this address while figures run (e.g. :9090)")
+
+		throughput = flag.Bool("throughput", false, "run the concurrent-throughput comparison instead of figure replay")
+		shards     = flag.Int("shards", 4, "number of shards for the sharded configuration (-throughput mode)")
+		workers    = flag.Int("workers", 4, "concurrent query workers per configuration (-throughput mode)")
+		objects    = flag.Int("objects", 20000, "objects loaded per configuration (-throughput mode)")
+		duration   = flag.Float64("duration", 2, "seconds per measurement phase (-throughput mode)")
+		ioLat      = flag.Duration("iolat", 100*time.Microsecond, "modeled random-access latency per page I/O, the paper's cost unit; 0 for RAM-speed stores (-throughput mode)")
+		shardOut   = flag.String("shardout", "BENCH_shard.json", "output file for the throughput report; - for stdout (-throughput mode)")
 	)
 	flag.Parse()
+
+	if *throughput {
+		progress := func(line string) {
+			if !*quiet {
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}
+		if err := runThroughput(*objects, *shards, *workers, *duration, *ioLat, *seed, *shardOut, progress); err != nil {
+			fmt.Fprintf(os.Stderr, "rexpbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	met := obs.New()
 	experiments.Instrument = met

@@ -69,3 +69,57 @@ func ExampleTree_Nearest() {
 	// Output:
 	// nearest at t=97: object 3
 }
+
+// Batched updates apply a group of reports under one lock
+// acquisition.
+func ExampleTree_UpdateBatch() {
+	tree, _ := rexptree.Open(rexptree.DefaultOptions())
+	defer tree.Close()
+
+	// One position fix per vehicle, applied as a single batch.
+	batch := []rexptree.Report{
+		{ID: 1, Point: rexptree.Point{Pos: rexptree.Vec{100, 100}, Expires: 60}},
+		{ID: 2, Point: rexptree.Point{Pos: rexptree.Vec{200, 200}, Expires: 60}},
+		{ID: 3, Point: rexptree.Point{Pos: rexptree.Vec{300, 300}, Expires: 60}},
+	}
+	if err := tree.UpdateBatch(batch, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	m := tree.Metrics()
+	fmt.Printf("%d objects stored, %d reports batched\n", tree.Len(), m.BatchedUpdates)
+	// Output:
+	// 3 objects stored, 3 reports batched
+}
+
+// A sharded index partitions objects across independent trees and
+// fans queries out across them.
+func ExampleShardedTree() {
+	tree, _ := rexptree.OpenSharded(rexptree.ShardedOptions{
+		Options: rexptree.DefaultOptions(),
+		Shards:  4,
+		Workers: 4,
+	})
+	defer tree.Close()
+
+	for id := uint32(1); id <= 8; id++ {
+		tree.Update(id, rexptree.Point{
+			Pos:     rexptree.Vec{float64(id) * 100, 500},
+			Vel:     rexptree.Vec{1, 0},
+			Expires: rexptree.NoExpiry(),
+		}, 0)
+	}
+
+	// The fan-out merge returns results in ascending id order.
+	res, _ := tree.Window(rexptree.Rect{
+		Lo: rexptree.Vec{250, 0},
+		Hi: rexptree.Vec{560, 1000},
+	}, 0, 10, 0)
+	for _, r := range res {
+		fmt.Println("object", r.ID)
+	}
+	// Output:
+	// object 3
+	// object 4
+	// object 5
+}

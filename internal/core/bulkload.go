@@ -35,7 +35,7 @@ func BulkLoad(cfg Config, store storage.Store, items []BulkItem, now float64) (*
 		return nil, err
 	}
 	t := newTreeShell(cfg, store)
-	t.now = now
+	t.clk.Store(now)
 	t.timerStart = now
 	if err := t.initMeta(); err != nil {
 		return nil, err

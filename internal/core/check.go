@@ -57,13 +57,13 @@ func (t *Tree) CheckInvariants() error {
 				// effective expiration (or the parent entry's, whichever
 				// is earlier).
 				end := math.Min(t.effExp(e.rect, n.level), boundExp)
-				if !geom.IsFinite(end) || end > t.now+1000 {
-					end = t.now + 1000
+				if !geom.IsFinite(end) || end > t.Now()+1000 {
+					end = t.Now() + 1000
 				}
-				if end < t.now {
+				if end < t.Now() {
 					continue // entry already expired; no containment promise
 				}
-				for _, tt := range []float64{t.now, (t.now + end) / 2, end} {
+				for _, tt := range []float64{t.Now(), (t.Now() + end) / 2, end} {
 					outer, inner := bound.At(tt), e.rect.At(tt)
 					for i := 0; i < t.cfg.Dims; i++ {
 						eps := 1e-5 * (1 + abs(inner.Lo[i]) + abs(inner.Hi[i]))

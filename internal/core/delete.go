@@ -15,7 +15,7 @@ import (
 func (t *Tree) Delete(oid uint32, p geom.MovingPoint, now float64) (bool, error) {
 	t.advance(now)
 	p = t.prepare(p)
-	path, idx, err := t.findLeaf(t.root, oid, p.At(t.now))
+	path, idx, err := t.findLeaf(t.root, oid, p.At(t.Now()))
 	if err != nil {
 		return false, err
 	}
@@ -62,7 +62,7 @@ func (t *Tree) findLeaf(id storage.PageID, oid uint32, target geom.Vec) ([]*node
 		if t.isExpired(&e.rect, n.level) {
 			continue
 		}
-		if !containsEps(e.rect.At(t.now), target, t.cfg.Dims) {
+		if !containsEps(e.rect.At(t.Now()), target, t.cfg.Dims) {
 			continue
 		}
 		sub, idx, err := t.findLeaf(e.child(), oid, target)

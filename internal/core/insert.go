@@ -159,9 +159,9 @@ func (t *Tree) chooseChild(n *node, r geom.TPRect) int {
 		er := e.rect
 		er.TExp = t.decisionExp(e.rect, n.level)
 		end := t.metricEnd(er.TExp, rNew.TExp)
-		area := geom.AreaIntegral(er, t.now, end, t.cfg.Dims)
-		union := geom.UnionConservative(er, rNew, t.now, t.cfg.Dims)
-		enl := geom.AreaIntegral(union, t.now, end, t.cfg.Dims) - area
+		area := geom.AreaIntegral(er, t.Now(), end, t.cfg.Dims)
+		union := geom.UnionConservative(er, rNew, t.Now(), t.cfg.Dims)
+		enl := geom.AreaIntegral(union, t.Now(), end, t.cfg.Dims) - area
 		if best < 0 || enl < bestEnl || (enl == bestEnl && area < bestArea) {
 			best, bestEnl, bestArea = i, enl, area
 		}
@@ -194,7 +194,7 @@ func (t *Tree) chooseChildOverlap(n *node, r geom.TPRect) int {
 		er := e.rect
 		er.TExp = t.decisionExp(e.rect, n.level)
 		end := t.metricEnd(er.TExp, rNew.TExp)
-		union := geom.UnionConservative(er, rNew, t.now, t.cfg.Dims)
+		union := geom.UnionConservative(er, rNew, t.Now(), t.cfg.Dims)
 		var dOv float64
 		for j := range n.entries {
 			if j == i {
@@ -204,11 +204,11 @@ func (t *Tree) chooseChildOverlap(n *node, r geom.TPRect) int {
 			if t.isExpired(&s.rect, n.level) {
 				continue
 			}
-			dOv += geom.OverlapIntegral(union, s.rect, t.now, end, t.cfg.Dims) -
-				geom.OverlapIntegral(er, s.rect, t.now, end, t.cfg.Dims)
+			dOv += geom.OverlapIntegral(union, s.rect, t.Now(), end, t.cfg.Dims) -
+				geom.OverlapIntegral(er, s.rect, t.Now(), end, t.cfg.Dims)
 		}
-		enl := geom.AreaIntegral(union, t.now, end, t.cfg.Dims) -
-			geom.AreaIntegral(er, t.now, end, t.cfg.Dims)
+		enl := geom.AreaIntegral(union, t.Now(), end, t.cfg.Dims) -
+			geom.AreaIntegral(er, t.Now(), end, t.cfg.Dims)
 		if best < 0 || dOv < bestOv || (dOv == bestOv && enl < bestEnl) {
 			best, bestOv, bestEnl = i, dOv, enl
 		}
@@ -370,7 +370,7 @@ func (t *Tree) pickReinsert(n *node) []entry {
 	}
 	s := make([]scored, len(n.entries))
 	for i, e := range n.entries {
-		s[i] = scored{e, geom.CenterDistIntegral(e.rect, nodeBR, t.now, end, t.cfg.Dims)}
+		s[i] = scored{e, geom.CenterDistIntegral(e.rect, nodeBR, t.Now(), end, t.cfg.Dims)}
 	}
 	sort.Slice(s, func(i, j int) bool { return s[i].d > s[j].d })
 	p := int(t.cfg.ReinsertFrac * float64(len(n.entries)))

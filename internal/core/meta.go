@@ -67,7 +67,7 @@ func (t *Tree) Sync() error {
 	binary.LittleEndian.PutUint32(buf[12:], uint32(t.root))
 	binary.LittleEndian.PutUint32(buf[16:], uint32(t.height))
 	binary.LittleEndian.PutUint64(buf[20:], uint64(t.leafEntries))
-	binary.LittleEndian.PutUint64(buf[28:], math.Float64bits(t.now))
+	binary.LittleEndian.PutUint64(buf[28:], math.Float64bits(t.Now()))
 	binary.LittleEndian.PutUint64(buf[36:], math.Float64bits(t.ui))
 	binary.LittleEndian.PutUint64(buf[44:], math.Float64bits(t.timerStart))
 	binary.LittleEndian.PutUint32(buf[52:], uint32(t.insSinceTimer))
@@ -118,7 +118,7 @@ func Open(cfg Config, store storage.Store) (*Tree, error) {
 	t.root = storage.PageID(binary.LittleEndian.Uint32(buf[12:]))
 	t.height = int(binary.LittleEndian.Uint32(buf[16:]))
 	t.leafEntries = int(binary.LittleEndian.Uint64(buf[20:]))
-	t.now = math.Float64frombits(binary.LittleEndian.Uint64(buf[28:]))
+	t.clk.Store(math.Float64frombits(binary.LittleEndian.Uint64(buf[28:])))
 	t.ui = math.Float64frombits(binary.LittleEndian.Uint64(buf[36:]))
 	t.timerStart = math.Float64frombits(binary.LittleEndian.Uint64(buf[44:]))
 	t.insSinceTimer = int(binary.LittleEndian.Uint32(buf[52:]))

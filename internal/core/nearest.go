@@ -23,8 +23,8 @@ import (
 // are skipped.
 func (t *Tree) Nearest(q geom.Vec, at float64, k int, now float64) ([]Result, error) {
 	t.advance(now)
-	if at < t.now {
-		return nil, fmt.Errorf("core: nearest query time %v precedes current time %v", at, t.now)
+	if at < t.Now() {
+		return nil, fmt.Errorf("core: nearest query time %v precedes current time %v", at, t.Now())
 	}
 	if k <= 0 {
 		return nil, nil

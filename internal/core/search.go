@@ -92,7 +92,7 @@ func (t *Tree) EntryStats() (live, expired int, err error) {
 			return nil
 		}
 		for _, e := range n.entries {
-			if e.rect.TExp < t.now {
+			if e.rect.TExp < t.Now() {
 				expired++
 			} else {
 				live++

@@ -42,9 +42,9 @@ func (t *Tree) split(n *node) (*node, error) {
 func (t *Tree) splitKey(r geom.TPRect, dim, key int) float64 {
 	switch key {
 	case 0:
-		return r.Lo[dim] + r.VLo[dim]*t.now
+		return r.Lo[dim] + r.VLo[dim]*t.Now()
 	case 1:
-		return r.Hi[dim] + r.VHi[dim]*t.now
+		return r.Hi[dim] + r.VHi[dim]*t.Now()
 	case 2:
 		return r.VLo[dim]
 	default:
@@ -77,11 +77,11 @@ func (t *Tree) chooseSplit(entries []entry, level int) (g1, g2 []entry) {
 	computeBounds := func() {
 		prefix[1] = dr[order[0]]
 		for k := 2; k <= total; k++ {
-			prefix[k] = geom.UnionConservative(prefix[k-1], dr[order[k-1]], t.now, t.cfg.Dims)
+			prefix[k] = geom.UnionConservative(prefix[k-1], dr[order[k-1]], t.Now(), t.cfg.Dims)
 		}
 		suffix[total-1] = dr[order[total-1]]
 		for k := total - 2; k >= minFill; k-- {
-			suffix[k] = geom.UnionConservative(suffix[k+1], dr[order[k]], t.now, t.cfg.Dims)
+			suffix[k] = geom.UnionConservative(suffix[k+1], dr[order[k]], t.Now(), t.cfg.Dims)
 		}
 	}
 
@@ -99,8 +99,8 @@ func (t *Tree) chooseSplit(entries []entry, level int) (g1, g2 []entry) {
 			computeBounds()
 			var margin float64
 			for k := minFill; k <= total-minFill; k++ {
-				margin += geom.MarginIntegral(prefix[k], t.now, end, t.cfg.Dims)
-				margin += geom.MarginIntegral(suffix[k], t.now, end, t.cfg.Dims)
+				margin += geom.MarginIntegral(prefix[k], t.Now(), end, t.cfg.Dims)
+				margin += geom.MarginIntegral(suffix[k], t.Now(), end, t.cfg.Dims)
 			}
 			if margin < bestAxisMargin {
 				bestAxisMargin = margin
@@ -116,9 +116,9 @@ func (t *Tree) chooseSplit(entries []entry, level int) (g1, g2 []entry) {
 	bestK := -1
 	bestOverlap, bestArea := math.Inf(1), math.Inf(1)
 	for k := minFill; k <= total-minFill; k++ {
-		ov := geom.OverlapIntegral(prefix[k], suffix[k], t.now, end, t.cfg.Dims)
-		ar := geom.AreaIntegral(prefix[k], t.now, end, t.cfg.Dims) +
-			geom.AreaIntegral(suffix[k], t.now, end, t.cfg.Dims)
+		ov := geom.OverlapIntegral(prefix[k], suffix[k], t.Now(), end, t.cfg.Dims)
+		ar := geom.AreaIntegral(prefix[k], t.Now(), end, t.cfg.Dims) +
+			geom.AreaIntegral(suffix[k], t.Now(), end, t.cfg.Dims)
 		if ov < bestOverlap || (ov == bestOverlap && ar < bestArea) {
 			bestK, bestOverlap, bestArea = k, ov, ar
 		}

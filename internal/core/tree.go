@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"rexptree/internal/geom"
 	"rexptree/internal/hull"
@@ -11,8 +13,13 @@ import (
 	"rexptree/internal/storage"
 )
 
-// Tree is the page-based index engine.  It is not safe for concurrent
-// use; the public rexptree package adds locking.
+// Tree is the page-based index engine.  Mutating operations (Insert,
+// Delete, bulk loading, Sync) require external exclusive locking; the
+// read-only traversals (Search, Nearest, Records, the stats walks) may
+// run concurrently with each other — the buffer pool, the decoded-node
+// cache and the clock are internally synchronized — but never
+// concurrently with a mutation.  The public rexptree package supplies
+// that discipline with a reader/writer lock.
 type Tree struct {
 	cfg Config
 	lay layout
@@ -21,15 +28,19 @@ type Tree struct {
 
 	root   storage.PageID
 	height int // number of levels; the root is at level height-1
-	now    float64
+	clk    clock
 	rng    *rand.Rand
 
 	// cache holds the decoded image of pages.  Node rectangles are
 	// rounded to page (float32) precision when computed, so a cached
 	// node is always bit-identical to what decoding its page would
 	// produce; the buffer pool is still consulted on every access so
-	// that I/O is charged exactly as without the cache.
-	cache map[storage.PageID]*node
+	// that I/O is charged exactly as without the cache.  cacheMu makes
+	// the map safe for the concurrent read-only traversals the public
+	// tree's shared lock admits; two readers that race to decode the
+	// same page store bit-identical nodes, so either insert may win.
+	cacheMu sync.RWMutex
+	cache   map[storage.PageID]*node
 
 	// Self-tuning state (§4.2.3).
 	leafEntries   int   // N: leaf entries physically stored
@@ -110,8 +121,10 @@ func New(cfg Config, store storage.Store) (*Tree, error) {
 // Config returns the tree's effective configuration.
 func (t *Tree) Config() Config { return t.cfg }
 
-// Now returns the latest time the tree has observed.
-func (t *Tree) Now() float64 { return t.now }
+// Now returns the latest time the tree has observed.  It is an
+// atomic read, safe without any lock, so concurrent queries can check
+// expiration while an update advances the clock.
+func (t *Tree) Now() float64 { return t.clk.Load() }
 
 // Height returns the number of tree levels.
 func (t *Tree) Height() int { return t.height }
@@ -169,12 +182,33 @@ func (t *Tree) brHorizon(level int) float64 {
 	return h + t.W()
 }
 
-// advance moves the tree clock forward (time never runs backwards).
-func (t *Tree) advance(now float64) {
-	if now > t.now {
-		t.now = now
+// clock is the tree's monotonic time.  It is atomic so that query
+// paths (which hold only a shared lock in the public tree) can read
+// and advance it while racing with each other.
+type clock struct{ bits atomic.Uint64 }
+
+// Load returns the current time.
+func (c *clock) Load() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Store sets the clock unconditionally (used when loading persisted
+// state).
+func (c *clock) Store(v float64) { c.bits.Store(math.Float64bits(v)) }
+
+// Advance moves the clock to v unless it is already later.
+func (c *clock) Advance(v float64) {
+	for {
+		old := c.bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if c.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
 	}
 }
+
+// advance moves the tree clock forward (time never runs backwards).
+func (t *Tree) advance(now float64) { t.clk.Advance(now) }
 
 // tickUI counts one insertion toward the update-interval estimate and
 // refreshes the estimate every leaf-capacity insertions (§4.2.3).
@@ -184,10 +218,10 @@ func (t *Tree) tickUI() {
 	if t.insSinceTimer < b {
 		return
 	}
-	if dt := t.now - t.timerStart; dt > 0 && t.leafEntries > 0 {
+	if dt := t.Now() - t.timerStart; dt > 0 && t.leafEntries > 0 {
 		t.ui = dt / float64(b) * float64(t.leafEntries)
 	}
-	t.timerStart = t.now
+	t.timerStart = t.Now()
 	t.insSinceTimer = 0
 }
 
@@ -204,7 +238,7 @@ func (t *Tree) prepare(p geom.MovingPoint) geom.MovingPoint {
 		p.TExp = math.Inf(1)
 	}
 	if t.cfg.BRKind == hull.KindStatic && t.cfg.ExpireAware && !geom.IsFinite(p.TExp) {
-		if exit := geom.ExitTime(p, t.cfg.World, t.now, t.cfg.Dims); geom.IsFinite(exit) {
+		if exit := geom.ExitTime(p, t.cfg.World, t.Now(), t.cfg.Dims); geom.IsFinite(exit) {
 			p.TExp = float64(f32Up(exit))
 		}
 	}
@@ -228,7 +262,7 @@ func (t *Tree) effExp(r geom.TPRect, level int) float64 {
 	if level == 0 || t.cfg.StoreBRExp {
 		return r.TExp
 	}
-	return geom.DerivedExp(r, t.now, t.cfg.Dims)
+	return geom.DerivedExp(r, t.Now(), t.cfg.Dims)
 }
 
 // isExpired reports whether the entry (stored at the given node level)
@@ -238,9 +272,9 @@ func (t *Tree) isExpired(r *geom.TPRect, level int) bool {
 		return false
 	}
 	if level == 0 || t.cfg.StoreBRExp {
-		return r.TExp < t.now
+		return r.TExp < t.Now()
 	}
-	return geom.DerivedExp(*r, t.now, t.cfg.Dims) < t.now
+	return geom.DerivedExp(*r, t.Now(), t.cfg.Dims) < t.Now()
 }
 
 // decisionExp returns the expiration time the insertion heuristics use
@@ -256,7 +290,7 @@ func (t *Tree) decisionExp(r geom.TPRect, level int) float64 {
 // metricEnd returns the upper integration bound now+min(H, texp-now)
 // of Eq. 1, given the expiration times of the rectangles involved.
 func (t *Tree) metricEnd(texps ...float64) float64 {
-	end := t.now + t.metricH()
+	end := t.Now() + t.metricH()
 	m := math.Inf(-1)
 	for _, e := range texps {
 		m = math.Max(m, e)
@@ -264,8 +298,8 @@ func (t *Tree) metricEnd(texps ...float64) float64 {
 	if m < end {
 		end = m
 	}
-	if end < t.now {
-		end = t.now
+	if end < t.Now() {
+		end = t.Now()
 	}
 	return end
 }
@@ -285,7 +319,7 @@ func (t *Tree) computeBR(n *node) geom.TPRect {
 	if t.cfg.BRKind == hull.KindNearOptimal {
 		order = t.rng.Perm(t.cfg.Dims)
 	}
-	br := hull.Compute(t.cfg.BRKind, items, t.now, t.brHorizon(n.level), t.cfg.Dims, t.cfg.World, order)
+	br := hull.Compute(t.cfg.BRKind, items, t.Now(), t.brHorizon(n.level), t.cfg.Dims, t.cfg.World, order)
 	if !t.cfg.StoreBRExp {
 		br.TExp = math.Inf(1)
 	}
@@ -311,20 +345,27 @@ func (t *Tree) roundBR(r geom.TPRect) geom.TPRect {
 // readNode loads the node.  The buffer pool is consulted first so
 // that misses are charged as reads; decoding is skipped when the
 // node's image is cached.  The returned node is shared: a caller that
-// mutates it must writeNode it before the operation ends.
+// mutates it must writeNode it before the operation ends (mutation
+// requires the public tree's exclusive lock, which keeps concurrent
+// readers out).
 func (t *Tree) readNode(id storage.PageID) (*node, error) {
 	buf, err := t.bp.Get(id)
 	if err != nil {
 		return nil, err
 	}
-	if n, ok := t.cache[id]; ok {
+	t.cacheMu.RLock()
+	n, ok := t.cache[id]
+	t.cacheMu.RUnlock()
+	if ok {
 		return n, nil
 	}
-	n, err := t.lay.decode(id, buf)
+	n, err = t.lay.decode(id, buf)
 	if err != nil {
 		return nil, err
 	}
+	t.cacheMu.Lock()
 	t.cache[id] = n
+	t.cacheMu.Unlock()
 	return n, nil
 }
 
@@ -340,7 +381,9 @@ func (t *Tree) writeNode(n *node) error {
 		return err
 	}
 	t.lay.encode(n, buf)
+	t.cacheMu.Lock()
 	t.cache[n.id] = n
+	t.cacheMu.Unlock()
 	return t.bp.MarkDirty(n.id)
 }
 
@@ -362,7 +405,9 @@ func (t *Tree) freeNode(n *node) error {
 	if n.level < len(t.nodesPerLevel) {
 		t.nodesPerLevel[n.level]--
 	}
+	t.cacheMu.Lock()
 	delete(t.cache, n.id)
+	t.cacheMu.Unlock()
 	return t.bp.Free(n.id)
 }
 

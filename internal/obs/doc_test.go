@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestMetricsDocCoversExposition keeps docs/METRICS.md in sync with
+// the exposition: every family the registry writes must be documented,
+// and every rexp_-prefixed name the document mentions must exist.
+func TestMetricsDocCoversExposition(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "docs", "METRICS.md"))
+	if err != nil {
+		t.Fatalf("metrics catalog missing: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	families := map[string]bool{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			families[strings.Fields(rest)[0]] = true
+		}
+	}
+	if len(families) == 0 {
+		t.Fatal("no families parsed from exposition")
+	}
+
+	for name := range families {
+		if !bytes.Contains(doc, []byte("`"+name+"`")) {
+			t.Errorf("docs/METRICS.md does not document %s", name)
+		}
+	}
+
+	// Every rexp_* name in the document must be a real family, after
+	// folding the per-shard prefix back to the base name.
+	nameRe := regexp.MustCompile(`rexp_[a-zA-Z0-9_]*[a-zA-Z0-9]`)
+	for _, m := range nameRe.FindAllString(string(doc), -1) {
+		name := m
+		if rest, ok := strings.CutPrefix(name, "rexp_shard"); ok {
+			i := strings.IndexByte(rest, '_')
+			if i < 0 {
+				continue // prose fragment like "rexp_shard", not a metric
+			}
+			name = "rexp" + rest[i:]
+		}
+		if !families[name] {
+			t.Errorf("docs/METRICS.md mentions %s, which the exposition does not write", m)
+		}
+	}
+}

@@ -88,6 +88,46 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.count.Add(1)
 }
 
+// HistSnapshot is the frozen state of one histogram.
+type HistSnapshot struct {
+	Count      uint64
+	SumSeconds float64
+	Buckets    [NumBuckets]uint64 // per-bucket (non-cumulative) counts
+}
+
+// Snapshot freezes the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.SumSeconds = float64(h.nanos.Load()) / 1e9
+	for i := range s.Buckets {
+		s.Buckets[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Sub returns the activity since the earlier snapshot o.
+func (s HistSnapshot) Sub(o HistSnapshot) HistSnapshot {
+	d := s
+	d.Count -= o.Count
+	d.SumSeconds -= o.SumSeconds
+	for i := range d.Buckets {
+		d.Buckets[i] -= o.Buckets[i]
+	}
+	return d
+}
+
+// Add returns the combined activity of both snapshots.
+func (s HistSnapshot) Add(o HistSnapshot) HistSnapshot {
+	d := s
+	d.Count += o.Count
+	d.SumSeconds += o.SumSeconds
+	for i := range d.Buckets {
+		d.Buckets[i] += o.Buckets[i]
+	}
+	return d
+}
+
 // Op identifies one public index operation.
 type Op int
 
@@ -99,10 +139,11 @@ const (
 	OpWindow
 	OpMoving
 	OpNearest
-	NumOps // count, not an operation
+	OpBatch // one UpdateBatch call (its size is counted separately by the caller)
+	NumOps  // count, not an operation
 )
 
-var opNames = [NumOps]string{"update", "delete", "timeslice", "window", "moving", "nearest"}
+var opNames = [NumOps]string{"update", "delete", "timeslice", "window", "moving", "nearest", "update_batch"}
 
 // String returns the operation's lower-case name.
 func (o Op) String() string {
@@ -204,6 +245,16 @@ type Metrics struct {
 	BufResident Gauge      // buffered pages
 	UI          GaugeFloat // self-tuned update-interval estimate (§4.2.3)
 	Horizon     GaugeFloat // time horizon H = UI + W (§4.2.1)
+
+	// Lock acquisition wait times of the public tree (PR 2): how long
+	// operations block before entering the index.  Read covers the
+	// shared (query) lock, Write the exclusive (update) lock.
+	LockWaitRead  Histogram
+	LockWaitWrite Histogram
+
+	// BatchedUpdates counts individual object reports applied through
+	// UpdateBatch (each batch is additionally one OpBatch operation).
+	BatchedUpdates Counter
 
 	// Ops holds the per-operation latency instruments, indexed by Op.
 	Ops [NumOps]OpMetrics
@@ -311,6 +362,10 @@ type Snapshot struct {
 	UI          float64
 	Horizon     float64
 
+	LockWaitRead   HistSnapshot
+	LockWaitWrite  HistSnapshot
+	BatchedUpdates uint64
+
 	Ops [NumOps]OpSnapshot
 }
 
@@ -342,6 +397,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.BufResident = m.BufResident.Load()
 	s.UI = m.UI.Load()
 	s.Horizon = m.Horizon.Load()
+	s.LockWaitRead = m.LockWaitRead.Snapshot()
+	s.LockWaitWrite = m.LockWaitWrite.Snapshot()
+	s.BatchedUpdates = m.BatchedUpdates.Load()
 	for op := Op(0); op < NumOps; op++ {
 		o := &m.Ops[op]
 		snap := &s.Ops[op]
@@ -376,8 +434,57 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 	d.OrphansReinserted -= o.OrphansReinserted
 	d.ExpiredPurged -= o.ExpiredPurged
 	d.SubtreesFreed -= o.SubtreesFreed
+	d.LockWaitRead = s.LockWaitRead.Sub(o.LockWaitRead)
+	d.LockWaitWrite = s.LockWaitWrite.Sub(o.LockWaitWrite)
+	d.BatchedUpdates -= o.BatchedUpdates
 	for i := range d.Ops {
 		d.Ops[i] = s.Ops[i].Sub(o.Ops[i])
+	}
+	return d
+}
+
+// Add returns the combined activity of both snapshots: counters,
+// gauges and histogram buckets are summed.  It aggregates the
+// registries of independent sub-indexes (the shards of a ShardedTree)
+// into one fleet-wide view; summing gauges is meaningful there because
+// each shard owns disjoint pages and entries.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	d := s
+	d.BufReads += o.BufReads
+	d.BufWrites += o.BufWrites
+	d.BufHits += o.BufHits
+	d.BufEvictions += o.BufEvictions
+	d.BufDirtyWritebacks += o.BufDirtyWritebacks
+	d.FaultTrips += o.FaultTrips
+	d.ChooseSubtree += o.ChooseSubtree
+	d.NodeVisits += o.NodeVisits
+	d.LeafScans += o.LeafScans
+	d.Splits += o.Splits
+	d.ForcedReinserts += o.ForcedReinserts
+	d.Condenses += o.Condenses
+	d.OrphansReinserted += o.OrphansReinserted
+	d.ExpiredPurged += o.ExpiredPurged
+	d.SubtreesFreed += o.SubtreesFreed
+	if o.Height > d.Height {
+		d.Height = o.Height // the fleet is as tall as its tallest shard
+	}
+	d.Pages += o.Pages
+	d.LeafEntries += o.LeafEntries
+	d.BufResident += o.BufResident
+	d.UI = math.Max(d.UI, o.UI)
+	d.Horizon = math.Max(d.Horizon, o.Horizon)
+	d.LockWaitRead = s.LockWaitRead.Add(o.LockWaitRead)
+	d.LockWaitWrite = s.LockWaitWrite.Add(o.LockWaitWrite)
+	d.BatchedUpdates += o.BatchedUpdates
+	for i := range d.Ops {
+		op := d.Ops[i]
+		op.Count += o.Ops[i].Count
+		op.Errors += o.Ops[i].Errors
+		op.SumSeconds += o.Ops[i].SumSeconds
+		for j := range op.Buckets {
+			op.Buckets[j] += o.Ops[i].Buckets[j]
+		}
+		d.Ops[i] = op
 	}
 	return d
 }

@@ -76,7 +76,7 @@ func TestBoundsCopy(t *testing.T) {
 }
 
 func TestOpAndEventNames(t *testing.T) {
-	want := []string{"update", "delete", "timeslice", "window", "moving", "nearest"}
+	want := []string{"update", "delete", "timeslice", "window", "moving", "nearest", "update_batch"}
 	for op := Op(0); op < NumOps; op++ {
 		if op.String() != want[op] {
 			t.Errorf("op %d = %q, want %q", op, op.String(), want[op])

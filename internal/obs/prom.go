@@ -7,7 +7,14 @@ import (
 	"strconv"
 )
 
-// promFamily describes one exposed counter or gauge series.
+// DefaultPrefix is the metric-name prefix of a stand-alone tree's
+// exposition.  Sharded front-ends write one section per shard with the
+// shard's own prefix (rexp_shard0, rexp_shard1, ...) so a single
+// scrape distinguishes the sub-indexes.
+const DefaultPrefix = "rexp"
+
+// promFamily describes one exposed counter or gauge series.  The name
+// is a suffix; the exposition prepends the section prefix.
 type promFamily struct {
 	name, typ, help string
 	value           func(*Snapshot) string
@@ -28,94 +35,122 @@ func fv(f func(*Snapshot) float64) func(*Snapshot) string {
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // families lists every scalar series in exposition order.  Histograms
-// are appended separately by WriteSnapshot.
+// are appended separately by WriteSnapshotPrefix.
 var families = []promFamily{
-	{"rexp_buffer_reads_total", "counter", "Pages read from the store (buffer misses, paper 5.1).", cv(func(s *Snapshot) uint64 { return s.BufReads })},
-	{"rexp_buffer_writes_total", "counter", "Pages written to the store.", cv(func(s *Snapshot) uint64 { return s.BufWrites })},
-	{"rexp_buffer_hits_total", "counter", "Page requests served from the buffer.", cv(func(s *Snapshot) uint64 { return s.BufHits })},
-	{"rexp_buffer_evictions_total", "counter", "Buffer frames evicted by LRU replacement.", cv(func(s *Snapshot) uint64 { return s.BufEvictions })},
-	{"rexp_buffer_dirty_writebacks_total", "counter", "Evictions that wrote a dirty frame back first.", cv(func(s *Snapshot) uint64 { return s.BufDirtyWritebacks })},
-	{"rexp_storage_fault_trips_total", "counter", "Injected storage faults that fired.", cv(func(s *Snapshot) uint64 { return s.FaultTrips })},
-	{"rexp_choose_subtree_total", "counter", "ChooseSubtree descents, one per level (paper 4.2.2).", cv(func(s *Snapshot) uint64 { return s.ChooseSubtree })},
-	{"rexp_query_node_visits_total", "counter", "Nodes visited by search and nearest-neighbor queries.", cv(func(s *Snapshot) uint64 { return s.NodeVisits })},
-	{"rexp_query_leaf_entries_scanned_total", "counter", "Leaf entries examined by queries.", cv(func(s *Snapshot) uint64 { return s.LeafScans })},
-	{"rexp_split_total", "counter", "Node splits (paper 4.2.2).", cv(func(s *Snapshot) uint64 { return s.Splits })},
-	{"rexp_forced_reinsert_total", "counter", "Forced-reinsertion rounds on node overflow (paper 4.2.2).", cv(func(s *Snapshot) uint64 { return s.ForcedReinserts })},
-	{"rexp_condense_total", "counter", "Underflowing nodes dissolved by CondenseTree (paper 4.3).", cv(func(s *Snapshot) uint64 { return s.Condenses })},
-	{"rexp_orphan_reinserted_total", "counter", "Entries placed back via the orphan list (CT3, paper 4.3).", cv(func(s *Snapshot) uint64 { return s.OrphansReinserted })},
-	{"rexp_expired_purged_total", "counter", "Expired leaf entries lazily purged (paper 4.3).", cv(func(s *Snapshot) uint64 { return s.ExpiredPurged })},
-	{"rexp_subtree_freed_total", "counter", "Expired internal subtrees deallocated (paper 4.3).", cv(func(s *Snapshot) uint64 { return s.SubtreesFreed })},
-	{"rexp_height", "gauge", "Tree levels.", gv(func(s *Snapshot) int64 { return s.Height })},
-	{"rexp_index_pages", "gauge", "Allocated pages (index size, paper Figure 15).", gv(func(s *Snapshot) int64 { return s.Pages })},
-	{"rexp_leaf_entries", "gauge", "Stored leaf entries, live plus unpurged expired (paper 5.4).", gv(func(s *Snapshot) int64 { return s.LeafEntries })},
-	{"rexp_buffer_resident_pages", "gauge", "Pages currently buffered.", gv(func(s *Snapshot) int64 { return s.BufResident })},
-	{"rexp_ui_estimate", "gauge", "Self-tuned update-interval estimate UI (paper 4.2.3).", fv(func(s *Snapshot) float64 { return s.UI })},
-	{"rexp_horizon", "gauge", "Time horizon H = UI + W (paper 4.2.1).", fv(func(s *Snapshot) float64 { return s.Horizon })},
+	{"_buffer_reads_total", "counter", "Pages read from the store (buffer misses, paper 5.1).", cv(func(s *Snapshot) uint64 { return s.BufReads })},
+	{"_buffer_writes_total", "counter", "Pages written to the store.", cv(func(s *Snapshot) uint64 { return s.BufWrites })},
+	{"_buffer_hits_total", "counter", "Page requests served from the buffer.", cv(func(s *Snapshot) uint64 { return s.BufHits })},
+	{"_buffer_evictions_total", "counter", "Buffer frames evicted by LRU replacement.", cv(func(s *Snapshot) uint64 { return s.BufEvictions })},
+	{"_buffer_dirty_writebacks_total", "counter", "Evictions that wrote a dirty frame back first.", cv(func(s *Snapshot) uint64 { return s.BufDirtyWritebacks })},
+	{"_storage_fault_trips_total", "counter", "Injected storage faults that fired.", cv(func(s *Snapshot) uint64 { return s.FaultTrips })},
+	{"_choose_subtree_total", "counter", "ChooseSubtree descents, one per level (paper 4.2.2).", cv(func(s *Snapshot) uint64 { return s.ChooseSubtree })},
+	{"_query_node_visits_total", "counter", "Nodes visited by search and nearest-neighbor queries.", cv(func(s *Snapshot) uint64 { return s.NodeVisits })},
+	{"_query_leaf_entries_scanned_total", "counter", "Leaf entries examined by queries.", cv(func(s *Snapshot) uint64 { return s.LeafScans })},
+	{"_split_total", "counter", "Node splits (paper 4.2.2).", cv(func(s *Snapshot) uint64 { return s.Splits })},
+	{"_forced_reinsert_total", "counter", "Forced-reinsertion rounds on node overflow (paper 4.2.2).", cv(func(s *Snapshot) uint64 { return s.ForcedReinserts })},
+	{"_condense_total", "counter", "Underflowing nodes dissolved by CondenseTree (paper 4.3).", cv(func(s *Snapshot) uint64 { return s.Condenses })},
+	{"_orphan_reinserted_total", "counter", "Entries placed back via the orphan list (CT3, paper 4.3).", cv(func(s *Snapshot) uint64 { return s.OrphansReinserted })},
+	{"_expired_purged_total", "counter", "Expired leaf entries lazily purged (paper 4.3).", cv(func(s *Snapshot) uint64 { return s.ExpiredPurged })},
+	{"_subtree_freed_total", "counter", "Expired internal subtrees deallocated (paper 4.3).", cv(func(s *Snapshot) uint64 { return s.SubtreesFreed })},
+	{"_batched_updates_total", "counter", "Object reports applied through UpdateBatch.", cv(func(s *Snapshot) uint64 { return s.BatchedUpdates })},
+	{"_height", "gauge", "Tree levels.", gv(func(s *Snapshot) int64 { return s.Height })},
+	{"_index_pages", "gauge", "Allocated pages (index size, paper Figure 15).", gv(func(s *Snapshot) int64 { return s.Pages })},
+	{"_leaf_entries", "gauge", "Stored leaf entries, live plus unpurged expired (paper 5.4).", gv(func(s *Snapshot) int64 { return s.LeafEntries })},
+	{"_buffer_resident_pages", "gauge", "Pages currently buffered.", gv(func(s *Snapshot) int64 { return s.BufResident })},
+	{"_ui_estimate", "gauge", "Self-tuned update-interval estimate UI (paper 4.2.3).", fv(func(s *Snapshot) float64 { return s.UI })},
+	{"_horizon", "gauge", "Time horizon H = UI + W (paper 4.2.1).", fv(func(s *Snapshot) float64 { return s.Horizon })},
 }
 
 // WriteSnapshot writes the snapshot in the Prometheus text exposition
-// format (version 0.0.4).  The output is deterministic for a given
-// snapshot, which the golden-file test relies on.
+// format (version 0.0.4) under the default "rexp" name prefix.  The
+// output is deterministic for a given snapshot, which the golden-file
+// test relies on.
 func WriteSnapshot(w io.Writer, s Snapshot) error {
+	return WriteSnapshotPrefix(w, s, DefaultPrefix)
+}
+
+// WriteSnapshotPrefix writes the snapshot with every metric name
+// starting with the given prefix (e.g. "rexp_shard0").  The prefix
+// must be a valid Prometheus name fragment: [a-zA-Z_][a-zA-Z0-9_]*.
+func WriteSnapshotPrefix(w io.Writer, s Snapshot, prefix string) error {
 	bw := bufio.NewWriter(w)
 	for _, f := range families {
+		name := prefix + f.name
 		bw.WriteString("# HELP ")
-		bw.WriteString(f.name)
+		bw.WriteString(name)
 		bw.WriteByte(' ')
 		bw.WriteString(f.help)
 		bw.WriteString("\n# TYPE ")
-		bw.WriteString(f.name)
+		bw.WriteString(name)
 		bw.WriteByte(' ')
 		bw.WriteString(f.typ)
 		bw.WriteByte('\n')
-		bw.WriteString(f.name)
+		bw.WriteString(name)
 		bw.WriteByte(' ')
 		bw.WriteString(f.value(&s))
 		bw.WriteByte('\n')
 	}
 
-	bw.WriteString("# HELP rexp_op_errors_total Public operations that returned an error.\n")
-	bw.WriteString("# TYPE rexp_op_errors_total counter\n")
+	name := prefix + "_lock_wait_seconds"
+	bw.WriteString("# HELP " + name + " Time operations wait to acquire the tree lock, by mode.\n")
+	bw.WriteString("# TYPE " + name + " histogram\n")
+	writeHist(bw, name, `mode="read"`, &s.LockWaitRead)
+	writeHist(bw, name, `mode="write"`, &s.LockWaitWrite)
+
+	name = prefix + "_op_errors_total"
+	bw.WriteString("# HELP " + name + " Public operations that returned an error.\n")
+	bw.WriteString("# TYPE " + name + " counter\n")
 	for op := Op(0); op < NumOps; op++ {
-		bw.WriteString("rexp_op_errors_total{op=\"")
+		bw.WriteString(name)
+		bw.WriteString("{op=\"")
 		bw.WriteString(op.String())
 		bw.WriteString("\"} ")
 		bw.WriteString(strconv.FormatUint(s.Ops[op].Errors, 10))
 		bw.WriteByte('\n')
 	}
 
-	bw.WriteString("# HELP rexp_op_duration_seconds Latency of public index operations.\n")
-	bw.WriteString("# TYPE rexp_op_duration_seconds histogram\n")
+	name = prefix + "_op_duration_seconds"
+	bw.WriteString("# HELP " + name + " Latency of public index operations.\n")
+	bw.WriteString("# TYPE " + name + " histogram\n")
 	for op := Op(0); op < NumOps; op++ {
 		o := &s.Ops[op]
-		name := op.String()
-		var cum uint64
-		for i := 0; i < NumBuckets; i++ {
-			cum += o.Buckets[i]
-			le := "+Inf"
-			if i < len(bounds) {
-				le = formatFloat(bounds[i])
-			}
-			bw.WriteString("rexp_op_duration_seconds_bucket{op=\"")
-			bw.WriteString(name)
-			bw.WriteString("\",le=\"")
-			bw.WriteString(le)
-			bw.WriteString("\"} ")
-			bw.WriteString(strconv.FormatUint(cum, 10))
-			bw.WriteByte('\n')
-		}
-		bw.WriteString("rexp_op_duration_seconds_sum{op=\"")
-		bw.WriteString(name)
-		bw.WriteString("\"} ")
-		bw.WriteString(formatFloat(o.SumSeconds))
-		bw.WriteByte('\n')
-		bw.WriteString("rexp_op_duration_seconds_count{op=\"")
-		bw.WriteString(name)
-		bw.WriteString("\"} ")
-		bw.WriteString(strconv.FormatUint(o.Count, 10))
-		bw.WriteByte('\n')
+		h := HistSnapshot{Count: o.Count, SumSeconds: o.SumSeconds, Buckets: o.Buckets}
+		writeHist(bw, name, `op="`+op.String()+`"`, &h)
 	}
 	return bw.Flush()
+}
+
+// writeHist writes one labelled histogram series: the cumulative
+// buckets, the sum and the count.
+func writeHist(bw *bufio.Writer, name, label string, h *HistSnapshot) {
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		cum += h.Buckets[i]
+		le := "+Inf"
+		if i < len(bounds) {
+			le = formatFloat(bounds[i])
+		}
+		bw.WriteString(name)
+		bw.WriteString("_bucket{")
+		bw.WriteString(label)
+		bw.WriteString(",le=\"")
+		bw.WriteString(le)
+		bw.WriteString("\"} ")
+		bw.WriteString(strconv.FormatUint(cum, 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(name)
+	bw.WriteString("_sum{")
+	bw.WriteString(label)
+	bw.WriteString("} ")
+	bw.WriteString(formatFloat(h.SumSeconds))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_count{")
+	bw.WriteString(label)
+	bw.WriteString("} ")
+	bw.WriteString(strconv.FormatUint(h.Count, 10))
+	bw.WriteByte('\n')
 }
 
 // ContentType is the Prometheus text exposition content type.
@@ -131,6 +166,25 @@ func Handler(snap func() Snapshot) http.Handler {
 			// The response is already partially written; nothing
 			// useful can be reported to the client.
 			return
+		}
+	})
+}
+
+// ShardedHandler returns an http.Handler serving a multi-section
+// exposition: the aggregate snapshot under the default prefix followed
+// by one section per shard under rexp_shard<i>.
+func ShardedHandler(snap func() (agg Snapshot, shards []Snapshot)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		agg, shards := snap()
+		if err := WriteSnapshotPrefix(w, agg, DefaultPrefix); err != nil {
+			return
+		}
+		for i, s := range shards {
+			prefix := DefaultPrefix + "_shard" + strconv.Itoa(i)
+			if err := WriteSnapshotPrefix(w, s, prefix); err != nil {
+				return
+			}
 		}
 	})
 }

@@ -41,11 +41,16 @@ func goldenSnapshot() Snapshot {
 	m.BufResident.Set(50)
 	m.UI.Set(42.5)
 	m.Horizon.Set(63.75)
+	m.BatchedUpdates.Add(640)
+	m.LockWaitRead.Observe(900 * time.Nanosecond)
+	m.LockWaitRead.Observe(12 * time.Microsecond)
+	m.LockWaitWrite.Observe(400 * time.Microsecond)
 	m.ObserveOp(OpUpdate, 800*time.Nanosecond, nil)
 	m.ObserveOp(OpUpdate, 30*time.Microsecond, nil)
 	m.ObserveOp(OpUpdate, 2*time.Millisecond, nil)
 	m.ObserveOp(OpWindow, 70*time.Microsecond, nil)
 	m.ObserveOp(OpNearest, 3*time.Second, errFixed) // overflow bucket + error
+	m.ObserveOp(OpBatch, 5*time.Millisecond, nil)
 	return m.Snapshot()
 }
 
@@ -110,6 +115,7 @@ func TestWriteSnapshotParses(t *testing.T) {
 		"rexp_buffer_dirty_writebacks_total", "rexp_split_total",
 		"rexp_forced_reinsert_total", "rexp_condense_total",
 		"rexp_expired_purged_total", "rexp_ui_estimate",
+		"rexp_batched_updates_total", "rexp_lock_wait_seconds",
 		"rexp_op_errors_total", "rexp_op_duration_seconds",
 	} {
 		if !help[name] || !typ[name] {

@@ -3,6 +3,7 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"sync"
 
 	"rexptree/internal/obs"
 )
@@ -41,8 +42,16 @@ type frame struct {
 // BufferPool caches up to cap pages of a Store with LRU replacement,
 // as in the experimental setup of the paper (§5.1): 50 pages of 4 KiB,
 // the tree root pinned, dirty pages written back on eviction or on
-// explicit flush.  It is not safe for concurrent use.
+// explicit flush.
+//
+// Every method is safe for concurrent use; one mutex serializes the
+// frame table, the LRU list and the store, so concurrent readers of
+// the tree above can share the pool.  A slice returned by Get stays
+// memory-safe after a concurrent eviction (the frame is dropped, not
+// recycled), but its contents are only stable while no writer mutates
+// the page — the tree layer's reader/writer lock guarantees that.
 type BufferPool struct {
+	mu       sync.Mutex
 	store    Store
 	capacity int
 	frames   map[PageID]*frame
@@ -65,7 +74,11 @@ func NewBufferPool(store Store, capacity int) *BufferPool {
 }
 
 // Stats returns the accumulated I/O counters.
-func (bp *BufferPool) Stats() Stats { return bp.stats }
+func (bp *BufferPool) Stats() Stats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
 
 // SetMetrics attaches (or with nil detaches) an instrument registry.
 // The registry is forwarded to the underlying store when it supports
@@ -78,7 +91,11 @@ func (bp *BufferPool) SetMetrics(m *obs.Metrics) {
 }
 
 // ResetStats zeroes the I/O counters.
-func (bp *BufferPool) ResetStats() { bp.stats = Stats{} }
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = Stats{}
+}
 
 // Store returns the underlying page store.
 func (bp *BufferPool) Store() Store { return bp.store }
@@ -135,6 +152,12 @@ func (bp *BufferPool) admit(f *frame) error {
 // until the page is evicted, so callers must not retain it across
 // other pool operations unless the page is pinned.
 func (bp *BufferPool) Get(id PageID) ([]byte, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.get(id)
+}
+
+func (bp *BufferPool) get(id PageID) ([]byte, error) {
 	if f, ok := bp.frames[id]; ok {
 		bp.stats.Hits++
 		if bp.met != nil {
@@ -162,6 +185,8 @@ func (bp *BufferPool) Get(id PageID) ([]byte, error) {
 // not yet evicted); keeping it resident while mutating is the caller's
 // responsibility (pin it or mark immediately after Get).
 func (bp *BufferPool) MarkDirty(id PageID) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	f, ok := bp.frames[id]
 	if !ok {
 		return fmt.Errorf("storage: MarkDirty(%d): page not resident", id)
@@ -173,9 +198,11 @@ func (bp *BufferPool) MarkDirty(id PageID) error {
 // Pin prevents the page from being evicted until a matching Unpin.
 // Pins nest.
 func (bp *BufferPool) Pin(id PageID) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	f, ok := bp.frames[id]
 	if !ok {
-		if _, err := bp.Get(id); err != nil {
+		if _, err := bp.get(id); err != nil {
 			return err
 		}
 		f = bp.frames[id]
@@ -190,6 +217,8 @@ func (bp *BufferPool) Pin(id PageID) error {
 
 // Unpin releases one pin on the page.
 func (bp *BufferPool) Unpin(id PageID) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	f, ok := bp.frames[id]
 	if !ok || f.pins == 0 {
 		return fmt.Errorf("storage: Unpin(%d): page not pinned", id)
@@ -204,6 +233,8 @@ func (bp *BufferPool) Unpin(id PageID) error {
 // Allocate obtains a fresh zeroed page from the store and installs it
 // in the buffer as dirty, so creating a node costs no read I/O.
 func (bp *BufferPool) Allocate() (PageID, []byte, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	id, err := bp.store.Allocate()
 	if err != nil {
 		return InvalidPage, nil, err
@@ -218,6 +249,8 @@ func (bp *BufferPool) Allocate() (PageID, []byte, error) {
 // Free drops the page from the buffer (without write-back) and
 // releases it in the store.
 func (bp *BufferPool) Free(id PageID) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	if f, ok := bp.frames[id]; ok {
 		if f.pins > 0 {
 			return fmt.Errorf("storage: Free(%d): page is pinned", id)
@@ -233,6 +266,8 @@ func (bp *BufferPool) Free(id PageID) error {
 // Flush writes every dirty frame back to the store, leaving all pages
 // resident.
 func (bp *BufferPool) Flush() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	for _, f := range bp.frames {
 		if !f.dirty {
 			continue
@@ -250,4 +285,8 @@ func (bp *BufferPool) Flush() error {
 }
 
 // Resident returns the number of buffered pages (for tests).
-func (bp *BufferPool) Resident() int { return len(bp.frames) }
+func (bp *BufferPool) Resident() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.frames)
+}

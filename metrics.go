@@ -87,9 +87,49 @@ type Metrics struct {
 	ExpiredPurged           uint64 // expired leaf entries lazily purged (§4.3)
 	SubtreesFreed           uint64 // expired internal subtrees deallocated (§4.3)
 
+	// BatchedUpdates counts individual reports applied through
+	// UpdateBatch (each batch also counts once under the update_batch
+	// operation in Ops).
+	BatchedUpdates uint64
+
+	// Lock-wait histograms: how long public operations blocked before
+	// acquiring the tree's shared (read) or exclusive (write) lock.
+	LockWaitRead  LatencyMetrics
+	LockWaitWrite LatencyMetrics
+
 	// Ops holds the per-operation latency histograms in the fixed
-	// order update, delete, timeslice, window, moving, nearest.
+	// order update, delete, timeslice, window, moving, nearest,
+	// update_batch.
 	Ops [NumOps]OpMetrics
+}
+
+// LatencyMetrics is a frozen latency histogram without an operation
+// identity (used for the lock-wait instruments).
+type LatencyMetrics struct {
+	Count        uint64  // recorded waits
+	TotalSeconds float64 // summed wait time
+	// Buckets holds per-bucket (non-cumulative) counts over the same
+	// bounds as LatencyBucketBounds.
+	Buckets [numBuckets]uint64
+}
+
+// Mean returns the mean wait in seconds (0 before any observation).
+func (l LatencyMetrics) Mean() float64 {
+	if l.Count == 0 {
+		return 0
+	}
+	return l.TotalSeconds / float64(l.Count)
+}
+
+// Sub returns the activity since the earlier snapshot prev.
+func (l LatencyMetrics) Sub(prev LatencyMetrics) LatencyMetrics {
+	d := l
+	d.Count -= prev.Count
+	d.TotalSeconds -= prev.TotalSeconds
+	for i := range d.Buckets {
+		d.Buckets[i] -= prev.Buckets[i]
+	}
+	return d
 }
 
 // Sub returns the activity between the earlier snapshot prev and m:
@@ -112,6 +152,9 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 	d.OrphansReinserted -= prev.OrphansReinserted
 	d.ExpiredPurged -= prev.ExpiredPurged
 	d.SubtreesFreed -= prev.SubtreesFreed
+	d.BatchedUpdates -= prev.BatchedUpdates
+	d.LockWaitRead = m.LockWaitRead.Sub(prev.LockWaitRead)
+	d.LockWaitWrite = m.LockWaitWrite.Sub(prev.LockWaitWrite)
 	for i := range d.Ops {
 		d.Ops[i] = m.Ops[i].Sub(prev.Ops[i])
 	}
@@ -131,9 +174,9 @@ func (m Metrics) Op(name string) (o OpMetrics, ok bool) {
 
 // snapshot refreshes the structure gauges and freezes the registry.
 func (tr *Tree) snapshot() obs.Snapshot {
-	tr.mu.Lock()
+	tr.rlock()
 	tr.t.SyncGauges()
-	tr.mu.Unlock()
+	tr.mu.RUnlock()
 	return tr.m.Snapshot()
 }
 
@@ -169,6 +212,10 @@ func fromSnapshot(s obs.Snapshot) Metrics {
 		OrphansReinserted:       s.OrphansReinserted,
 		ExpiredPurged:           s.ExpiredPurged,
 		SubtreesFreed:           s.SubtreesFreed,
+
+		BatchedUpdates: s.BatchedUpdates,
+		LockWaitRead:   fromHist(s.LockWaitRead),
+		LockWaitWrite:  fromHist(s.LockWaitWrite),
 	}
 	for i := range s.Ops {
 		m.Ops[i] = OpMetrics{
@@ -180,6 +227,11 @@ func fromSnapshot(s obs.Snapshot) Metrics {
 		}
 	}
 	return m
+}
+
+// fromHist converts an internal histogram snapshot.
+func fromHist(h obs.HistSnapshot) LatencyMetrics {
+	return LatencyMetrics{Count: h.Count, TotalSeconds: h.SumSeconds, Buckets: h.Buckets}
 }
 
 // WriteMetrics writes the current metrics in the Prometheus text

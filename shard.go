@@ -1,0 +1,422 @@
+package rexptree
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"rexptree/internal/obs"
+)
+
+// ShardedOptions configures a ShardedTree.  The embedded Options apply
+// to every shard; Path, when set, names the base of the per-shard page
+// files (shard i is stored at "<Path>.s<i>").
+type ShardedOptions struct {
+	Options
+
+	// Shards is the number of independent sub-trees objects are
+	// hash-partitioned across (default 4).  It must be the same when a
+	// file-backed sharded index is reopened, because the partition of
+	// the stored objects depends on it.
+	Shards int
+
+	// Workers bounds how many shards are searched concurrently during a
+	// query fan-out (default: one worker per shard).  The same pool
+	// bounds the per-shard application of UpdateBatch.
+	Workers int
+}
+
+// ShardedTree partitions a moving-object index across Shards
+// independent Trees, each with its own page store, buffer pool and
+// lock, following the scale-out design of partitioned moving-object
+// indexes (MOIST; Jiang et al.): updates touch exactly one shard, so
+// they proceed concurrently on different shards, and queries fan out
+// across all shards through a bounded worker pool, with the per-shard
+// result sets merged.
+//
+// Objects are assigned to shards by a hash of their id, so the
+// object-keyed operations (Update, Delete, Get) route directly to the
+// owning shard.  Query results are merged in ascending object-id order
+// (Nearest: ascending distance order), which makes the output
+// deterministic regardless of shard completion order — and, for the
+// same workload, element-wise identical to a single Tree's sorted
+// results.
+//
+// All methods are safe for concurrent use.
+type ShardedTree struct {
+	shards []*Tree
+	dims   int
+	sem    chan struct{} // bounded fan-out worker pool
+	m      *obs.Metrics  // front-end registry: fan-out latencies
+}
+
+// OpenSharded creates (or, with a Path to existing shard files,
+// reopens) a sharded tree.
+func OpenSharded(opts ShardedOptions) (*ShardedTree, error) {
+	if opts.Shards == 0 {
+		opts.Shards = 4
+	}
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("rexptree: invalid shard count %d", opts.Shards)
+	}
+	if opts.Workers == 0 {
+		opts.Workers = opts.Shards
+	}
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("rexptree: invalid worker count %d", opts.Workers)
+	}
+	s := &ShardedTree{
+		shards: make([]*Tree, opts.Shards),
+		sem:    make(chan struct{}, opts.Workers),
+		m:      obs.New(),
+	}
+	for i := range s.shards {
+		so := opts.Options
+		if so.Path != "" {
+			so.Path = fmt.Sprintf("%s.s%d", opts.Path, i)
+		}
+		// Distinct seeds keep the shards' tie-breaking streams
+		// independent while remaining deterministic.
+		so.Seed = opts.Seed + int64(i)
+		t, err := Open(so)
+		if err != nil {
+			for _, open := range s.shards[:i] {
+				open.Close()
+			}
+			return nil, fmt.Errorf("rexptree: opening shard %d: %w", i, err)
+		}
+		s.shards[i] = t
+	}
+	s.dims = s.shards[0].dims
+	return s, nil
+}
+
+// NumShards returns the number of shards.
+func (s *ShardedTree) NumShards() int { return len(s.shards) }
+
+// shardIndex hashes an object id onto a shard.  The id is mixed first
+// (the murmur3 finalizer) so that dense or strided id spaces still
+// spread evenly.
+func shardIndex(id uint32, n int) int {
+	h := id
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return int(h % uint32(n))
+}
+
+func (s *ShardedTree) shardFor(id uint32) *Tree {
+	return s.shards[shardIndex(id, len(s.shards))]
+}
+
+// fanOut runs fn once per shard on the bounded worker pool and returns
+// the first (lowest shard index) error.
+func (s *ShardedTree) fanOut(fn func(i int, t *Tree) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.shards))
+	for i, t := range s.shards {
+		wg.Add(1)
+		go func(i int, t *Tree) {
+			defer wg.Done()
+			s.sem <- struct{}{}
+			defer func() { <-s.sem }()
+			errs[i] = fn(i, t)
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close closes every shard, returning the first error.
+func (s *ShardedTree) Close() error {
+	var first error
+	for _, t := range s.shards {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Update inserts the object's report into its owning shard, replacing
+// any previous report.  Updates to objects on different shards proceed
+// concurrently; see Tree.Update for the time contract.
+func (s *ShardedTree) Update(id uint32, p Point, now float64) error {
+	start := time.Now()
+	err := s.shardFor(id).Update(id, p, now)
+	s.m.ObserveOp(obs.OpUpdate, time.Since(start), err)
+	return err
+}
+
+// Delete removes the object's report from its owning shard; see
+// Tree.Delete.
+func (s *ShardedTree) Delete(id uint32, now float64) (bool, error) {
+	start := time.Now()
+	ok, err := s.shardFor(id).Delete(id, now)
+	s.m.ObserveOp(obs.OpDelete, time.Since(start), err)
+	return ok, err
+}
+
+// UpdateBatch groups the reports by owning shard and applies each
+// group as one Tree.UpdateBatch — a single lock acquisition per shard
+// — with the per-shard batches running concurrently on the worker
+// pool.  Reports for the same object keep their relative order.  On
+// error the failing shard stops like Tree.UpdateBatch while other
+// shards' groups still apply; the first error is returned.
+func (s *ShardedTree) UpdateBatch(batch []Report, now float64) error {
+	start := time.Now()
+	err := s.updateBatch(batch, now)
+	s.m.ObserveOp(obs.OpBatch, time.Since(start), err)
+	return err
+}
+
+func (s *ShardedTree) updateBatch(batch []Report, now float64) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	groups := make([][]Report, len(s.shards))
+	for _, r := range batch {
+		i := shardIndex(r.ID, len(s.shards))
+		groups[i] = append(groups[i], r)
+	}
+	return s.fanOut(func(i int, t *Tree) error {
+		if len(groups[i]) == 0 {
+			return nil
+		}
+		return t.UpdateBatch(groups[i], now)
+	})
+}
+
+// query fans one search out across all shards and merges the results
+// in ascending object-id order.
+func (s *ShardedTree) query(run func(*Tree) ([]Result, error)) ([]Result, error) {
+	parts := make([][]Result, len(s.shards))
+	err := s.fanOut(func(i int, t *Tree) error {
+		rs, err := run(t)
+		parts[i] = rs
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]Result, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Timeslice reports the objects predicted to be inside r at time at
+// (Type 1 query), fanned out across all shards; see Tree.Timeslice.
+func (s *ShardedTree) Timeslice(r Rect, at, now float64) ([]Result, error) {
+	start := time.Now()
+	res, err := s.query(func(t *Tree) ([]Result, error) { return t.Timeslice(r, at, now) })
+	s.m.ObserveOp(obs.OpTimeslice, time.Since(start), err)
+	return res, err
+}
+
+// Window reports the objects predicted to cross r during [t1, t2]
+// (Type 2 query), fanned out across all shards; see Tree.Window.
+func (s *ShardedTree) Window(r Rect, t1, t2, now float64) ([]Result, error) {
+	start := time.Now()
+	res, err := s.query(func(t *Tree) ([]Result, error) { return t.Window(r, t1, t2, now) })
+	s.m.ObserveOp(obs.OpWindow, time.Since(start), err)
+	return res, err
+}
+
+// Moving reports the objects predicted to cross the trapezoid
+// connecting r1 at t1 to r2 at t2 (Type 3 query), fanned out across
+// all shards; see Tree.Moving.
+func (s *ShardedTree) Moving(r1, r2 Rect, t1, t2, now float64) ([]Result, error) {
+	start := time.Now()
+	res, err := s.query(func(t *Tree) ([]Result, error) { return t.Moving(r1, r2, t1, t2, now) })
+	s.m.ObserveOp(obs.OpMoving, time.Since(start), err)
+	return res, err
+}
+
+// Nearest returns the k objects whose predicted positions at time at
+// are closest to pos.  Each shard contributes its own k best
+// candidates; the merged list is ordered by ascending distance (ties
+// by object id) and truncated to k.
+func (s *ShardedTree) Nearest(pos Vec, at float64, k int, now float64) ([]Result, error) {
+	start := time.Now()
+	res, err := s.nearest(pos, at, k, now)
+	s.m.ObserveOp(obs.OpNearest, time.Since(start), err)
+	return res, err
+}
+
+func (s *ShardedTree) nearest(pos Vec, at float64, k int, now float64) ([]Result, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	parts := make([][]Result, len(s.shards))
+	err := s.fanOut(func(i int, t *Tree) error {
+		rs, err := t.Nearest(pos, at, k, now)
+		parts[i] = rs
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	type cand struct {
+		dist float64
+		r    Result
+	}
+	var cands []cand
+	for _, p := range parts {
+		for _, r := range p {
+			at := r.Point.At(at)
+			var d float64
+			for i := 0; i < s.dims; i++ {
+				dd := at[i] - pos[i]
+				d += dd * dd
+			}
+			cands = append(cands, cand{math.Sqrt(d), r})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].r.ID < cands[j].r.ID
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]Result, len(cands))
+	for i, c := range cands {
+		out[i] = c.r
+	}
+	return out, nil
+}
+
+// Get returns the object's current report from its owning shard; see
+// Tree.Get.
+func (s *ShardedTree) Get(id uint32, now float64) (Point, bool) {
+	return s.shardFor(id).Get(id, now)
+}
+
+// Len returns the total number of stored reports across all shards.
+func (s *ShardedTree) Len() int {
+	n := 0
+	for _, t := range s.shards {
+		n += t.Len()
+	}
+	return n
+}
+
+// ForEach visits every stored report, shard by shard, until fn returns
+// false.  The visit order is unspecified.
+func (s *ShardedTree) ForEach(now float64, fn func(Result) bool) error {
+	stop := false
+	for _, t := range s.shards {
+		if stop {
+			return nil
+		}
+		err := t.ForEach(now, func(r Result) bool {
+			if !fn(r) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Validate checks the structural invariants of every shard.
+func (s *ShardedTree) Validate() error {
+	return s.fanOut(func(_ int, t *Tree) error { return t.Validate() })
+}
+
+// Stats returns the summed statistics of all shards (Height is the
+// tallest shard's).
+func (s *ShardedTree) Stats() Stats {
+	var out Stats
+	for _, t := range s.shards {
+		st := t.Stats()
+		if st.Height > out.Height {
+			out.Height = st.Height
+		}
+		out.Pages += st.Pages
+		out.LeafEntries += st.LeafEntries
+		out.Reads += st.Reads
+		out.Writes += st.Writes
+		out.BufferHits += st.BufferHits
+		out.Evictions += st.Evictions
+		out.DirtyWritebacks += st.DirtyWritebacks
+		out.UIEstimate = math.Max(out.UIEstimate, st.UIEstimate)
+	}
+	return out
+}
+
+// snapshots freezes the aggregate and per-shard registries.  The
+// aggregate sums every shard's counters, gauges and lock-wait
+// histograms, while its per-operation histograms come from the
+// front-end registry: they time the whole fan-out including the merge,
+// so they are the sharded index's end-to-end (fan-out) latencies.
+func (s *ShardedTree) snapshots() (agg obs.Snapshot, shards []obs.Snapshot) {
+	shards = make([]obs.Snapshot, len(s.shards))
+	for i, t := range s.shards {
+		shards[i] = t.snapshot()
+		agg = agg.Add(shards[i])
+	}
+	agg.Ops = s.m.Snapshot().Ops
+	return agg, shards
+}
+
+// Metrics returns the aggregate instrumentation snapshot: summed
+// per-shard counters, gauges and lock-wait histograms, with the
+// per-operation latencies measured at the sharded front end (fan-out
+// plus merge).  Use ShardMetrics for one shard's own view.
+func (s *ShardedTree) Metrics() Metrics {
+	agg, _ := s.snapshots()
+	return fromSnapshot(agg)
+}
+
+// ShardMetrics returns the instrumentation snapshot of shard i.
+func (s *ShardedTree) ShardMetrics(i int) Metrics {
+	return fromSnapshot(s.shards[i].snapshot())
+}
+
+// WriteMetrics writes the aggregate metrics under the rexp_ name
+// prefix followed by one section per shard under rexp_shard<i>_, all
+// in the Prometheus text exposition format.  docs/METRICS.md lists
+// every series.
+func (s *ShardedTree) WriteMetrics(w io.Writer) error {
+	agg, shards := s.snapshots()
+	if err := obs.WriteSnapshotPrefix(w, agg, obs.DefaultPrefix); err != nil {
+		return err
+	}
+	for i, snap := range shards {
+		if err := obs.WriteSnapshotPrefix(w, snap, fmt.Sprintf("%s_shard%d", obs.DefaultPrefix, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MetricsHandler returns an http.Handler serving WriteMetrics for
+// mounting on a scrape endpoint.
+func (s *ShardedTree) MetricsHandler() http.Handler {
+	return obs.ShardedHandler(s.snapshots)
+}

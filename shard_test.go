@@ -1,0 +1,334 @@
+package rexptree
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// testWorkload builds a deterministic stream of object reports.
+func testWorkload(n int, seed int64) []Report {
+	rng := rand.New(rand.NewSource(seed))
+	batch := make([]Report, n)
+	for i := range batch {
+		batch[i] = Report{
+			ID: uint32(i + 1),
+			Point: Point{
+				Pos:     Vec{rng.Float64() * 1000, rng.Float64() * 1000},
+				Vel:     Vec{rng.Float64()*3 - 1.5, rng.Float64()*3 - 1.5},
+				Time:    0,
+				Expires: 60 + rng.Float64()*120,
+			},
+		}
+	}
+	return batch
+}
+
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].ID < rs[j].ID })
+}
+
+// TestShardedDeterminism loads the same workload into a single Tree
+// and a ShardedTree and checks every query type returns identical
+// results.  Query outputs carry the stored (quantized) reports, which
+// do not depend on tree structure, so after normalizing the order the
+// result sets must match element for element.
+func TestShardedDeterminism(t *testing.T) {
+	reports := testWorkload(3000, 42)
+
+	single, err := Open(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	sharded, err := OpenSharded(ShardedOptions{Options: DefaultOptions(), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+
+	for _, r := range reports {
+		if err := single.Update(r.ID, r.Point, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sharded.UpdateBatch(reports, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sharded.Len(), single.Len(); got != want {
+		t.Fatalf("sharded Len = %d, single = %d", got, want)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for q := 0; q < 50; q++ {
+		lo := Vec{rng.Float64() * 900, rng.Float64() * 900}
+		r := Rect{Lo: lo, Hi: Vec{lo[0] + 120, lo[1] + 120}}
+		at := rng.Float64() * 40
+
+		sres, err := single.Timeslice(r, at, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pres, err := sharded.Timeslice(r, at, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortResults(sres)
+		if len(sres) != len(pres) {
+			t.Fatalf("timeslice %d: single %d results, sharded %d", q, len(sres), len(pres))
+		}
+		for i := range sres {
+			if sres[i] != pres[i] {
+				t.Fatalf("timeslice %d result %d: single %+v, sharded %+v", q, i, sres[i], pres[i])
+			}
+		}
+
+		swin, err := single.Window(r, at, at+15, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pwin, err := sharded.Window(r, at, at+15, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortResults(swin)
+		if len(swin) != len(pwin) {
+			t.Fatalf("window %d: single %d results, sharded %d", q, len(swin), len(pwin))
+		}
+		for i := range swin {
+			if swin[i] != pwin[i] {
+				t.Fatalf("window %d result %d differs", q, i)
+			}
+		}
+
+		r2 := Rect{Lo: Vec{lo[0] + 40, lo[1] + 40}, Hi: Vec{lo[0] + 160, lo[1] + 160}}
+		smov, err := single.Moving(r, r2, at, at+10, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pmov, err := sharded.Moving(r, r2, at, at+10, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortResults(smov)
+		if len(smov) != len(pmov) {
+			t.Fatalf("moving %d: single %d results, sharded %d", q, len(smov), len(pmov))
+		}
+		for i := range smov {
+			if smov[i] != pmov[i] {
+				t.Fatalf("moving %d result %d differs", q, i)
+			}
+		}
+	}
+
+	// Nearest: order by (distance, id) on both sides, then compare.
+	for q := 0; q < 25; q++ {
+		pos := Vec{rng.Float64() * 1000, rng.Float64() * 1000}
+		at := rng.Float64() * 30
+		const k = 10
+		sres, err := single.Nearest(pos, at, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pres, err := sharded.Nearest(pos, at, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist := func(r Result) float64 {
+			p := r.Point.At(at)
+			dx, dy := p[0]-pos[0], p[1]-pos[1]
+			return dx*dx + dy*dy
+		}
+		sort.Slice(sres, func(i, j int) bool {
+			di, dj := dist(sres[i]), dist(sres[j])
+			if di != dj {
+				return di < dj
+			}
+			return sres[i].ID < sres[j].ID
+		})
+		if len(sres) != len(pres) {
+			t.Fatalf("nearest %d: single %d results, sharded %d", q, len(sres), len(pres))
+		}
+		for i := range sres {
+			if sres[i] != pres[i] {
+				t.Fatalf("nearest %d result %d: single %+v, sharded %+v", q, i, sres[i], pres[i])
+			}
+		}
+	}
+}
+
+// TestUpdateBatchMatchesUpdates checks a batched load leaves the tree
+// in the same state as one-by-one updates, and that batch metrics are
+// recorded.
+func TestUpdateBatchMatchesUpdates(t *testing.T) {
+	reports := testWorkload(800, 3)
+
+	one, err := Open(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer one.Close()
+	batched, err := Open(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batched.Close()
+
+	for _, r := range reports {
+		if err := one.Update(r.ID, r.Point, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := batched.UpdateBatch(reports, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	if one.Len() != batched.Len() {
+		t.Fatalf("Len: updates %d, batch %d", one.Len(), batched.Len())
+	}
+	world := Rect{Hi: Vec{1000, 1000}}
+	a, err := one.Timeslice(world, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := batched.Timeslice(world, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortResults(a)
+	sortResults(b)
+	if len(a) != len(b) {
+		t.Fatalf("timeslice: updates %d results, batch %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d: updates %+v, batch %+v", i, a[i], b[i])
+		}
+	}
+
+	m := batched.Metrics()
+	if m.BatchedUpdates != uint64(len(reports)) {
+		t.Errorf("BatchedUpdates = %d, want %d", m.BatchedUpdates, len(reports))
+	}
+	if op, ok := m.Op("update_batch"); !ok || op.Count != 1 {
+		t.Errorf("update_batch op = %+v, want 1 call", op)
+	}
+	if err := batched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardRouting checks the object-keyed operations land on exactly
+// one shard and behave like the single tree's.
+func TestShardRouting(t *testing.T) {
+	s, err := OpenSharded(ShardedOptions{Options: DefaultOptions(), Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	p := Point{Pos: Vec{10, 20}, Vel: Vec{1, 0}, Expires: NoExpiry()}
+	if err := s.Update(77, p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(77, 0); !ok || got.Pos != p.Pos {
+		t.Fatalf("Get(77) = %+v, %v", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	// Exactly one shard holds the object.
+	holders := 0
+	for i := 0; i < s.NumShards(); i++ {
+		if s.ShardMetrics(i).LeafEntries == 1 {
+			holders++
+		}
+	}
+	if holders != 1 {
+		t.Fatalf("object stored on %d shards, want 1", holders)
+	}
+	if ok, err := s.Delete(77, 1); err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len after delete = %d, want 0", s.Len())
+	}
+}
+
+// TestShardedPersistence round-trips a file-backed sharded tree.
+func TestShardedPersistence(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "idx")
+	opts := ShardedOptions{Options: DefaultOptions(), Shards: 2}
+	opts.Path = base
+
+	s, err := OpenSharded(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := testWorkload(200, 11)
+	if err := s.UpdateBatch(reports, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err = OpenSharded(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != len(reports) {
+		t.Fatalf("reopened Len = %d, want %d", s.Len(), len(reports))
+	}
+	for _, r := range reports[:20] {
+		if _, ok := s.Get(r.ID, 0); !ok {
+			t.Fatalf("object %d missing after reopen", r.ID)
+		}
+	}
+}
+
+// TestShardedExposition checks the multi-section Prometheus output:
+// the aggregate under rexp_ and one section per shard under
+// rexp_shard<i>_.
+func TestShardedExposition(t *testing.T) {
+	s, err := OpenSharded(ShardedOptions{Options: DefaultOptions(), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.UpdateBatch(testWorkload(100, 5), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Timeslice(Rect{Hi: Vec{1000, 1000}}, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := s.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"rexp_leaf_entries 100",
+		"rexp_shard0_leaf_entries ",
+		"rexp_shard1_leaf_entries ",
+		`rexp_op_duration_seconds_count{op="timeslice"} 1`,
+		`rexp_lock_wait_seconds_count{mode="write"}`,
+		"rexp_shard1_batched_updates_total ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The aggregate leaf-entry gauge must equal the shard sum.
+	agg := s.Metrics()
+	if agg.LeafEntries != s.ShardMetrics(0).LeafEntries+s.ShardMetrics(1).LeafEntries {
+		t.Errorf("aggregate LeafEntries %d != shard sum", agg.LeafEntries)
+	}
+	if agg.BatchedUpdates != 100 {
+		t.Errorf("aggregate BatchedUpdates = %d, want 100", agg.BatchedUpdates)
+	}
+}

@@ -17,13 +17,35 @@ import (
 // table of each object's current report (the primary store of a
 // moving-objects database), so updates and deletions need only the
 // object id.
+//
+// Concurrency: queries (Timeslice, Window, Moving, Nearest, Get, Len,
+// ForEach) take a shared lock and run concurrently with one another;
+// Update, Delete and UpdateBatch take the exclusive lock.  The time a
+// caller spends waiting for either lock is recorded in the lock-wait
+// histograms of Metrics.  For workloads that need concurrent updates
+// too, see ShardedTree, which partitions objects across independent
+// Trees.
 type Tree struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	t       *core.Tree
 	store   storage.Store
 	dims    int
 	objects map[uint32]geom.MovingPoint
 	m       *obs.Metrics // always non-nil; see Metrics and WriteMetrics
+}
+
+// lock takes the exclusive lock, recording the wait time.
+func (tr *Tree) lock() {
+	start := time.Now()
+	tr.mu.Lock()
+	tr.m.LockWaitWrite.Observe(time.Since(start))
+}
+
+// rlock takes the shared lock, recording the wait time.
+func (tr *Tree) rlock() {
+	start := time.Now()
+	tr.mu.RLock()
+	tr.m.LockWaitRead.Observe(time.Since(start))
 }
 
 // Open creates a tree with the given options.  When Options.Path names
@@ -51,6 +73,13 @@ func Open(opts Options) (*Tree, error) {
 		}
 	} else {
 		store = storage.NewMemStore()
+	}
+	if opts.IOLatency > 0 {
+		store = &storage.LatencyStore{
+			Inner:        store,
+			ReadLatency:  opts.IOLatency,
+			WriteLatency: opts.IOLatency,
+		}
 	}
 	m := newMetrics(opts)
 	cfg := opts.internal()
@@ -114,7 +143,7 @@ func newMetrics(opts Options) *obs.Metrics {
 // Close persists the tree's metadata and releases the underlying
 // storage.  The tree must not be used afterwards.
 func (tr *Tree) Close() error {
-	tr.mu.Lock()
+	tr.lock()
 	defer tr.mu.Unlock()
 	if err := tr.t.Sync(); err != nil {
 		tr.store.Close()
@@ -136,8 +165,13 @@ func (tr *Tree) Update(id uint32, p Point, now float64) error {
 }
 
 func (tr *Tree) update(id uint32, p Point, now float64) error {
-	tr.mu.Lock()
+	tr.lock()
 	defer tr.mu.Unlock()
+	return tr.updateLocked(id, p, now)
+}
+
+// updateLocked applies one report; the exclusive lock must be held.
+func (tr *Tree) updateLocked(id uint32, p Point, now float64) error {
 	if old, ok := tr.objects[id]; ok {
 		if _, err := tr.t.Delete(id, old, now); err != nil {
 			return err
@@ -166,7 +200,7 @@ func (tr *Tree) Delete(id uint32, now float64) (bool, error) {
 }
 
 func (tr *Tree) delete(id uint32, now float64) (bool, error) {
-	tr.mu.Lock()
+	tr.lock()
 	defer tr.mu.Unlock()
 	old, ok := tr.objects[id]
 	if !ok {
@@ -238,8 +272,8 @@ func (tr *Tree) nearest(pos Vec, at float64, k int, now float64) ([]Result, erro
 	if at < now {
 		return nil, fmt.Errorf("rexptree: query time %v precedes current time %v", at, now)
 	}
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
+	tr.rlock()
+	defer tr.mu.RUnlock()
 	rs, err := tr.t.Nearest(geom.Vec(pos), at, k, now)
 	if err != nil {
 		return nil, err
@@ -248,8 +282,8 @@ func (tr *Tree) nearest(pos Vec, at float64, k int, now float64) ([]Result, erro
 }
 
 func (tr *Tree) search(q geom.Query, now float64) ([]Result, error) {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
+	tr.rlock()
+	defer tr.mu.RUnlock()
 	rs, err := tr.t.Search(q, now)
 	if err != nil {
 		return nil, err
@@ -260,8 +294,8 @@ func (tr *Tree) search(q geom.Query, now float64) ([]Result, error) {
 // Get returns the object's current report (positioned at now), if any
 // non-expired report is stored.
 func (tr *Tree) Get(id uint32, now float64) (Point, bool) {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
+	tr.rlock()
+	defer tr.mu.RUnlock()
 	mp, ok := tr.objects[id]
 	if !ok || (tr.t.Config().ExpireAware && mp.Expired(now)) {
 		return Point{}, false
@@ -272,8 +306,8 @@ func (tr *Tree) Get(id uint32, now float64) (Point, bool) {
 // Len returns the number of objects with a stored report (including
 // reports that have expired but were not yet purged).
 func (tr *Tree) Len() int {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
+	tr.rlock()
+	defer tr.mu.RUnlock()
 	return tr.t.LeafEntries()
 }
 
@@ -294,8 +328,8 @@ type Stats struct {
 
 // Stats returns current statistics.
 func (tr *Tree) Stats() Stats {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
+	tr.rlock()
+	defer tr.mu.RUnlock()
 	io := tr.t.IOStats()
 	return Stats{
 		Height:          tr.t.Height(),
@@ -312,16 +346,16 @@ func (tr *Tree) Stats() Stats {
 
 // ResetIOStats zeroes the read/write/hit counters.
 func (tr *Tree) ResetIOStats() {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
+	tr.rlock()
+	defer tr.mu.RUnlock()
 	tr.t.ResetIOStats()
 }
 
 // ForEach visits every stored report (positioned at now, including
 // expired reports not yet purged) until fn returns false.
 func (tr *Tree) ForEach(now float64, fn func(Result) bool) error {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
+	tr.rlock()
+	defer tr.mu.RUnlock()
 	stop := errStopIteration
 	err := tr.t.Records(func(oid uint32, p geom.MovingPoint) error {
 		if !fn(Result{ID: oid, Point: fromInternal(p, now, tr.dims)}) {
@@ -341,7 +375,46 @@ var errStopIteration = fmt.Errorf("rexptree: stop iteration")
 // bounds, bounding-rectangle containment, unique ids).  It reads the
 // whole tree and is intended for tests and tooling.
 func (tr *Tree) Validate() error {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
+	tr.rlock()
+	defer tr.mu.RUnlock()
 	return tr.t.CheckInvariants()
+}
+
+// Report pairs an object id with its positional report, for batched
+// updates.
+type Report struct {
+	ID    uint32
+	Point Point
+}
+
+// UpdateBatch applies every report in batch under a single exclusive
+// lock acquisition, replacing each object's previous report like
+// Update.  Grouping updates amortizes locking and lets readers in
+// between batches rather than between every report; ShardedTree
+// additionally applies per-shard batches concurrently.
+//
+// The reports are applied in order.  On error the batch stops:
+// earlier reports remain applied, the failing and later ones do not
+// take effect.  now is the current time for the whole batch.
+func (tr *Tree) UpdateBatch(batch []Report, now float64) error {
+	start := time.Now()
+	err := tr.updateBatch(batch, now)
+	tr.m.ObserveOp(obs.OpBatch, time.Since(start), err)
+	return err
+}
+
+func (tr *Tree) updateBatch(batch []Report, now float64) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	tr.lock()
+	defer tr.mu.Unlock()
+	for i := range batch {
+		if err := tr.updateLocked(batch[i].ID, batch[i].Point, now); err != nil {
+			tr.m.BatchedUpdates.Add(uint64(i))
+			return err
+		}
+	}
+	tr.m.BatchedUpdates.Add(uint64(len(batch)))
+	return nil
 }
