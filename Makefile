@@ -1,17 +1,18 @@
 # Makefile — CI entry points for the rexptree repository.
 #
-#   make check        fmt-check + vet + build + tests + race + bench-obs smoke
-#   make bench-obs    metrics-overhead microbenchmark -> BENCH_obs.json
-#   make bench-shard  concurrent-throughput comparison -> BENCH_shard.json
-#   make all          check + both benchmarks
+#   make check            fmt-check + vet + build + tests + race + bench smokes
+#   make bench-obs        metrics-overhead microbenchmark -> BENCH_obs.json
+#   make bench-shard      concurrent-throughput comparison -> BENCH_shard.json
+#   make bench-partition  hash vs speed partitioning -> BENCH_partition.json
+#   make all              check + all benchmarks
 
 GO ?= go
 
-.PHONY: all check fmt-check vet build test race bench-obs bench-obs-smoke bench-shard clean
+.PHONY: all check fmt-check vet build test race bench-obs bench-obs-smoke bench-shard bench-partition bench-partition-smoke clean
 
-all: check bench-obs bench-shard
+all: check bench-obs bench-shard bench-partition
 
-check: fmt-check vet build test race bench-obs-smoke
+check: fmt-check vet build test race bench-obs-smoke bench-partition-smoke
 
 # Fails (with the offending file list) if anything is not gofmt-clean.
 fmt-check:
@@ -49,5 +50,17 @@ bench-obs-smoke:
 bench-shard:
 	$(GO) run ./cmd/rexpbench -throughput -shardout BENCH_shard.json
 
+# Hash vs speed-band shard partitioning on a spatially-correlated
+# mixed-speed workload: shard visits, pruning ratio, query throughput,
+# and a result-set equality check (see cmd/rexpbench/partition.go).
+bench-partition:
+	$(GO) run ./cmd/rexpbench -partitionbench -partout BENCH_partition.json
+
+# A fast pass of the partition comparison for make check: it exercises
+# loading, re-routing, pruning and the equality check without
+# committing a result file.
+bench-partition-smoke:
+	$(GO) run ./cmd/rexpbench -partitionbench -objects 2000 -duration 0.2 -quiet -partout -
+
 clean:
-	rm -f BENCH_obs.json BENCH_shard.json
+	rm -f BENCH_obs.json BENCH_shard.json BENCH_partition.json

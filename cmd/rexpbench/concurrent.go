@@ -50,6 +50,7 @@ type throughputConfig struct {
 	DurationSec  float64 `json:"duration_sec"`
 	BufferPages  int     `json:"buffer_pages_per_tree"`
 	QueryExtent  float64 `json:"query_extent"`
+	Partition    string  `json:"partition"`
 	IOLatencyStr string  `json:"io_latency"`
 	GOMAXPROCS   int     `json:"gomaxprocs"`
 	Seed         int64   `json:"seed"`
@@ -267,8 +268,10 @@ func benchMover(m mover, cfg throughputConfig, progress func(string)) (throughpu
 }
 
 // runThroughput executes the concurrent-throughput comparison and
-// writes the JSON report.
-func runThroughput(objects, shards, workers int, durationSec float64, ioLat time.Duration, seed int64, out string, progress func(string)) error {
+// writes the JSON report.  policy selects how the sharded
+// configuration partitions objects (speed uses self-tuned bands, since
+// this workload's speeds are uniform rather than classed).
+func runThroughput(objects, shards, workers int, durationSec float64, ioLat time.Duration, seed int64, policy rexptree.PartitionPolicy, out string, progress func(string)) error {
 	dir, err := os.MkdirTemp("", "rexpbench-shard")
 	if err != nil {
 		return err
@@ -284,6 +287,7 @@ func runThroughput(objects, shards, workers int, durationSec float64, ioLat time
 		DurationSec:  durationSec,
 		BufferPages:  50, // the paper's default pool size per tree
 		QueryExtent:  60,
+		Partition:    policy.String(),
 		IOLatencyStr: ioLat.String(),
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		Seed:         seed,
@@ -323,15 +327,16 @@ func runThroughput(objects, shards, workers int, durationSec float64, ioLat time
 		return err
 	}
 
-	progress(fmt.Sprintf("sharded (%d shards, %d workers)", shards, workers))
+	progress(fmt.Sprintf("sharded (%d shards, %d workers, %s partition)", shards, workers, policy))
 	sh, err := rexptree.OpenSharded(rexptree.ShardedOptions{
 		Options: func() rexptree.Options {
 			o := opts
 			o.Path = filepath.Join(dir, "sharded.idx")
 			return o
 		}(),
-		Shards:  shards,
-		Workers: workers,
+		Shards:    shards,
+		Workers:   workers,
+		Partition: policy,
 	})
 	if err != nil {
 		return err

@@ -7,6 +7,7 @@
 //
 //	rexpbench [-figure 13] [-scale 0.1] [-seed 1] [-quiet]
 //	rexpbench -throughput [-shards 4] [-workers 4] [-objects 20000] [-duration 2] [-shardout BENCH_shard.json]
+//	rexpbench -partitionbench [-objects 20000] [-duration 2] [-partout BENCH_partition.json]
 //
 // With no -figure it runs every figure.  -scale is the fraction of the
 // paper's workload size (100,000 objects, 1,000,000 insertions);
@@ -15,6 +16,12 @@
 // With -throughput it instead runs the concurrent-throughput
 // comparison (single-mutex tree vs rwmutex tree vs ShardedTree) and
 // writes aggregate ops/sec to -shardout; see concurrent.go.
+//
+// With -partitionbench it compares the hash and speed-band shard
+// partitioning policies on a spatially-correlated mixed-speed workload
+// (shard visits, pruning ratio, query throughput, and a result-set
+// equality check against a single tree) and writes -partout; see
+// partition.go.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"os"
 	"time"
 
+	"rexptree"
 	"rexptree/internal/experiments"
 	"rexptree/internal/obs"
 )
@@ -40,22 +48,36 @@ func main() {
 		serve  = flag.String("serve", "", "serve live Prometheus metrics at /metrics on this address while figures run (e.g. :9090)")
 
 		throughput = flag.Bool("throughput", false, "run the concurrent-throughput comparison instead of figure replay")
-		shards     = flag.Int("shards", 4, "number of shards for the sharded configuration (-throughput mode)")
-		workers    = flag.Int("workers", 4, "concurrent query workers per configuration (-throughput mode)")
-		objects    = flag.Int("objects", 20000, "objects loaded per configuration (-throughput mode)")
-		duration   = flag.Float64("duration", 2, "seconds per measurement phase (-throughput mode)")
-		ioLat      = flag.Duration("iolat", 100*time.Microsecond, "modeled random-access latency per page I/O, the paper's cost unit; 0 for RAM-speed stores (-throughput mode)")
+		shards     = flag.Int("shards", 4, "number of shards for the sharded configuration (-throughput/-partitionbench modes)")
+		workers    = flag.Int("workers", 4, "concurrent query workers per configuration (-throughput/-partitionbench modes)")
+		objects    = flag.Int("objects", 20000, "objects loaded per configuration (-throughput/-partitionbench modes)")
+		duration   = flag.Float64("duration", 2, "seconds per measurement phase (-throughput/-partitionbench modes)")
+		ioLat      = flag.Duration("iolat", 100*time.Microsecond, "modeled random-access latency per page I/O, the paper's cost unit; 0 for RAM-speed stores (-throughput/-partitionbench modes)")
 		shardOut   = flag.String("shardout", "BENCH_shard.json", "output file for the throughput report; - for stdout (-throughput mode)")
+
+		partBench = flag.Bool("partitionbench", false, "run the shard-partitioning comparison (hash vs speed bands) instead of figure replay")
+		partOut   = flag.String("partout", "BENCH_partition.json", "output file for the partition report; - for stdout (-partitionbench mode)")
+		partition = flag.String("partition", "hash", "partition policy for the sharded configuration, hash or speed (-throughput mode)")
 	)
 	flag.Parse()
 
-	if *throughput {
+	if *throughput || *partBench {
 		progress := func(line string) {
 			if !*quiet {
 				fmt.Fprintln(os.Stderr, line)
 			}
 		}
-		if err := runThroughput(*objects, *shards, *workers, *duration, *ioLat, *seed, *shardOut, progress); err != nil {
+		var err error
+		if *partBench {
+			err = runPartitionBench(*objects, *shards, *workers, *duration, *ioLat, *seed, *partOut, progress)
+		} else {
+			var policy rexptree.PartitionPolicy
+			policy, err = rexptree.ParsePartitionPolicy(*partition)
+			if err == nil {
+				err = runThroughput(*objects, *shards, *workers, *duration, *ioLat, *seed, policy, *shardOut, progress)
+			}
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "rexpbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,360 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"rexptree"
+)
+
+// The partition-bench mode compares the two shard-partitioning
+// policies on a workload where speed and location correlate — slow
+// objects (pedestrians) cluster in one part of space, fast objects
+// (highway traffic) in another, mirroring the mixed urban/highway
+// scenario behind the paper's velocity-aware bounding rectangles:
+//
+//   - hash: the default id-hash partition.  Every shard holds the full
+//     speed mix, so every shard's time-parameterized summary covers
+//     most of space and point-ish queries must visit all K shards;
+//   - speed: objects are routed by |velocity| band.  Each shard's
+//     summary stays tight around its band's region, so a small query
+//     window over near-future times prunes the shards whose summary it
+//     provably misses.
+//
+// Both sharded configurations and a single-tree reference are loaded
+// with the same reports (including a re-reporting round that moves
+// objects across band boundaries, exercising re-routing), checked for
+// element-wise identical query results, then measured: shard
+// visit/prune counters over a fixed query batch, and query throughput
+// over the -duration window.  The JSON report lands in -partout.
+
+// partitionConfig echoes the benchmark parameters into the JSON.
+type partitionConfig struct {
+	Objects      int       `json:"objects"`
+	Shards       int       `json:"shards"`
+	Workers      int       `json:"workers"`
+	DurationSec  float64   `json:"duration_sec"`
+	QueryExtent  float64   `json:"query_extent"`
+	SpeedBands   []float64 `json:"speed_bands"`
+	IOLatencyStr string    `json:"io_latency"`
+	GOMAXPROCS   int       `json:"gomaxprocs"`
+	Seed         int64     `json:"seed"`
+}
+
+// partitionResult is one sharded configuration's measurement.
+type partitionResult struct {
+	ShardVisits     uint64  `json:"shard_visits"`
+	ShardsPruned    uint64  `json:"shards_pruned"`
+	PruneRatio      float64 `json:"prune_ratio"`
+	AvgShardsPerQry float64 `json:"avg_shards_per_query"`
+	QueryOpsPerSec  float64 `json:"query_ops_per_sec"`
+	NodeVisits      uint64  `json:"query_node_visits"`
+	BufferReads     uint64  `json:"buffer_reads"`
+}
+
+// partitionWorkload builds reports whose speed class correlates with a
+// spatial region: class c ∈ {0..3} lives in the x-band [250c, 250c+250)
+// with |velocity| drawn from the class's range.  pass shifts the class
+// assignment, so re-reporting under pass+1 moves every object across a
+// band boundary.
+func partitionWorkload(n int, seed int64, pass int) []rexptree.Report {
+	rng := rand.New(rand.NewSource(seed + int64(pass)*1000))
+	speeds := [4][2]float64{{0.05, 0.45}, {0.6, 1.8}, {2.2, 7.5}, {8.5, 25}}
+	batch := make([]rexptree.Report, n)
+	for i := range batch {
+		class := (i + pass) % 4
+		lo, hi := speeds[class][0], speeds[class][1]
+		sp := lo + rng.Float64()*(hi-lo)
+		ang := rng.Float64() * 2 * math.Pi
+		batch[i] = rexptree.Report{
+			ID: uint32(i + 1),
+			Point: rexptree.Point{
+				Pos:     rexptree.Vec{float64(class)*250 + rng.Float64()*250, rng.Float64() * 1000},
+				Vel:     rexptree.Vec{sp * math.Cos(ang), sp * math.Sin(ang)},
+				Time:    float64(pass) * 5,
+				Expires: float64(pass)*5 + 500,
+			},
+		}
+	}
+	return batch
+}
+
+// partitionBands are the fixed |velocity| boundaries matching the
+// workload's four speed classes.
+var partitionBands = []float64{0.5, 2, 8}
+
+func loadReports(apply func([]rexptree.Report, float64) error, reports []rexptree.Report, now float64) error {
+	for i := 0; i < len(reports); i += 1000 {
+		end := min(i+1000, len(reports))
+		if err := apply(reports[i:end], now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pointishQuery issues one small near-future window query, the shape
+// shard pruning is designed for.
+func pointishQuery(rng *rand.Rand, extent, now float64) (rexptree.Rect, float64, float64) {
+	lo := rexptree.Vec{rng.Float64() * (1000 - extent), rng.Float64() * (1000 - extent)}
+	r := rexptree.Rect{Lo: lo, Hi: rexptree.Vec{lo[0] + extent, lo[1] + extent}}
+	at := now + rng.Float64()*4
+	return r, at, at + 2
+}
+
+// checkIdentical runs a query battery on the single tree and both
+// sharded configurations and reports whether every result set matches
+// element-wise.  Mismatches are described on stderr.
+func checkIdentical(single *rexptree.Tree, variants map[string]*rexptree.ShardedTree, extent, now float64, seed int64) bool {
+	rng := rand.New(rand.NewSource(seed + 77))
+	identical := true
+	mismatch := func(format string, args ...any) {
+		identical = false
+		fmt.Fprintf(os.Stderr, "rexpbench: result mismatch: "+format+"\n", args...)
+	}
+	equal := func(name string, want, got []rexptree.Result) {
+		if len(want) != len(got) {
+			mismatch("%s: %d results, single tree has %d", name, len(got), len(want))
+			return
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				mismatch("%s: result %d differs: %+v vs %+v", name, i, got[i], want[i])
+				return
+			}
+		}
+	}
+	sortByID := func(rs []rexptree.Result) {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].ID < rs[j].ID })
+	}
+	for q := 0; q < 200; q++ {
+		r, t1, t2 := pointishQuery(rng, extent, now)
+		r2 := rexptree.Rect{
+			Lo: rexptree.Vec{r.Lo[0] + 20, r.Lo[1] + 20},
+			Hi: rexptree.Vec{r.Hi[0] + 20, r.Hi[1] + 20},
+		}
+		pos := rexptree.Vec{rng.Float64() * 1000, rng.Float64() * 1000}
+
+		ts, err := single.Timeslice(r, t1, now)
+		if err == nil {
+			sortByID(ts)
+		}
+		win, werr := single.Window(r, t1, t2, now)
+		if werr == nil {
+			sortByID(win)
+		}
+		mov, merr := single.Moving(r, r2, t1, t2, now)
+		if merr == nil {
+			sortByID(mov)
+		}
+		nn, nerr := single.Nearest(pos, t1, 10, now)
+		if nerr == nil {
+			dist := func(res rexptree.Result) float64 {
+				p := res.Point.At(t1)
+				dx, dy := p[0]-pos[0], p[1]-pos[1]
+				return dx*dx + dy*dy
+			}
+			sort.Slice(nn, func(i, j int) bool {
+				di, dj := dist(nn[i]), dist(nn[j])
+				if di != dj {
+					return di < dj
+				}
+				return nn[i].ID < nn[j].ID
+			})
+		}
+		if err != nil || werr != nil || merr != nil || nerr != nil {
+			mismatch("single-tree query failed: %v %v %v %v", err, werr, merr, nerr)
+			return false
+		}
+		for name, st := range variants {
+			if got, err := st.Timeslice(r, t1, now); err != nil {
+				mismatch("%s timeslice: %v", name, err)
+			} else {
+				equal(name+" timeslice", ts, got)
+			}
+			if got, err := st.Window(r, t1, t2, now); err != nil {
+				mismatch("%s window: %v", name, err)
+			} else {
+				equal(name+" window", win, got)
+			}
+			if got, err := st.Moving(r, r2, t1, t2, now); err != nil {
+				mismatch("%s moving: %v", name, err)
+			} else {
+				equal(name+" moving", mov, got)
+			}
+			if got, err := st.Nearest(pos, t1, 10, now); err != nil {
+				mismatch("%s nearest: %v", name, err)
+			} else {
+				equal(name+" nearest", nn, got)
+			}
+		}
+	}
+	return identical
+}
+
+// benchPartitioned measures one sharded configuration: counter deltas
+// over a fixed query batch, then throughput over the duration window.
+func benchPartitioned(st *rexptree.ShardedTree, cfg partitionConfig, now float64) (partitionResult, error) {
+	var res partitionResult
+
+	before := st.Metrics()
+	rng := rand.New(rand.NewSource(cfg.Seed + 42))
+	const counted = 1000
+	for q := 0; q < counted; q++ {
+		r, t1, t2 := pointishQuery(rng, cfg.QueryExtent, now)
+		if _, err := st.Window(r, t1, t2, now); err != nil {
+			return res, err
+		}
+	}
+	after := st.Metrics()
+	res.ShardVisits = after.ShardVisits - before.ShardVisits
+	res.ShardsPruned = after.ShardsPruned - before.ShardsPruned
+	if total := res.ShardVisits + res.ShardsPruned; total > 0 {
+		res.PruneRatio = float64(res.ShardsPruned) / float64(total)
+	}
+	res.AvgShardsPerQry = float64(res.ShardVisits) / counted
+	res.NodeVisits = after.QueryNodeVisits - before.QueryNodeVisits
+	res.BufferReads = after.BufferReads - before.BufferReads
+
+	d := time.Duration(cfg.DurationSec * float64(time.Second))
+	// Warm the buffer pools before timing.
+	if _, err := measure(cfg.Workers, d/4, func(_ int, rng *rand.Rand) error {
+		r, t1, t2 := pointishQuery(rng, cfg.QueryExtent, now)
+		_, err := st.Window(r, t1, t2, now)
+		return err
+	}); err != nil {
+		return res, err
+	}
+	ops, err := measure(cfg.Workers, d, func(_ int, rng *rand.Rand) error {
+		r, t1, t2 := pointishQuery(rng, cfg.QueryExtent, now)
+		_, err := st.Window(r, t1, t2, now)
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.QueryOpsPerSec = ops
+	return res, nil
+}
+
+// runPartitionBench executes the partition-policy comparison and
+// writes the JSON report.
+func runPartitionBench(objects, shards, workers int, durationSec float64, ioLat time.Duration, seed int64, out string, progress func(string)) error {
+	opts := rexptree.DefaultOptions()
+	opts.IOLatency = ioLat
+	cfg := partitionConfig{
+		Objects:      objects,
+		Shards:       shards,
+		Workers:      workers,
+		DurationSec:  durationSec,
+		QueryExtent:  40,
+		SpeedBands:   partitionBands,
+		IOLatencyStr: ioLat.String(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Seed:         seed,
+	}
+	if shards != len(partitionBands)+1 {
+		return fmt.Errorf("partition bench needs -shards %d to match its %d speed bands", len(partitionBands)+1, len(partitionBands)+1)
+	}
+
+	progress("loading single-tree reference and sharded configurations")
+	single, err := rexptree.Open(opts)
+	if err != nil {
+		return err
+	}
+	defer single.Close()
+	variants := map[string]*rexptree.ShardedTree{}
+	for _, v := range []struct {
+		name string
+		so   rexptree.ShardedOptions
+	}{
+		{"hash", rexptree.ShardedOptions{Options: opts, Shards: shards, Workers: workers}},
+		{"speed", rexptree.ShardedOptions{Options: opts, Shards: shards, Workers: workers,
+			Partition: rexptree.PartitionSpeed, SpeedBands: partitionBands}},
+	} {
+		st, err := rexptree.OpenSharded(v.so)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		variants[v.name] = st
+	}
+
+	// Two reporting rounds: the second shifts every object's speed
+	// class, so the speed configuration re-routes the whole population.
+	for pass := 0; pass < 2; pass++ {
+		reports := partitionWorkload(objects, seed, pass)
+		now := float64(pass) * 5
+		if err := loadReports(func(b []rexptree.Report, t float64) error {
+			for _, r := range b {
+				if err := single.Update(r.ID, r.Point, t); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, reports, now); err != nil {
+			return err
+		}
+		for name, st := range variants {
+			if err := loadReports(st.UpdateBatch, reports, now); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+	}
+	now := 5.0
+
+	progress("verifying result-set equality across configurations")
+	identical := checkIdentical(single, variants, cfg.QueryExtent, now, seed)
+
+	report := struct {
+		Config           partitionConfig `json:"config"`
+		Hash             partitionResult `json:"hash"`
+		Speed            partitionResult `json:"speed"`
+		Rerouted         uint64          `json:"speed_rerouted_objects"`
+		VisitReduction   float64         `json:"shard_visit_reduction"`
+		QuerySpeedup     float64         `json:"speed_query_speedup_vs_hash"`
+		ResultsIdentical bool            `json:"results_identical"`
+	}{Config: cfg, ResultsIdentical: identical}
+	report.Rerouted = variants["speed"].Metrics().Rerouted
+
+	progress("measuring hash partition")
+	report.Hash, err = benchPartitioned(variants["hash"], cfg, now)
+	if err != nil {
+		return err
+	}
+	progress("measuring speed partition")
+	report.Speed, err = benchPartitioned(variants["speed"], cfg, now)
+	if err != nil {
+		return err
+	}
+	if report.Speed.ShardVisits > 0 {
+		report.VisitReduction = float64(report.Hash.ShardVisits) / float64(report.Speed.ShardVisits)
+	}
+	if report.Hash.QueryOpsPerSec > 0 {
+		report.QuerySpeedup = report.Speed.QueryOpsPerSec / report.Hash.QueryOpsPerSec
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("partition bench: hash %.2f shards/query at %.0f ops/s, speed %.2f shards/query at %.0f ops/s (%.2fx visits, %.2fx throughput, identical=%v) -> %s\n",
+		report.Hash.AvgShardsPerQry, report.Hash.QueryOpsPerSec,
+		report.Speed.AvgShardsPerQry, report.Speed.QueryOpsPerSec,
+		report.VisitReduction, report.QuerySpeedup, report.ResultsIdentical, out)
+	return nil
+}

@@ -1,9 +1,8 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
-	"math"
+	"sync"
 
 	"rexptree/internal/geom"
 	"rexptree/internal/storage"
@@ -29,12 +28,18 @@ func (t *Tree) Nearest(q geom.Vec, at float64, k int, now float64) ([]Result, er
 	if k <= 0 {
 		return nil, nil
 	}
-	pq := &nnQueue{}
-	heap.Push(pq, nnItem{dist: 0, page: t.root, isNode: true})
+	qp := nnQueuePool.Get().(*nnQueue)
+	pq := (*qp)[:0]
+	defer func() {
+		*qp = pq[:0]
+		nnQueuePool.Put(qp)
+	}()
+	pq = pq.push(nnItem{dist: 0, page: t.root, isNode: true})
 	var out []Result
 	var nodes, leaves uint64
-	for pq.Len() > 0 && len(out) < k {
-		it := heap.Pop(pq).(nnItem)
+	for len(pq) > 0 && len(out) < k {
+		var it nnItem
+		pq, it = pq.pop()
 		if !it.isNode {
 			out = append(out, Result{OID: it.oid, Point: it.point})
 			continue
@@ -56,15 +61,15 @@ func (t *Tree) Nearest(q geom.Vec, at float64, k int, now float64) ([]Result, er
 			}
 			if n.level == 0 {
 				p := e.point()
-				heap.Push(pq, nnItem{
+				pq = pq.push(nnItem{
 					dist:  q.Dist(p.At(at), t.cfg.Dims),
 					oid:   e.id,
 					point: p,
 				})
 				continue
 			}
-			heap.Push(pq, nnItem{
-				dist:   minDist(q, e.rect.At(at), t.cfg.Dims),
+			pq = pq.push(nnItem{
+				dist:   e.rect.At(at).MinDist(q, t.cfg.Dims),
 				page:   e.child(),
 				isNode: true,
 			})
@@ -74,22 +79,12 @@ func (t *Tree) Nearest(q geom.Vec, at float64, k int, now float64) ([]Result, er
 	return out, nil
 }
 
-// minDist is the minimum Euclidean distance from point q to rectangle
-// r (zero if q lies inside).
-func minDist(q geom.Vec, r geom.Rect, dims int) float64 {
-	var s float64
-	for i := 0; i < dims; i++ {
-		switch {
-		case q[i] < r.Lo[i]:
-			d := r.Lo[i] - q[i]
-			s += d * d
-		case q[i] > r.Hi[i]:
-			d := q[i] - r.Hi[i]
-			s += d * d
-		}
-	}
-	return math.Sqrt(s)
-}
+// nnQueuePool recycles priority queues across Nearest calls so the
+// hot path allocates nothing once warm.
+var nnQueuePool = sync.Pool{New: func() any {
+	q := make(nnQueue, 0, 64)
+	return &q
+}}
 
 type nnItem struct {
 	dist   float64
@@ -99,10 +94,47 @@ type nnItem struct {
 	point  geom.MovingPoint
 }
 
+// nnQueue is a binary min-heap ordered by dist.  The sift operations
+// mirror container/heap exactly (so equal-distance items pop in the
+// same order the stdlib heap would produce) while avoiding the
+// interface boxing that heap.Push/heap.Pop allocate per item.
 type nnQueue []nnItem
 
-func (q nnQueue) Len() int           { return len(q) }
-func (q nnQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
-func (q nnQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *nnQueue) Push(x any)        { *q = append(*q, x.(nnItem)) }
-func (q *nnQueue) Pop() any          { old := *q; n := len(old); x := old[n-1]; *q = old[:n-1]; return x }
+func (q nnQueue) push(x nnItem) nnQueue {
+	q = append(q, x)
+	// Sift up, as container/heap's up().
+	j := len(q) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if q[j].dist >= q[i].dist {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+	return q
+}
+
+func (q nnQueue) pop() (nnQueue, nnItem) {
+	// As container/heap's Pop: swap root to the end, sift down, trim.
+	n := len(q) - 1
+	q[0], q[n] = q[n], q[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && q[j2].dist < q[j1].dist {
+			j = j2
+		}
+		if q[j].dist >= q[i].dist {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
+	x := q[n]
+	return q[:n], x
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"rexptree/internal/geom"
 	"rexptree/internal/storage"
 )
@@ -27,13 +29,27 @@ func (t *Tree) Search(q geom.Query, now float64) ([]Result, error) {
 	return out, err
 }
 
+// stackPool recycles traversal stacks across queries so the hot path
+// does not allocate one per call.  The pool stores pointers to slices
+// so that Put does not itself allocate an interface box.
+var stackPool = sync.Pool{New: func() any {
+	s := make([]storage.PageID, 0, 64)
+	return &s
+}}
+
 // SearchFunc streams matching objects to fn as the traversal finds
 // them, stopping early when fn returns false.  It avoids materializing
-// large result sets.
+// large result sets, and — with a warm buffer pool — runs without heap
+// allocations (the traversal stack is pooled).
 func (t *Tree) SearchFunc(q geom.Query, now float64, fn func(Result) bool) error {
 	t.advance(now)
 	var nodes, leaves uint64
-	stack := []storage.PageID{t.root}
+	sp := stackPool.Get().(*[]storage.PageID)
+	stack := append((*sp)[:0], t.root)
+	defer func() {
+		*sp = stack[:0]
+		stackPool.Put(sp)
+	}()
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -52,8 +68,9 @@ func (t *Tree) SearchFunc(q geom.Query, now float64, fn func(Result) bool) error
 				continue
 			}
 			if n.level == 0 {
-				if q.MatchesPoint(e.point(), t.cfg.Dims, t.cfg.ExpireAware) {
-					if !fn(Result{OID: e.id, Point: e.point()}) {
+				p := e.point()
+				if q.MatchesPoint(p, t.cfg.Dims, t.cfg.ExpireAware) {
+					if !fn(Result{OID: e.id, Point: p}) {
 						t.addQueryStats(nodes, leaves)
 						return nil
 					}

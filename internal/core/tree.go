@@ -88,8 +88,37 @@ func (t *Tree) SyncGauges() {
 	t.met.Pages.Set(int64(t.Size()))
 	t.met.LeafEntries.Set(int64(t.leafEntries))
 	t.met.BufResident.Set(int64(t.bp.Resident()))
+	t.met.BufPoolPages.Set(int64(t.bp.Cap()))
 	t.met.UI.Set(t.UI())
 	t.met.Horizon.Set(t.metricH())
+}
+
+// BufferPoolPages returns the buffer pool's page capacity.
+func (t *Tree) BufferPoolPages() int { return t.bp.Cap() }
+
+// RootBR returns a conservative time-parameterized bound over every
+// entry currently stored in the tree — the union of the root node's
+// entry rectangles, which is valid for all t >= the tree's current
+// time — and ok=false when the tree is empty.  It reads only the root
+// page (pinned in the buffer pool, so no I/O is charged) and is the
+// retightening source for the sharded front-end's per-shard summaries.
+// Like the other read-only traversals it may run concurrently with
+// queries but not with a mutation.
+func (t *Tree) RootBR() (br geom.TPRect, ok bool, err error) {
+	n, err := t.readNode(t.root)
+	if err != nil {
+		return geom.TPRect{}, false, err
+	}
+	if len(n.entries) == 0 {
+		return geom.TPRect{}, false, nil
+	}
+	now := t.Now()
+	br = n.entries[0].rect
+	for i := 1; i < len(n.entries); i++ {
+		br = geom.UnionConservative(br, n.entries[i].rect, now, t.cfg.Dims)
+	}
+	br.TExp = math.Inf(1)
+	return br, true, nil
 }
 
 // New creates an empty tree over the given (empty) store.  Use Open to

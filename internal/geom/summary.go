@@ -1,0 +1,78 @@
+package geom
+
+import "math"
+
+// Summary is a conservative time-parameterized bound over a set of
+// moving points: a TPRect guaranteed to contain every summarized
+// trajectory at all times t >= the latest Widen time.  It is the
+// per-shard pruning structure of the sharded front-end: widened (never
+// shrunk) as objects arrive, so a query trapezoid that misses the
+// summary provably matches nothing in the summarized set, and
+// periodically replaced wholesale by a tight bound recomputed from the
+// index root.
+//
+// The zero value is the empty summary, which bounds nothing.
+type Summary struct {
+	Box TPRect
+	Has bool // false while the summary bounds nothing
+}
+
+// Reset empties the summary.
+func (s *Summary) Reset() { *s = Summary{} }
+
+// WidenPoint grows the summary so it also bounds the trajectory of p
+// for all t >= now.  The point's expiration time is deliberately
+// ignored (the summary never tightens on expiry), keeping the bound
+// conservative.
+func (s *Summary) WidenPoint(p MovingPoint, now float64, dims int) {
+	s.WidenRect(PointTPRect(p), now, dims)
+}
+
+// WidenRect grows the summary so it also bounds r for all t >= now,
+// where r must itself be valid for t >= now.
+func (s *Summary) WidenRect(r TPRect, now float64, dims int) {
+	r.TExp = math.Inf(1)
+	if !s.Has {
+		s.Box, s.Has = r, true
+		return
+	}
+	s.Box = UnionConservative(s.Box, r, now, dims)
+	s.Box.TExp = math.Inf(1)
+}
+
+// Matches reports whether the query trapezoid can intersect anything
+// the summary bounds.  An empty summary matches nothing; otherwise the
+// test is the same trapezoid intersection used for internal index
+// entries, so it errs exactly on the conservative side.
+func (s Summary) Matches(q Query, dims int) bool {
+	if !s.Has {
+		return false
+	}
+	return q.MatchesRect(s.Box, dims, false)
+}
+
+// MinDistAt returns a lower bound on the distance from pos to any
+// summarized object's position at time t (+Inf for the empty summary).
+func (s Summary) MinDistAt(pos Vec, t float64, dims int) float64 {
+	if !s.Has {
+		return math.Inf(1)
+	}
+	return s.Box.At(t).MinDist(pos, dims)
+}
+
+// MinDist returns the minimum Euclidean distance from point q to the
+// rectangle (zero when q lies inside).
+func (r Rect) MinDist(q Vec, dims int) float64 {
+	var s float64
+	for i := 0; i < dims; i++ {
+		switch {
+		case q[i] < r.Lo[i]:
+			d := r.Lo[i] - q[i]
+			s += d * d
+		case q[i] > r.Hi[i]:
+			d := q[i] - r.Hi[i]
+			s += d * d
+		}
+	}
+	return math.Sqrt(s)
+}

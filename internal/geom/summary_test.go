@@ -1,0 +1,123 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSummaryBoundsTrajectories widens a summary with random moving
+// points at increasing times and checks every trajectory stays inside
+// the summary box at every later instant — the invariant shard pruning
+// relies on.
+func TestSummaryBoundsTrajectories(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const dims = 2
+	var s Summary
+	var pts []MovingPoint
+	now := 0.0
+	for i := 0; i < 200; i++ {
+		p := MovingPoint{
+			Pos:  Vec{rng.Float64() * 1000, rng.Float64() * 1000},
+			Vel:  Vec{rng.Float64()*40 - 20, rng.Float64()*40 - 20},
+			TExp: math.Inf(1),
+		}
+		now += rng.Float64() // widen times move forward, as tree time does
+		s.WidenPoint(p, now, dims)
+		pts = append(pts, p)
+	}
+	for _, dt := range []float64{0, 1, 5, 50} {
+		at := now + dt
+		box := s.Box.At(at)
+		for i, p := range pts {
+			if !box.ContainsPoint(p.At(at), dims) {
+				t.Fatalf("point %d escapes summary at t=%g: %v outside %v", i, at, p.At(at), box)
+			}
+		}
+	}
+}
+
+// TestSummaryEmpty checks the zero value matches nothing and reports
+// infinite distance.
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	q := Window(Rect{Lo: Vec{-1e9, -1e9}, Hi: Vec{1e9, 1e9}}, 0, 1e9)
+	if s.Matches(q, 2) {
+		t.Error("empty summary matched a world-sized query")
+	}
+	if d := s.MinDistAt(Vec{0, 0}, 0, 2); !math.IsInf(d, 1) {
+		t.Errorf("empty summary MinDistAt = %g, want +Inf", d)
+	}
+	s.WidenPoint(MovingPoint{Pos: Vec{5, 5}, TExp: math.Inf(1)}, 0, 2)
+	if !s.Matches(q, 2) {
+		t.Error("widened summary does not match an enclosing query")
+	}
+	s.Reset()
+	if s.Has {
+		t.Error("Reset left the summary non-empty")
+	}
+}
+
+// TestSummaryMatchesConservative checks that a summary miss implies no
+// summarized point matches the query, for random queries of all three
+// types.
+func TestSummaryMatchesConservative(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const dims = 2
+	var s Summary
+	var pts []MovingPoint
+	for i := 0; i < 100; i++ {
+		p := MovingPoint{
+			Pos:  Vec{rng.Float64()*200 + 400, rng.Float64()*200 + 400},
+			Vel:  Vec{rng.Float64()*2 - 1, rng.Float64()*2 - 1},
+			TExp: math.Inf(1),
+		}
+		s.WidenPoint(p, 0, dims)
+		pts = append(pts, p)
+	}
+	for i := 0; i < 500; i++ {
+		lo := Vec{rng.Float64() * 950, rng.Float64() * 950}
+		r := Rect{Lo: lo, Hi: Vec{lo[0] + 50, lo[1] + 50}}
+		t1 := rng.Float64() * 20
+		var q Query
+		switch i % 3 {
+		case 0:
+			q = Timeslice(r, t1)
+		case 1:
+			q = Window(r, t1, t1+10)
+		default:
+			r2 := Rect{Lo: Vec{lo[0] + 20, lo[1] + 20}, Hi: Vec{lo[0] + 70, lo[1] + 70}}
+			q = Moving(r, r2, t1, t1+10, dims)
+		}
+		if s.Matches(q, dims) {
+			continue
+		}
+		for j, p := range pts {
+			if q.MatchesPoint(p, dims, false) {
+				t.Fatalf("query %d missed the summary but matches point %d", i, j)
+			}
+		}
+	}
+}
+
+// TestRectMinDist checks the point-to-rectangle distance helper.
+func TestRectMinDist(t *testing.T) {
+	r := Rect{Lo: Vec{10, 10}, Hi: Vec{20, 20}}
+	cases := []struct {
+		q    Vec
+		want float64
+	}{
+		{Vec{15, 15}, 0},  // inside
+		{Vec{10, 20}, 0},  // corner
+		{Vec{25, 15}, 5},  // right face
+		{Vec{15, 4}, 6},   // below
+		{Vec{23, 24}, 5},  // corner at (3,4)
+		{Vec{-2, 15}, 12}, // left face
+		{Vec{26, 28}, 10}, // corner at (6,8)
+	}
+	for _, c := range cases {
+		if got := r.MinDist(c.q, 2); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("MinDist(%v) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}

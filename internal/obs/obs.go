@@ -239,12 +239,22 @@ type Metrics struct {
 	SubtreesFreed     Counter // expired internal subtrees deallocated (§4.3)
 
 	// Gauges, refreshed by Tree.SyncGauges at observation time.
-	Height      Gauge      // tree levels
-	Pages       Gauge      // allocated pages (index size, Figure 15)
-	LeafEntries Gauge      // stored leaf entries, live plus unpurged expired
-	BufResident Gauge      // buffered pages
-	UI          GaugeFloat // self-tuned update-interval estimate (§4.2.3)
-	Horizon     GaugeFloat // time horizon H = UI + W (§4.2.1)
+	Height       Gauge      // tree levels
+	Pages        Gauge      // allocated pages (index size, Figure 15)
+	LeafEntries  Gauge      // stored leaf entries, live plus unpurged expired
+	BufResident  Gauge      // buffered pages
+	BufPoolPages Gauge      // buffer pool page capacity (PR 3)
+	UI           GaugeFloat // self-tuned update-interval estimate (§4.2.3)
+	Horizon      GaugeFloat // time horizon H = UI + W (§4.2.1)
+
+	// Sharded front-end partitioning and pruning (PR 3).  On a shard's
+	// own registry the speed-band gauges hold the shard's assigned
+	// speed interval [lo, hi); on the aggregate they hold the envelope.
+	ShardVisits  Counter    // shards actually searched by front-end queries
+	ShardsPruned Counter    // shards skipped because the query missed their summary
+	Rerouted     Counter    // objects moved between shards on a band change
+	SpeedBandLo  GaugeFloat // lower |velocity| bound of the shard's speed band
+	SpeedBandHi  GaugeFloat // upper |velocity| bound of the shard's speed band
 
 	// Lock acquisition wait times of the public tree (PR 2): how long
 	// operations block before entering the index.  Read covers the
@@ -355,12 +365,19 @@ type Snapshot struct {
 	ExpiredPurged     uint64
 	SubtreesFreed     uint64
 
-	Height      int64
-	Pages       int64
-	LeafEntries int64
-	BufResident int64
-	UI          float64
-	Horizon     float64
+	Height       int64
+	Pages        int64
+	LeafEntries  int64
+	BufResident  int64
+	BufPoolPages int64
+	UI           float64
+	Horizon      float64
+
+	ShardVisits  uint64
+	ShardsPruned uint64
+	Rerouted     uint64
+	SpeedBandLo  float64
+	SpeedBandHi  float64
 
 	LockWaitRead   HistSnapshot
 	LockWaitWrite  HistSnapshot
@@ -395,8 +412,14 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.Pages = m.Pages.Load()
 	s.LeafEntries = m.LeafEntries.Load()
 	s.BufResident = m.BufResident.Load()
+	s.BufPoolPages = m.BufPoolPages.Load()
 	s.UI = m.UI.Load()
 	s.Horizon = m.Horizon.Load()
+	s.ShardVisits = m.ShardVisits.Load()
+	s.ShardsPruned = m.ShardsPruned.Load()
+	s.Rerouted = m.Rerouted.Load()
+	s.SpeedBandLo = m.SpeedBandLo.Load()
+	s.SpeedBandHi = m.SpeedBandHi.Load()
 	s.LockWaitRead = m.LockWaitRead.Snapshot()
 	s.LockWaitWrite = m.LockWaitWrite.Snapshot()
 	s.BatchedUpdates = m.BatchedUpdates.Load()
@@ -437,6 +460,9 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 	d.LockWaitRead = s.LockWaitRead.Sub(o.LockWaitRead)
 	d.LockWaitWrite = s.LockWaitWrite.Sub(o.LockWaitWrite)
 	d.BatchedUpdates -= o.BatchedUpdates
+	d.ShardVisits -= o.ShardVisits
+	d.ShardsPruned -= o.ShardsPruned
+	d.Rerouted -= o.Rerouted
 	for i := range d.Ops {
 		d.Ops[i] = s.Ops[i].Sub(o.Ops[i])
 	}
@@ -471,11 +497,18 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 	d.Pages += o.Pages
 	d.LeafEntries += o.LeafEntries
 	d.BufResident += o.BufResident
+	d.BufPoolPages += o.BufPoolPages
 	d.UI = math.Max(d.UI, o.UI)
 	d.Horizon = math.Max(d.Horizon, o.Horizon)
 	d.LockWaitRead = s.LockWaitRead.Add(o.LockWaitRead)
 	d.LockWaitWrite = s.LockWaitWrite.Add(o.LockWaitWrite)
 	d.BatchedUpdates += o.BatchedUpdates
+	d.ShardVisits += o.ShardVisits
+	d.ShardsPruned += o.ShardsPruned
+	d.Rerouted += o.Rerouted
+	// The speed-band envelope: the fleet covers [min lo, max hi).
+	d.SpeedBandLo = math.Min(d.SpeedBandLo, o.SpeedBandLo)
+	d.SpeedBandHi = math.Max(d.SpeedBandHi, o.SpeedBandHi)
 	for i := range d.Ops {
 		op := d.Ops[i]
 		op.Count += o.Ops[i].Count

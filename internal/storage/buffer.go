@@ -284,6 +284,9 @@ func (bp *BufferPool) Flush() error {
 	return nil
 }
 
+// Cap returns the pool's page capacity.
+func (bp *BufferPool) Cap() int { return bp.capacity }
+
 // Resident returns the number of buffered pages (for tests).
 func (bp *BufferPool) Resident() int {
 	bp.mu.Lock()

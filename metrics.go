@@ -61,12 +61,20 @@ func (o OpMetrics) Sub(prev OpMetrics) OpMetrics {
 // Observability table.
 type Metrics struct {
 	// Structure gauges (current values).
-	Height         int     // tree levels
-	Pages          int     // allocated pages (index size, Figure 15)
-	LeafEntries    int     // stored leaf entries, live plus unpurged expired
-	BufferResident int     // buffered pages
-	UIEstimate     float64 // self-tuned update-interval estimate (§4.2.3)
-	Horizon        float64 // time horizon H = UI + W (§4.2.1)
+	Height          int     // tree levels
+	Pages           int     // allocated pages (index size, Figure 15)
+	LeafEntries     int     // stored leaf entries, live plus unpurged expired
+	BufferResident  int     // buffered pages
+	BufferPoolPages int     // buffer pool page capacity (sum over shards when sharded)
+	UIEstimate      float64 // self-tuned update-interval estimate (§4.2.3)
+	Horizon         float64 // time horizon H = UI + W (§4.2.1)
+
+	// Speed-band envelope of a speed-partitioned ShardedTree: the
+	// [lower, upper) |velocity| range covered by the shards' bands (the
+	// upper bound is +Inf for the fastest band).  Zero on a stand-alone
+	// tree or under hash partitioning.
+	SpeedBandLo float64
+	SpeedBandHi float64
 
 	// Buffer-pool counters (§5.1).
 	BufferReads           uint64 // pages read from the store (misses)
@@ -91,6 +99,11 @@ type Metrics struct {
 	// UpdateBatch (each batch also counts once under the update_batch
 	// operation in Ops).
 	BatchedUpdates uint64
+
+	// Sharded front-end counters (zero on a stand-alone tree).
+	ShardVisits  uint64 // shards actually searched by front-end queries
+	ShardsPruned uint64 // shards skipped because the query missed their summary
+	Rerouted     uint64 // objects moved between shards on a speed-band change
 
 	// Lock-wait histograms: how long public operations blocked before
 	// acquiring the tree's shared (read) or exclusive (write) lock.
@@ -153,6 +166,9 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 	d.ExpiredPurged -= prev.ExpiredPurged
 	d.SubtreesFreed -= prev.SubtreesFreed
 	d.BatchedUpdates -= prev.BatchedUpdates
+	d.ShardVisits -= prev.ShardVisits
+	d.ShardsPruned -= prev.ShardsPruned
+	d.Rerouted -= prev.Rerouted
 	d.LockWaitRead = m.LockWaitRead.Sub(prev.LockWaitRead)
 	d.LockWaitWrite = m.LockWaitWrite.Sub(prev.LockWaitWrite)
 	for i := range d.Ops {
@@ -189,12 +205,15 @@ func (tr *Tree) Metrics() Metrics {
 
 func fromSnapshot(s obs.Snapshot) Metrics {
 	m := Metrics{
-		Height:         int(s.Height),
-		Pages:          int(s.Pages),
-		LeafEntries:    int(s.LeafEntries),
-		BufferResident: int(s.BufResident),
-		UIEstimate:     s.UI,
-		Horizon:        s.Horizon,
+		Height:          int(s.Height),
+		Pages:           int(s.Pages),
+		LeafEntries:     int(s.LeafEntries),
+		BufferResident:  int(s.BufResident),
+		BufferPoolPages: int(s.BufPoolPages),
+		UIEstimate:      s.UI,
+		Horizon:         s.Horizon,
+		SpeedBandLo:     s.SpeedBandLo,
+		SpeedBandHi:     s.SpeedBandHi,
 
 		BufferReads:           s.BufReads,
 		BufferWrites:          s.BufWrites,
@@ -214,6 +233,9 @@ func fromSnapshot(s obs.Snapshot) Metrics {
 		SubtreesFreed:           s.SubtreesFreed,
 
 		BatchedUpdates: s.BatchedUpdates,
+		ShardVisits:    s.ShardVisits,
+		ShardsPruned:   s.ShardsPruned,
+		Rerouted:       s.Rerouted,
 		LockWaitRead:   fromHist(s.LockWaitRead),
 		LockWaitWrite:  fromHist(s.LockWaitWrite),
 	}

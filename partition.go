@@ -1,0 +1,240 @@
+package rexptree
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+)
+
+// PartitionPolicy selects how a ShardedTree assigns objects to shards.
+type PartitionPolicy int
+
+const (
+	// PartitionHash routes each object by a hash of its id (the
+	// default).  Routing is stateless, and every shard sees the full
+	// mix of slow and fast objects.
+	PartitionHash PartitionPolicy = iota
+
+	// PartitionSpeed routes each object by its speed |velocity|: shard
+	// i holds the objects of the i-th speed band, slowest first.  Slow
+	// objects then share shards whose time-parameterized bounds grow
+	// slowly, so queries over near-future times can prune the
+	// fast-mover shards (and vice versa) via the per-shard summaries.
+	// An object whose speed crosses a band boundary is re-routed to its
+	// new shard on its next update.
+	PartitionSpeed
+)
+
+// String returns the policy's name as stored in the shard manifest.
+func (p PartitionPolicy) String() string {
+	switch p {
+	case PartitionHash:
+		return "hash"
+	case PartitionSpeed:
+		return "speed"
+	}
+	return fmt.Sprintf("partition(%d)", int(p))
+}
+
+// ParsePartitionPolicy converts a policy name ("hash" or "speed") back
+// to the policy, for flag and manifest parsing.
+func ParsePartitionPolicy(s string) (PartitionPolicy, error) {
+	switch s {
+	case "hash":
+		return PartitionHash, nil
+	case "speed":
+		return PartitionSpeed, nil
+	}
+	return 0, fmt.Errorf("rexptree: unknown partition policy %q", s)
+}
+
+// partitioner maps objects to shards.  route picks the target shard
+// for a new report; locate returns the shard currently holding the
+// object (ok=false when it is not tracked); note and forget maintain
+// the object→shard table of stateful policies.
+type partitioner interface {
+	policy() PartitionPolicy
+	route(id uint32, p Point) int
+	locate(id uint32) (int, bool)
+	note(id uint32, shard int)
+	forget(id uint32)
+}
+
+// hashPartitioner is the stateless id-hash policy.  locate is exact
+// (the hash is the location), so note and forget are no-ops.
+type hashPartitioner struct{ n int }
+
+func (h hashPartitioner) policy() PartitionPolicy      { return PartitionHash }
+func (h hashPartitioner) route(id uint32, _ Point) int { return shardIndex(id, h.n) }
+func (h hashPartitioner) locate(id uint32) (int, bool) { return shardIndex(id, h.n), true }
+func (h hashPartitioner) note(uint32, int)             {}
+func (h hashPartitioner) forget(uint32)                {}
+
+// speedPartitioner routes by |velocity| band.  With fixed bands the
+// boundaries come from ShardedOptions.SpeedBands; in self-tuned mode
+// (no bands given) it hash-routes while collecting the first tuneAfter
+// observed speeds, then picks quantile boundaries so the bands split
+// the observed distribution evenly.  Objects placed during warmup (or
+// whose speed later crosses a boundary) migrate lazily: the sharded
+// front-end re-routes them on their next update.
+type speedPartitioner struct {
+	n         int
+	dims      int
+	tuneAfter int
+	onTune    func(bands []float64) // called with mu held; must not call back
+
+	mu      sync.RWMutex
+	bands   []float64 // ascending boundaries; nil until tuned in auto mode
+	tuned   bool      // bands were self-tuned (vs configured)
+	samples []float64 // speeds observed while untuned
+	loc     map[uint32]int
+}
+
+func newSpeedPartitioner(n, dims, tuneAfter int, bands []float64, onTune func([]float64)) *speedPartitioner {
+	return &speedPartitioner{
+		n:         n,
+		dims:      dims,
+		tuneAfter: tuneAfter,
+		onTune:    onTune,
+		bands:     bands,
+		loc:       make(map[uint32]int),
+	}
+}
+
+func (p *speedPartitioner) policy() PartitionPolicy { return PartitionSpeed }
+
+// speedOf is the report's |velocity|.
+func speedOf(pt Point, dims int) float64 {
+	var s float64
+	for i := 0; i < dims; i++ {
+		s += pt.Vel[i] * pt.Vel[i]
+	}
+	return math.Sqrt(s)
+}
+
+// bandOf maps a speed to its band: band i covers [bands[i-1], bands[i]).
+func bandOf(bands []float64, sp float64) int {
+	return sort.Search(len(bands), func(i int) bool { return bands[i] > sp })
+}
+
+func (p *speedPartitioner) route(id uint32, pt Point) int {
+	sp := speedOf(pt, p.dims)
+	p.mu.RLock()
+	bands := p.bands
+	p.mu.RUnlock()
+	if bands == nil {
+		p.mu.Lock()
+		if p.bands == nil {
+			p.samples = append(p.samples, sp)
+			if len(p.samples) >= p.tuneAfter {
+				p.tuneLocked()
+			}
+		}
+		bands = p.bands
+		p.mu.Unlock()
+		if bands == nil {
+			// Warmup: hash-route so the shards stay balanced until
+			// the speed distribution is known.
+			return shardIndex(id, p.n)
+		}
+	}
+	return bandOf(bands, sp)
+}
+
+// tuneLocked picks the band boundaries at the i/n quantiles of the
+// observed speeds.  Caller holds p.mu.
+func (p *speedPartitioner) tuneLocked() {
+	samples := append([]float64(nil), p.samples...)
+	sort.Float64s(samples)
+	bands := make([]float64, p.n-1)
+	for i := 1; i < p.n; i++ {
+		bands[i-1] = samples[len(samples)*i/p.n]
+	}
+	p.bands = bands
+	p.tuned = true
+	p.samples = nil
+	if p.onTune != nil {
+		p.onTune(bands)
+	}
+}
+
+// Bands returns a copy of the current boundaries (nil while untuned)
+// and whether they were self-tuned.
+func (p *speedPartitioner) Bands() ([]float64, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]float64(nil), p.bands...), p.tuned
+}
+
+func (p *speedPartitioner) locate(id uint32) (int, bool) {
+	p.mu.RLock()
+	i, ok := p.loc[id]
+	p.mu.RUnlock()
+	return i, ok
+}
+
+func (p *speedPartitioner) note(id uint32, shard int) {
+	p.mu.Lock()
+	p.loc[id] = shard
+	p.mu.Unlock()
+}
+
+func (p *speedPartitioner) forget(id uint32) {
+	p.mu.Lock()
+	delete(p.loc, id)
+	p.mu.Unlock()
+}
+
+// manifestHash names the id→shard hash scheme; it is recorded in the
+// manifest so a future scheme change cannot silently scramble a stored
+// partition.
+const manifestHash = "murmur3-fmix32"
+
+// shardManifest is the sidecar file ("<Path>.manifest") describing how
+// a file-backed sharded index is partitioned.  OpenSharded refuses to
+// reopen an index whose manifest disagrees with the requested shard
+// count or partition policy, because the stored object placement
+// depends on both.
+type shardManifest struct {
+	Version    int       `json:"version"`
+	Shards     int       `json:"shards"`
+	Hash       string    `json:"hash"`
+	Partition  string    `json:"partition"`
+	SpeedBands []float64 `json:"speed_bands,omitempty"`
+	AutoTuned  bool      `json:"auto_tuned,omitempty"`
+}
+
+// readManifest loads the manifest; found is false when none exists.
+func readManifest(path string) (m shardManifest, found bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return shardManifest{}, false, nil
+	}
+	if err != nil {
+		return shardManifest{}, false, fmt.Errorf("rexptree: reading shard manifest: %w", err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return shardManifest{}, false, fmt.Errorf("rexptree: parsing shard manifest %s: %w", path, err)
+	}
+	return m, true, nil
+}
+
+// writeManifest stores the manifest atomically (write temp + rename).
+func writeManifest(path string, m shardManifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("rexptree: writing shard manifest: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("rexptree: writing shard manifest: %w", err)
+	}
+	return nil
+}

@@ -9,17 +9,19 @@ import (
 	"sync"
 	"time"
 
+	"rexptree/internal/geom"
 	"rexptree/internal/obs"
 )
 
 // ShardedOptions configures a ShardedTree.  The embedded Options apply
 // to every shard; Path, when set, names the base of the per-shard page
-// files (shard i is stored at "<Path>.s<i>").
+// files (shard i is stored at "<Path>.s<i>", and a "<Path>.manifest"
+// sidecar records the partition so it cannot be reopened wrongly).
 type ShardedOptions struct {
 	Options
 
 	// Shards is the number of independent sub-trees objects are
-	// hash-partitioned across (default 4).  It must be the same when a
+	// partitioned across (default 4).  It must be the same when a
 	// file-backed sharded index is reopened, because the partition of
 	// the stored objects depends on it.
 	Shards int
@@ -28,6 +30,33 @@ type ShardedOptions struct {
 	// query fan-out (default: one worker per shard).  The same pool
 	// bounds the per-shard application of UpdateBatch.
 	Workers int
+
+	// Partition selects the object→shard assignment: PartitionHash
+	// (default) routes by id hash; PartitionSpeed routes by |velocity|
+	// band, which groups objects of similar speed so the per-shard
+	// time-parameterized summaries stay tight and queries can prune
+	// whole shards.
+	Partition PartitionPolicy
+
+	// SpeedBands are the |velocity| boundaries between consecutive
+	// speed bands under PartitionSpeed: exactly Shards-1 ascending
+	// non-negative values, band i covering [SpeedBands[i-1],
+	// SpeedBands[i]).  Leave empty for self-tuning: the index
+	// hash-routes while observing the first TuneAfter reported speeds,
+	// then picks quantile boundaries; objects migrate to their band's
+	// shard on their next update.
+	SpeedBands []float64
+
+	// TuneAfter is how many speed observations self-tuning collects
+	// before fixing the band boundaries (default 1000).
+	TuneAfter int
+
+	// BufferPagesPerShard sets each shard's buffer-pool page capacity
+	// directly.  When zero, Options.BufferPages (if set) is treated as
+	// a total budget divided evenly across shards with a floor of 8
+	// pages per shard; when that is zero too, each shard gets the
+	// stand-alone default (50 pages, paper §5.1).
+	BufferPagesPerShard int
 }
 
 // ShardedTree partitions a moving-object index across Shards
@@ -35,27 +64,66 @@ type ShardedOptions struct {
 // lock, following the scale-out design of partitioned moving-object
 // indexes (MOIST; Jiang et al.): updates touch exactly one shard, so
 // they proceed concurrently on different shards, and queries fan out
-// across all shards through a bounded worker pool, with the per-shard
+// across the shards through a bounded worker pool, with the per-shard
 // result sets merged.
 //
-// Objects are assigned to shards by a hash of their id, so the
-// object-keyed operations (Update, Delete, Get) route directly to the
-// owning shard.  Query results are merged in ascending object-id order
-// (Nearest: ascending distance order), which makes the output
-// deterministic regardless of shard completion order — and, for the
-// same workload, element-wise identical to a single Tree's sorted
-// results.
+// Objects are assigned to shards by the configured PartitionPolicy:
+// by id hash (the default), or by speed band (PartitionSpeed), which
+// re-routes an object to its new band's shard when an update moves its
+// speed across a boundary.  Each shard also maintains a conservative
+// time-parameterized summary of its live objects — widened on every
+// insert, periodically retightened from the shard's root — and queries
+// consult the summaries first, skipping shards the query trapezoid
+// provably cannot touch (Nearest instead visits shards in ascending
+// summary distance and stops once the remaining shards cannot beat the
+// current k-th candidate).  Pruning is strictly conservative, so
+// results are identical to the unpruned fan-out and to a single Tree.
+//
+// Query results are merged in ascending object-id order (Nearest:
+// ascending distance order), which makes the output deterministic
+// regardless of shard completion order — and, for the same workload,
+// element-wise identical to a single Tree's sorted results.
 //
 // All methods are safe for concurrent use.
 type ShardedTree struct {
 	shards []*Tree
+	sums   []shardSummary
+	part   partitioner
 	dims   int
 	sem    chan struct{} // bounded fan-out worker pool
-	m      *obs.Metrics  // front-end registry: fan-out latencies
+	m      *obs.Metrics  // front-end registry: fan-out latencies, pruning counters
+
+	manifestPath string // "" when memory-backed
+
+	// Re-routing discipline of the speed policy: single-object updates
+	// hold rerouteMu shared plus the object's stripe (so the
+	// delete-from-old/insert-into-new pair of one object never
+	// interleaves with another update of the same object), while
+	// UpdateBatch holds rerouteMu exclusively.  Hash partitioning never
+	// re-routes and bypasses both.
+	rerouteMu sync.RWMutex
+	stripes   [64]sync.Mutex
 }
 
+// shardSummary is one shard's pruning summary plus its staleness
+// counter.  The mutex orders widens, retightens and query-side reads;
+// retightening reads the shard root while holding it, so a widen that
+// happened-before the retighten is always covered by the fresh bound.
+type shardSummary struct {
+	mu    sync.Mutex
+	sum   geom.Summary
+	dirty int // widens since the last retighten
+}
+
+// retightenEvery is how many widens a shard summary absorbs before it
+// is recomputed from the shard's root node (which is pinned in the
+// buffer pool, so the recomputation costs no I/O).
+const retightenEvery = 256
+
 // OpenSharded creates (or, with a Path to existing shard files,
-// reopens) a sharded tree.
+// reopens) a sharded tree.  Reopening validates the shard manifest:
+// a mismatched shard count or partition policy is refused, because the
+// stored object placement depends on both.
 func OpenSharded(opts ShardedOptions) (*ShardedTree, error) {
 	if opts.Shards == 0 {
 		opts.Shards = 4
@@ -69,15 +137,78 @@ func OpenSharded(opts ShardedOptions) (*ShardedTree, error) {
 	if opts.Workers < 1 {
 		return nil, fmt.Errorf("rexptree: invalid worker count %d", opts.Workers)
 	}
+	if opts.Partition != PartitionHash && opts.Partition != PartitionSpeed {
+		return nil, fmt.Errorf("rexptree: unknown partition policy %d", int(opts.Partition))
+	}
+	if opts.Partition == PartitionHash && len(opts.SpeedBands) > 0 {
+		return nil, fmt.Errorf("rexptree: SpeedBands set but partition policy is %s", opts.Partition)
+	}
+	bands := append([]float64(nil), opts.SpeedBands...)
+	if len(bands) > 0 {
+		if len(bands) != opts.Shards-1 {
+			return nil, fmt.Errorf("rexptree: %d speed bands for %d shards, want %d", len(bands), opts.Shards, opts.Shards-1)
+		}
+		for i, b := range bands {
+			if b < 0 || (i > 0 && b <= bands[i-1]) {
+				return nil, fmt.Errorf("rexptree: speed bands must be non-negative and ascending, got %v", bands)
+			}
+		}
+	}
+	tuneAfter := opts.TuneAfter
+	if tuneAfter <= 0 {
+		tuneAfter = 1000
+	}
+
+	// Validate the manifest before touching any shard file.
+	autoTuned := false
+	manifestPath := ""
+	if opts.Path != "" {
+		manifestPath = opts.Path + ".manifest"
+		man, found, err := readManifest(manifestPath)
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			if man.Shards != opts.Shards {
+				return nil, fmt.Errorf("rexptree: shard manifest %s: index has %d shards, options request %d", manifestPath, man.Shards, opts.Shards)
+			}
+			if man.Partition != opts.Partition.String() {
+				return nil, fmt.Errorf("rexptree: shard manifest %s: index is %s-partitioned, options request %s", manifestPath, man.Partition, opts.Partition)
+			}
+			if len(man.SpeedBands) > 0 && len(bands) == 0 {
+				bands = man.SpeedBands
+				autoTuned = man.AutoTuned
+			}
+		}
+	}
+
+	// Per-shard buffer budget: explicit per-shard capacity wins, else
+	// Options.BufferPages is a total budget split across shards.
+	if opts.BufferPagesPerShard < 0 {
+		return nil, fmt.Errorf("rexptree: invalid BufferPagesPerShard %d", opts.BufferPagesPerShard)
+	}
+	perShard := opts.BufferPagesPerShard
+	if perShard == 0 && opts.BufferPages > 0 {
+		perShard = opts.BufferPages / opts.Shards
+		if perShard < 8 {
+			perShard = 8
+		}
+	}
+
 	s := &ShardedTree{
-		shards: make([]*Tree, opts.Shards),
-		sem:    make(chan struct{}, opts.Workers),
-		m:      obs.New(),
+		shards:       make([]*Tree, opts.Shards),
+		sums:         make([]shardSummary, opts.Shards),
+		sem:          make(chan struct{}, opts.Workers),
+		m:            obs.New(),
+		manifestPath: manifestPath,
 	}
 	for i := range s.shards {
 		so := opts.Options
 		if so.Path != "" {
 			so.Path = fmt.Sprintf("%s.s%d", opts.Path, i)
+		}
+		if perShard > 0 {
+			so.BufferPages = perShard
 		}
 		// Distinct seeds keep the shards' tie-breaking streams
 		// independent while remaining deterministic.
@@ -92,11 +223,88 @@ func OpenSharded(opts ShardedOptions) (*ShardedTree, error) {
 		s.shards[i] = t
 	}
 	s.dims = s.shards[0].dims
+
+	switch opts.Partition {
+	case PartitionSpeed:
+		sp := newSpeedPartitioner(opts.Shards, s.dims, tuneAfter, bands, s.setSpeedGauges)
+		sp.tuned = autoTuned
+		s.part = sp
+		if len(bands) > 0 {
+			s.setSpeedGauges(bands)
+		}
+		// Rebuild the object→shard table from the stored records.
+		for i, t := range s.shards {
+			t.mu.RLock()
+			for id := range t.objects {
+				sp.loc[id] = i
+			}
+			t.mu.RUnlock()
+		}
+	default:
+		s.part = hashPartitioner{n: opts.Shards}
+	}
+
+	// Seed each shard's pruning summary from its root bound.
+	for i := range s.shards {
+		ss := &s.sums[i]
+		ss.mu.Lock()
+		s.retightenLocked(i)
+		ss.mu.Unlock()
+	}
+
+	if manifestPath != "" {
+		if err := s.writeManifestFile(); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// writeManifestFile records the current partition in the sidecar file.
+func (s *ShardedTree) writeManifestFile() error {
+	man := shardManifest{
+		Version:   1,
+		Shards:    len(s.shards),
+		Hash:      manifestHash,
+		Partition: s.part.policy().String(),
+	}
+	if sp, ok := s.part.(*speedPartitioner); ok {
+		man.SpeedBands, man.AutoTuned = sp.Bands()
+	}
+	return writeManifest(s.manifestPath, man)
+}
+
+// setSpeedGauges publishes each shard's speed band on its registry.
+func (s *ShardedTree) setSpeedGauges(bands []float64) {
+	for i, t := range s.shards {
+		lo, hi := 0.0, math.Inf(1)
+		if i > 0 {
+			lo = bands[i-1]
+		}
+		if i < len(bands) {
+			hi = bands[i]
+		}
+		t.m.SpeedBandLo.Set(lo)
+		t.m.SpeedBandHi.Set(hi)
+	}
 }
 
 // NumShards returns the number of shards.
 func (s *ShardedTree) NumShards() int { return len(s.shards) }
+
+// Partition returns the configured partition policy.
+func (s *ShardedTree) Partition() PartitionPolicy { return s.part.policy() }
+
+// SpeedBands returns the active |velocity| band boundaries (nil under
+// hash partitioning or while self-tuning is still sampling).
+func (s *ShardedTree) SpeedBands() []float64 {
+	if sp, ok := s.part.(*speedPartitioner); ok {
+		b, _ := sp.Bands()
+		return b
+	}
+	return nil
+}
 
 // shardIndex hashes an object id onto a shard.  The id is mixed first
 // (the murmur3 finalizer) so that dense or strided id spaces still
@@ -111,8 +319,58 @@ func shardIndex(id uint32, n int) int {
 	return int(h % uint32(n))
 }
 
-func (s *ShardedTree) shardFor(id uint32) *Tree {
-	return s.shards[shardIndex(id, len(s.shards))]
+// widenShard grows shard i's summary to cover the stored record, and
+// every retightenEvery widens recomputes the summary from the shard's
+// root so deletions and expirations eventually shrink it again.  The
+// widen must happen after the record is inserted into the shard (see
+// shardSummary).
+func (s *ShardedTree) widenShard(i int, mp geom.MovingPoint, now float64) {
+	ss := &s.sums[i]
+	ss.mu.Lock()
+	ss.sum.WidenPoint(mp, now, s.dims)
+	ss.dirty++
+	if ss.dirty >= retightenEvery {
+		s.retightenLocked(i)
+	}
+	ss.mu.Unlock()
+}
+
+// retightenLocked replaces shard i's summary with the tight bound read
+// from the shard's root node.  The caller holds s.sums[i].mu; a read
+// error keeps the current (conservative) summary.
+func (s *ShardedTree) retightenLocked(i int) {
+	ss := &s.sums[i]
+	ss.dirty = 0
+	br, ok, err := s.shards[i].rootSummary()
+	if err != nil {
+		return
+	}
+	if !ok {
+		ss.sum.Reset()
+		return
+	}
+	ss.sum = geom.Summary{Box: br, Has: true}
+}
+
+// shardMatches reports whether the query can touch anything in shard i.
+func (s *ShardedTree) shardMatches(i int, q geom.Query) bool {
+	ss := &s.sums[i]
+	ss.mu.Lock()
+	m := ss.sum.Matches(q, s.dims)
+	ss.mu.Unlock()
+	return m
+}
+
+// shardMinDist lower-bounds the distance from pos to any object of
+// shard i at time at; ok is false for a provably empty shard.
+func (s *ShardedTree) shardMinDist(i int, pos Vec, at float64) (d float64, ok bool) {
+	ss := &s.sums[i]
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if !ss.sum.Has {
+		return math.Inf(1), false
+	}
+	return ss.sum.MinDistAt(geom.Vec(pos), at, s.dims), true
 }
 
 // fanOut runs fn once per shard on the bounded worker pool and returns
@@ -138,9 +396,15 @@ func (s *ShardedTree) fanOut(fn func(i int, t *Tree) error) error {
 	return nil
 }
 
-// Close closes every shard, returning the first error.
+// Close persists the shard manifest (including self-tuned speed bands)
+// and closes every shard, returning the first error.
 func (s *ShardedTree) Close() error {
 	var first error
+	if s.manifestPath != "" {
+		if err := s.writeManifestFile(); err != nil {
+			first = err
+		}
+	}
 	for _, t := range s.shards {
 		if err := t.Close(); err != nil && first == nil {
 			first = err
@@ -149,31 +413,89 @@ func (s *ShardedTree) Close() error {
 	return first
 }
 
-// Update inserts the object's report into its owning shard, replacing
-// any previous report.  Updates to objects on different shards proceed
-// concurrently; see Tree.Update for the time contract.
+// Update inserts the object's report into its shard, replacing any
+// previous report.  Under PartitionSpeed, a report whose speed crossed
+// a band boundary first removes the object from its old shard, so the
+// object migrates to its new band.  Updates to objects on different
+// shards proceed concurrently; see Tree.Update for the time contract.
 func (s *ShardedTree) Update(id uint32, p Point, now float64) error {
 	start := time.Now()
-	err := s.shardFor(id).Update(id, p, now)
+	err := s.update(id, p, now)
 	s.m.ObserveOp(obs.OpUpdate, time.Since(start), err)
 	return err
 }
 
-// Delete removes the object's report from its owning shard; see
-// Tree.Delete.
+func (s *ShardedTree) update(id uint32, p Point, now float64) error {
+	if s.part.policy() == PartitionHash {
+		i := s.part.route(id, p)
+		t := s.shards[i]
+		if err := t.Update(id, p, now); err != nil {
+			return err
+		}
+		s.widenShard(i, t.storedPoint(p), now)
+		return nil
+	}
+	s.rerouteMu.RLock()
+	defer s.rerouteMu.RUnlock()
+	st := &s.stripes[id%uint32(len(s.stripes))]
+	st.Lock()
+	defer st.Unlock()
+	target := s.part.route(id, p)
+	if old, ok := s.part.locate(id); ok && old != target {
+		if _, err := s.shards[old].Delete(id, now); err != nil {
+			return err
+		}
+		s.part.forget(id)
+		s.m.Rerouted.Inc()
+	}
+	t := s.shards[target]
+	if err := t.Update(id, p, now); err != nil {
+		return err
+	}
+	s.part.note(id, target)
+	s.widenShard(target, t.storedPoint(p), now)
+	return nil
+}
+
+// Delete removes the object's report from its shard; see Tree.Delete.
 func (s *ShardedTree) Delete(id uint32, now float64) (bool, error) {
 	start := time.Now()
-	ok, err := s.shardFor(id).Delete(id, now)
+	ok, err := s.delete(id, now)
 	s.m.ObserveOp(obs.OpDelete, time.Since(start), err)
 	return ok, err
 }
 
-// UpdateBatch groups the reports by owning shard and applies each
+func (s *ShardedTree) delete(id uint32, now float64) (bool, error) {
+	if s.part.policy() == PartitionHash {
+		i, _ := s.part.locate(id)
+		return s.shards[i].Delete(id, now)
+	}
+	s.rerouteMu.RLock()
+	defer s.rerouteMu.RUnlock()
+	st := &s.stripes[id%uint32(len(s.stripes))]
+	st.Lock()
+	defer st.Unlock()
+	i, ok := s.part.locate(id)
+	if !ok {
+		return false, nil
+	}
+	removed, err := s.shards[i].Delete(id, now)
+	if err == nil {
+		s.part.forget(id)
+	}
+	return removed, err
+}
+
+// UpdateBatch groups the reports by target shard and applies each
 // group as one Tree.UpdateBatch — a single lock acquisition per shard
 // — with the per-shard batches running concurrently on the worker
-// pool.  Reports for the same object keep their relative order.  On
-// error the failing shard stops like Tree.UpdateBatch while other
-// shards' groups still apply; the first error is returned.
+// pool.  Reports for the same object keep their relative order; under
+// PartitionSpeed every report of an object is applied on the shard of
+// the object's final (last-report) speed band, after removing it from
+// its previous shard, so the batch leaves the same state as applying
+// the reports one by one.  On error the failing shard stops like
+// Tree.UpdateBatch while other shards' groups still apply; the first
+// error is returned.
 func (s *ShardedTree) UpdateBatch(batch []Report, now float64) error {
 	start := time.Now()
 	err := s.updateBatch(batch, now)
@@ -185,24 +507,104 @@ func (s *ShardedTree) updateBatch(batch []Report, now float64) error {
 	if len(batch) == 0 {
 		return nil
 	}
+	if s.part.policy() == PartitionHash {
+		groups := make([][]Report, len(s.shards))
+		for _, r := range batch {
+			i := s.part.route(r.ID, r.Point)
+			groups[i] = append(groups[i], r)
+		}
+		err := s.fanOut(func(i int, t *Tree) error {
+			if len(groups[i]) == 0 {
+				return nil
+			}
+			return t.UpdateBatch(groups[i], now)
+		})
+		// Widen with every report, even after a partial failure — a
+		// too-wide summary is always safe.
+		s.widenGroups(groups, now)
+		return err
+	}
+
+	s.rerouteMu.Lock()
+	defer s.rerouteMu.Unlock()
+
+	// Route every report; the last report fixes each object's shard.
+	final := make(map[uint32]int, len(batch))
+	for _, r := range batch {
+		final[r.ID] = s.part.route(r.ID, r.Point)
+	}
+
+	// Remove re-routed objects from their previous shards first.
+	delGroups := make([][]uint32, len(s.shards))
+	for id, tgt := range final {
+		if old, ok := s.part.locate(id); ok && old != tgt {
+			delGroups[old] = append(delGroups[old], id)
+		}
+	}
+	if err := s.fanOut(func(i int, t *Tree) error {
+		ids := delGroups[i]
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, id := range ids {
+			if _, err := t.Delete(id, now); err != nil {
+				return err
+			}
+			s.part.forget(id)
+			s.m.Rerouted.Inc()
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Apply every report on its object's final shard, in batch order.
 	groups := make([][]Report, len(s.shards))
 	for _, r := range batch {
-		i := shardIndex(r.ID, len(s.shards))
+		i := final[r.ID]
 		groups[i] = append(groups[i], r)
 	}
-	return s.fanOut(func(i int, t *Tree) error {
+	err := s.fanOut(func(i int, t *Tree) error {
 		if len(groups[i]) == 0 {
 			return nil
 		}
 		return t.UpdateBatch(groups[i], now)
 	})
+	for id, tgt := range final {
+		s.part.note(id, tgt)
+	}
+	s.widenGroups(groups, now)
+	return err
 }
 
-// query fans one search out across all shards and merges the results
-// in ascending object-id order.
-func (s *ShardedTree) query(run func(*Tree) ([]Result, error)) ([]Result, error) {
+// widenGroups widens each shard's summary with its group's reports.
+func (s *ShardedTree) widenGroups(groups [][]Report, now float64) {
+	for i, g := range groups {
+		for _, r := range g {
+			s.widenShard(i, s.shards[i].storedPoint(r.Point), now)
+		}
+	}
+}
+
+// query fans one search out across the shards whose summaries the
+// query trapezoid can touch, counting visited and pruned shards, and
+// merges the results in ascending object-id order.
+func (s *ShardedTree) query(q geom.Query, run func(*Tree) ([]Result, error)) ([]Result, error) {
+	visit := make([]bool, len(s.shards))
+	var visits, pruned uint64
+	for i := range s.shards {
+		if s.shardMatches(i, q) {
+			visit[i] = true
+			visits++
+		} else {
+			pruned++
+		}
+	}
+	s.m.ShardVisits.Add(visits)
+	s.m.ShardsPruned.Add(pruned)
 	parts := make([][]Result, len(s.shards))
 	err := s.fanOut(func(i int, t *Tree) error {
+		if !visit[i] {
+			return nil
+		}
 		rs, err := run(t)
 		parts[i] = rs
 		return err
@@ -223,37 +625,66 @@ func (s *ShardedTree) query(run func(*Tree) ([]Result, error)) ([]Result, error)
 }
 
 // Timeslice reports the objects predicted to be inside r at time at
-// (Type 1 query), fanned out across all shards; see Tree.Timeslice.
+// (Type 1 query), fanned out across the non-pruned shards; see
+// Tree.Timeslice.
 func (s *ShardedTree) Timeslice(r Rect, at, now float64) ([]Result, error) {
 	start := time.Now()
-	res, err := s.query(func(t *Tree) ([]Result, error) { return t.Timeslice(r, at, now) })
+	res, err := s.timeslice(r, at, now)
 	s.m.ObserveOp(obs.OpTimeslice, time.Since(start), err)
 	return res, err
 }
 
+func (s *ShardedTree) timeslice(r Rect, at, now float64) ([]Result, error) {
+	if err := checkTimeslice(at, now); err != nil {
+		return nil, err
+	}
+	q := geom.Timeslice(toRect(r), at)
+	return s.query(q, func(t *Tree) ([]Result, error) { return t.Timeslice(r, at, now) })
+}
+
 // Window reports the objects predicted to cross r during [t1, t2]
-// (Type 2 query), fanned out across all shards; see Tree.Window.
+// (Type 2 query), fanned out across the non-pruned shards; see
+// Tree.Window.
 func (s *ShardedTree) Window(r Rect, t1, t2, now float64) ([]Result, error) {
 	start := time.Now()
-	res, err := s.query(func(t *Tree) ([]Result, error) { return t.Window(r, t1, t2, now) })
+	res, err := s.window(r, t1, t2, now)
 	s.m.ObserveOp(obs.OpWindow, time.Since(start), err)
 	return res, err
 }
 
+func (s *ShardedTree) window(r Rect, t1, t2, now float64) ([]Result, error) {
+	if err := checkWindow(t1, t2, now); err != nil {
+		return nil, err
+	}
+	q := geom.Window(toRect(r), t1, t2)
+	return s.query(q, func(t *Tree) ([]Result, error) { return t.Window(r, t1, t2, now) })
+}
+
 // Moving reports the objects predicted to cross the trapezoid
 // connecting r1 at t1 to r2 at t2 (Type 3 query), fanned out across
-// all shards; see Tree.Moving.
+// the non-pruned shards; see Tree.Moving.
 func (s *ShardedTree) Moving(r1, r2 Rect, t1, t2, now float64) ([]Result, error) {
 	start := time.Now()
-	res, err := s.query(func(t *Tree) ([]Result, error) { return t.Moving(r1, r2, t1, t2, now) })
+	res, err := s.moving(r1, r2, t1, t2, now)
 	s.m.ObserveOp(obs.OpMoving, time.Since(start), err)
 	return res, err
 }
 
+func (s *ShardedTree) moving(r1, r2 Rect, t1, t2, now float64) ([]Result, error) {
+	if err := checkMoving(t1, t2, now); err != nil {
+		return nil, err
+	}
+	q := geom.Moving(toRect(r1), toRect(r2), t1, t2, s.dims)
+	return s.query(q, func(t *Tree) ([]Result, error) { return t.Moving(r1, r2, t1, t2, now) })
+}
+
 // Nearest returns the k objects whose predicted positions at time at
-// are closest to pos.  Each shard contributes its own k best
-// candidates; the merged list is ordered by ascending distance (ties
-// by object id) and truncated to k.
+// are closest to pos.  Shards are visited in ascending order of their
+// summaries' lower-bound distance to pos; once k candidates are in
+// hand, every remaining shard whose bound exceeds the current k-th
+// distance is skipped (its objects are strictly farther, so they
+// cannot enter the result).  The merged list is ordered by ascending
+// distance (ties by object id) and truncated to k.
 func (s *ShardedTree) Nearest(pos Vec, at float64, k int, now float64) ([]Result, error) {
 	start := time.Now()
 	res, err := s.nearest(pos, at, k, now)
@@ -262,43 +693,71 @@ func (s *ShardedTree) Nearest(pos Vec, at float64, k int, now float64) ([]Result
 }
 
 func (s *ShardedTree) nearest(pos Vec, at float64, k int, now float64) ([]Result, error) {
+	if err := checkTimeslice(at, now); err != nil {
+		return nil, err
+	}
 	if k <= 0 {
 		return nil, nil
 	}
-	parts := make([][]Result, len(s.shards))
-	err := s.fanOut(func(i int, t *Tree) error {
-		rs, err := t.Nearest(pos, at, k, now)
-		parts[i] = rs
-		return err
-	})
-	if err != nil {
-		return nil, err
+	type shardDist struct {
+		i   int
+		d   float64
+		has bool
 	}
+	ord := make([]shardDist, len(s.shards))
+	for i := range s.shards {
+		d, has := s.shardMinDist(i, pos, at)
+		ord[i] = shardDist{i, d, has}
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		if ord[a].d != ord[b].d {
+			return ord[a].d < ord[b].d
+		}
+		return ord[a].i < ord[b].i
+	})
 	type cand struct {
 		dist float64
 		r    Result
 	}
 	var cands []cand
-	for _, p := range parts {
-		for _, r := range p {
-			at := r.Point.At(at)
+	var visits, pruned uint64
+	for idx, o := range ord {
+		// Empty shards, and — once k candidates are in hand — shards
+		// whose bound is strictly beyond the k-th distance, cannot
+		// contribute; with ord sorted ascending neither can any shard
+		// after them.
+		if !o.has || (len(cands) >= k && o.d > cands[k-1].dist) {
+			pruned += uint64(len(ord) - idx)
+			break
+		}
+		visits++
+		rs, err := s.shards[o.i].Nearest(pos, at, k, now)
+		if err != nil {
+			s.m.ShardVisits.Add(visits)
+			s.m.ShardsPruned.Add(pruned)
+			return nil, err
+		}
+		for _, r := range rs {
+			p := r.Point.At(at)
 			var d float64
-			for i := 0; i < s.dims; i++ {
-				dd := at[i] - pos[i]
+			for j := 0; j < s.dims; j++ {
+				dd := p[j] - pos[j]
 				d += dd * dd
 			}
 			cands = append(cands, cand{math.Sqrt(d), r})
 		}
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].dist != cands[j].dist {
-			return cands[i].dist < cands[j].dist
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].dist != cands[b].dist {
+				return cands[a].dist < cands[b].dist
+			}
+			return cands[a].r.ID < cands[b].r.ID
+		})
+		if len(cands) > k {
+			cands = cands[:k]
 		}
-		return cands[i].r.ID < cands[j].r.ID
-	})
-	if len(cands) > k {
-		cands = cands[:k]
 	}
+	s.m.ShardVisits.Add(visits)
+	s.m.ShardsPruned.Add(pruned)
 	out := make([]Result, len(cands))
 	for i, c := range cands {
 		out[i] = c.r
@@ -306,10 +765,14 @@ func (s *ShardedTree) nearest(pos Vec, at float64, k int, now float64) ([]Result
 	return out, nil
 }
 
-// Get returns the object's current report from its owning shard; see
+// Get returns the object's current report from its shard; see
 // Tree.Get.
 func (s *ShardedTree) Get(id uint32, now float64) (Point, bool) {
-	return s.shardFor(id).Get(id, now)
+	i, ok := s.part.locate(id)
+	if !ok {
+		return Point{}, false
+	}
+	return s.shards[i].Get(id, now)
 }
 
 // Len returns the total number of stored reports across all shards.
@@ -371,23 +834,28 @@ func (s *ShardedTree) Stats() Stats {
 
 // snapshots freezes the aggregate and per-shard registries.  The
 // aggregate sums every shard's counters, gauges and lock-wait
-// histograms, while its per-operation histograms come from the
-// front-end registry: they time the whole fan-out including the merge,
-// so they are the sharded index's end-to-end (fan-out) latencies.
+// histograms, while its per-operation histograms and the partitioning
+// counters (shard visits, prunes, re-routes) come from the front-end
+// registry: they describe the whole fan-out including the merge.
 func (s *ShardedTree) snapshots() (agg obs.Snapshot, shards []obs.Snapshot) {
 	shards = make([]obs.Snapshot, len(s.shards))
 	for i, t := range s.shards {
 		shards[i] = t.snapshot()
 		agg = agg.Add(shards[i])
 	}
-	agg.Ops = s.m.Snapshot().Ops
+	front := s.m.Snapshot()
+	agg.Ops = front.Ops
+	agg.ShardVisits = front.ShardVisits
+	agg.ShardsPruned = front.ShardsPruned
+	agg.Rerouted = front.Rerouted
 	return agg, shards
 }
 
 // Metrics returns the aggregate instrumentation snapshot: summed
 // per-shard counters, gauges and lock-wait histograms, with the
-// per-operation latencies measured at the sharded front end (fan-out
-// plus merge).  Use ShardMetrics for one shard's own view.
+// per-operation latencies and pruning counters measured at the sharded
+// front end (fan-out plus merge).  Use ShardMetrics for one shard's
+// own view.
 func (s *ShardedTree) Metrics() Metrics {
 	agg, _ := s.snapshots()
 	return fromSnapshot(agg)

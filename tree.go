@@ -220,10 +220,34 @@ func (tr *Tree) Timeslice(r Rect, at, now float64) ([]Result, error) {
 }
 
 func (tr *Tree) timeslice(r Rect, at, now float64) ([]Result, error) {
-	if at < now {
-		return nil, fmt.Errorf("rexptree: query time %v precedes current time %v", at, now)
+	if err := checkTimeslice(at, now); err != nil {
+		return nil, err
 	}
 	return tr.search(geom.Timeslice(toRect(r), at), now)
+}
+
+// The query-time validators, shared by Tree and the sharded front-end
+// so both reject an invalid query with the identical error (a sharded
+// tree must fail such queries even when every shard is pruned).
+func checkTimeslice(at, now float64) error {
+	if at < now {
+		return fmt.Errorf("rexptree: query time %v precedes current time %v", at, now)
+	}
+	return nil
+}
+
+func checkWindow(t1, t2, now float64) error {
+	if t1 > t2 || t1 < now {
+		return fmt.Errorf("rexptree: invalid query window [%v, %v] at time %v", t1, t2, now)
+	}
+	return nil
+}
+
+func checkMoving(t1, t2, now float64) error {
+	if t1 >= t2 || t1 < now {
+		return fmt.Errorf("rexptree: invalid moving query interval [%v, %v] at time %v", t1, t2, now)
+	}
+	return nil
 }
 
 // Window reports the objects predicted to cross r at some time in
@@ -236,8 +260,8 @@ func (tr *Tree) Window(r Rect, t1, t2, now float64) ([]Result, error) {
 }
 
 func (tr *Tree) window(r Rect, t1, t2, now float64) ([]Result, error) {
-	if t1 > t2 || t1 < now {
-		return nil, fmt.Errorf("rexptree: invalid query window [%v, %v] at time %v", t1, t2, now)
+	if err := checkWindow(t1, t2, now); err != nil {
+		return nil, err
 	}
 	return tr.search(geom.Window(toRect(r), t1, t2), now)
 }
@@ -252,8 +276,8 @@ func (tr *Tree) Moving(r1, r2 Rect, t1, t2, now float64) ([]Result, error) {
 }
 
 func (tr *Tree) moving(r1, r2 Rect, t1, t2, now float64) ([]Result, error) {
-	if t1 >= t2 || t1 < now {
-		return nil, fmt.Errorf("rexptree: invalid moving query interval [%v, %v] at time %v", t1, t2, now)
+	if err := checkMoving(t1, t2, now); err != nil {
+		return nil, err
 	}
 	return tr.search(geom.Moving(toRect(r1), toRect(r2), t1, t2, tr.dims), now)
 }
@@ -269,8 +293,8 @@ func (tr *Tree) Nearest(pos Vec, at float64, k int, now float64) ([]Result, erro
 }
 
 func (tr *Tree) nearest(pos Vec, at float64, k int, now float64) ([]Result, error) {
-	if at < now {
-		return nil, fmt.Errorf("rexptree: query time %v precedes current time %v", at, now)
+	if err := checkTimeslice(at, now); err != nil {
+		return nil, err
 	}
 	tr.rlock()
 	defer tr.mu.RUnlock()
@@ -370,6 +394,24 @@ func (tr *Tree) ForEach(now float64, fn func(Result) bool) error {
 }
 
 var errStopIteration = fmt.Errorf("rexptree: stop iteration")
+
+// rootSummary returns a conservative time-parameterized bound over
+// every stored entry, computed from the index root (which is pinned in
+// the buffer pool, so the read costs no I/O).  ok is false for an
+// empty tree.  The sharded front-end uses it to retighten per-shard
+// pruning summaries.
+func (tr *Tree) rootSummary() (br geom.TPRect, ok bool, err error) {
+	tr.rlock()
+	defer tr.mu.RUnlock()
+	return tr.t.RootBR()
+}
+
+// storedPoint returns the record as the index stores it (coordinates
+// quantized to the page format), which is what containment bounds must
+// be widened with.
+func (tr *Tree) storedPoint(p Point) geom.MovingPoint {
+	return tr.t.Stored(toInternal(p, tr.dims))
+}
 
 // Validate checks the index's structural invariants (balance, fan-out
 // bounds, bounding-rectangle containment, unique ids).  It reads the
