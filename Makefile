@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all check fmt-check vet build test race bench-obs bench-obs-smoke bench-shard bench-partition bench-partition-smoke clean
+.PHONY: all check fmt-check vet build test race fuzz-smoke bench-obs bench-obs-smoke bench-shard bench-partition bench-partition-smoke clean
 
 all: check bench-obs bench-shard bench-partition
 
@@ -33,6 +33,14 @@ test:
 # scrapes) and queries fan out while parallel Update load runs.
 race:
 	$(GO) test -race ./...
+
+# A short run of each native fuzz target: the manifest decode/encode
+# round trip and the time-parameterized intersection kernel.  Ten
+# seconds each is enough to shake out regressions in the properties;
+# leave the targets running longer locally when hunting.
+fuzz-smoke:
+	$(GO) test ./internal/manifest -run '^$$' -fuzz FuzzManifestRoundTrip -fuzztime 10s
+	$(GO) test ./internal/geom -run '^$$' -fuzz FuzzTrapezoidIntersect -fuzztime 10s
 
 # Compares instrumented vs. nil-metrics Update/query throughput; the
 # observability layer's budget is a <2% regression.

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "tool")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestSmokeStdoutJSON(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-scale", "0.002", "-rounds", "1", "-out", "-").Output()
+	if err != nil {
+		t.Fatalf("rexpobsbench failed: %v", err)
+	}
+	var rep struct {
+		Rounds   int `json:"rounds"`
+		Baseline struct {
+			Updates       int     `json:"updates"`
+			UpdatesPerSec float64 `json:"updates_per_sec"`
+		} `json:"baseline"`
+		Instrumented struct {
+			Updates int `json:"updates"`
+		} `json:"instrumented"`
+	}
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("output is not the report JSON: %v\n%s", err, out)
+	}
+	if rep.Rounds != 1 || rep.Baseline.Updates == 0 || rep.Instrumented.Updates != rep.Baseline.Updates {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+	if rep.Baseline.UpdatesPerSec <= 0 {
+		t.Fatalf("no measured update throughput: %+v", rep)
+	}
+}
+
+func TestSmokeOutFile(t *testing.T) {
+	bin := buildTool(t)
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if out, err := exec.Command(bin, "-scale", "0.002", "-rounds", "1", "-out", path).CombinedOutput(); err != nil {
+		t.Fatalf("rexpobsbench failed: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("output file missing: %v", err)
+	}
+	if !json.Valid(data) {
+		t.Fatalf("output file is not valid JSON:\n%s", data)
+	}
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rexptree"
+)
+
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "tool")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// buildFixture creates a small 2-shard hash index on disk and returns
+// its base path and object count.
+func buildFixture(t *testing.T) (string, int) {
+	t.Helper()
+	base := filepath.Join(t.TempDir(), "idx")
+	opts := rexptree.DefaultOptions()
+	opts.Path = base
+	st, err := rexptree.OpenSharded(rexptree.ShardedOptions{Options: opts, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	const n = 150
+	batch := make([]rexptree.Report, n)
+	for i := range batch {
+		batch[i] = rexptree.Report{
+			ID: uint32(i + 1),
+			Point: rexptree.Point{
+				Pos:     rexptree.Vec{rng.Float64() * 1000, rng.Float64() * 1000},
+				Vel:     rexptree.Vec{rng.Float64()*10 - 5, rng.Float64()*10 - 5},
+				Time:    0,
+				Expires: 100,
+			},
+		}
+	}
+	if err := st.UpdateBatch(batch, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return base, n
+}
+
+func TestSmokeJSON(t *testing.T) {
+	bin := buildTool(t)
+	base, n := buildFixture(t)
+
+	out, err := exec.Command(bin, "-path", base, "-shards", "3", "-partition", "speed", "-quiet", "-json").Output()
+	if err != nil {
+		t.Fatalf("rexpreshard failed: %v", err)
+	}
+	var res struct {
+		SourceShards int    `json:"source_shards"`
+		TargetShards int    `json:"target_shards"`
+		TargetPolicy string `json:"target_policy"`
+		Generation   int    `json:"generation"`
+		Scanned      int    `json:"entries_scanned"`
+		Live         int    `json:"entries_live"`
+		Routed       []int  `json:"routed_per_shard"`
+		Retuned      bool   `json:"retuned"`
+	}
+	if err := json.Unmarshal(out, &res); err != nil {
+		t.Fatalf("output is not the result JSON: %v\n%s", err, out)
+	}
+	if res.SourceShards != 2 || res.TargetShards != 3 || res.TargetPolicy != "speed" ||
+		res.Generation != 1 || res.Scanned != n || res.Live != n || !res.Retuned {
+		t.Fatalf("implausible result: %+v", res)
+	}
+
+	// The committed index must reopen under the new layout with every
+	// object still present.
+	opts := rexptree.DefaultOptions()
+	opts.Path = base
+	ix, err := rexptree.OpenSharded(rexptree.ShardedOptions{
+		Options: opts, Shards: 3, Partition: rexptree.PartitionSpeed,
+	})
+	if err != nil {
+		t.Fatalf("resharded index does not reopen: %v", err)
+	}
+	defer ix.Close()
+	if ix.Len() != n || ix.Generation() != 1 {
+		t.Fatalf("reopened index has %d objects at generation %d, want %d at 1", ix.Len(), ix.Generation(), n)
+	}
+}
+
+func TestSmokeReport(t *testing.T) {
+	bin := buildTool(t)
+	base, _ := buildFixture(t)
+
+	out, err := exec.Command(bin, "-path", base, "-shards", "4", "-quiet").CombinedOutput()
+	if err != nil {
+		t.Fatalf("rexpreshard failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"source        : 2 shard(s)", "target        : 4 shard(s), hash (generation 1)", "committed     : ok"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeMissingArgs(t *testing.T) {
+	bin := buildTool(t)
+	err := exec.Command(bin, "-shards", "2").Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("expected exit error, got %v", err)
+	}
+	if ee.ExitCode() != 1 {
+		t.Fatalf("exit code %d, want 1", ee.ExitCode())
+	}
+}
+
+func TestSmokeBadIndex(t *testing.T) {
+	bin := buildTool(t)
+	err := exec.Command(bin, "-path", filepath.Join(t.TempDir(), "nope"), "-shards", "2", "-quiet").Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("expected exit error, got %v", err)
+	}
+	if ee.ExitCode() != 1 {
+		t.Fatalf("exit code %d, want 1", ee.ExitCode())
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles this command into a temp dir and returns the
+// binary path, so the smoke tests exercise the real CLI surface: flag
+// parsing, exit codes and output format.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "tool")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestSmokeReport(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-scale", "0.005", "-check").CombinedOutput()
+	if err != nil {
+		t.Fatalf("rexpstat -check failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"configuration", "height", "invariants    : ok"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeJSON(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-scale", "0.005", "-json").Output()
+	if err != nil {
+		t.Fatalf("rexpstat -json failed: %v", err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(out, &snap); err != nil {
+		t.Fatalf("output is not a JSON object: %v\n%s", err, out)
+	}
+	if len(snap) == 0 {
+		t.Fatal("empty metrics snapshot")
+	}
+}
+
+func TestSmokeBadMode(t *testing.T) {
+	bin := buildTool(t)
+	err := exec.Command(bin, "-mode", "bogus").Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("expected exit error, got %v", err)
+	}
+	if ee.ExitCode() != 1 {
+		t.Fatalf("exit code %d, want 1", ee.ExitCode())
+	}
+}

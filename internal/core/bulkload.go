@@ -142,9 +142,16 @@ func (t *Tree) packLevel(entries []entry, level, fill int, tc float64) ([]*node,
 		if end > len(entries) {
 			end = len(entries)
 		}
-		// Never leave a trailing runt below the minimum fill.
+		// Never leave a trailing runt below the minimum fill: absorb it
+		// into this node when capacity allows, otherwise leave exactly
+		// the minimum behind (this node then keeps at least
+		// cap+1-min >= min entries itself).
 		if rem := len(entries) - end; rem > 0 && rem < t.lay.min(level) {
-			end = len(entries) - t.lay.min(level)
+			if len(entries)-off <= t.lay.cap(level) {
+				end = len(entries)
+			} else {
+				end = len(entries) - t.lay.min(level)
+			}
 		}
 		n, err := t.allocNode(level)
 		if err != nil {

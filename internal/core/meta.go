@@ -137,6 +137,45 @@ func Open(cfg Config, store storage.Store) (*Tree, error) {
 	return t, nil
 }
 
+// MetaConfig reads the layout-affecting configuration (dimensions,
+// bounding-rectangle kind, expiration flags) recorded in a store's
+// metadata page, so a tool can open a tree file without knowing how it
+// was created.  The remaining Config fields are left at their zero
+// values for the caller (or withDefaults) to fill in.
+func MetaConfig(store storage.Store) (Config, error) {
+	var buf [storage.PageSize]byte
+	if err := store.ReadPage(metaPage, buf[:]); err != nil {
+		return Config{}, err
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != metaMagic {
+		return Config{}, fmt.Errorf("core: store has no tree metadata (not Synced?)")
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != metaVersion {
+		return Config{}, fmt.Errorf("core: unsupported metadata version %d", v)
+	}
+	flags := metaFlags(buf[10])
+	return Config{
+		Dims:        int(buf[8]),
+		BRKind:      hull.Kind(buf[9]),
+		ExpireAware: flags&metaExpireAware != 0,
+		StoreBRExp:  flags&metaStoreBRExp != 0,
+	}, nil
+}
+
+// Export visits every leaf entry exactly as stored — quantized
+// position and velocity relative to epoch t=0, recorded expiration
+// time — along with whether the entry is live at the tree's current
+// clock.  Lazily-purged expired entries are reported with live=false
+// so a full-index migration (the offline reshard) can carry the exact
+// live set to a new index and drop the rest.
+func (t *Tree) Export(fn func(oid uint32, p geom.MovingPoint, live bool) error) error {
+	now := t.Now()
+	return t.Records(func(oid uint32, p geom.MovingPoint) error {
+		live := !t.cfg.ExpireAware || p.TExp >= now
+		return fn(oid, p, live)
+	})
+}
+
 // Records visits every leaf entry (including expired ones not yet
 // purged), e.g. to rebuild an object table after reopening a tree.
 func (t *Tree) Records(fn func(oid uint32, p geom.MovingPoint) error) error {

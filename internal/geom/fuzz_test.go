@@ -1,0 +1,108 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzRect builds a well-formed 2D TPRect from 8 raw floats: the spans
+// are forced non-negative so Lo <= Hi at the reference time, which is
+// the invariant every rectangle in the tree satisfies.
+func fuzzRect(x, y, w, h, vlx, vly, vhx, vhy float64) TPRect {
+	var r TPRect
+	r.Lo[0], r.Lo[1] = x, y
+	r.Hi[0], r.Hi[1] = x+math.Abs(w), y+math.Abs(h)
+	r.VLo[0], r.VLo[1] = vlx, vly
+	r.VHi[0], r.VHi[1] = vhx, vhy
+	r.TExp = math.Inf(1)
+	return r
+}
+
+func fuzzOK(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzTrapezoidIntersect drives the time-parameterized intersection
+// kernel — the predicate every query type funnels through — with
+// arbitrary rectangle pairs and time windows, checking the properties
+// that hold for any input: no panics, symmetry, the overlap interval
+// confined to the query window, monotonicity in the window, agreement
+// between Intersects and Query.MatchesRect, and consistency with a
+// direct snapshot evaluation at the overlap midpoint.
+func FuzzTrapezoidIntersect(f *testing.F) {
+	f.Add(0.0, 0.0, 10.0, 10.0, 0.0, 0.0, 0.0, 0.0,
+		5.0, 5.0, 2.0, 2.0, 1.0, 1.0, 1.0, 1.0, 0.0, 10.0)
+	f.Add(0.0, 0.0, 1.0, 1.0, -1.0, 0.0, -1.0, 0.0,
+		100.0, 0.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 50.0)
+	f.Add(0.0, 0.0, 5.0, 5.0, 0.5, 0.25, 0.5, 0.25,
+		20.0, 20.0, 5.0, 5.0, -0.5, -0.25, -0.5, -0.25, 0.0, 40.0)
+	f.Add(1.0, 2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+		1.0, 2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 3.0, 3.0)
+	f.Fuzz(func(t *testing.T,
+		ax, ay, aw, ah, avlx, avly, avhx, avhy float64,
+		bx, by, bw, bh, bvlx, bvly, bvhx, bvhy float64,
+		t1, t2 float64) {
+		if !fuzzOK(ax, ay, aw, ah, avlx, avly, avhx, avhy,
+			bx, by, bw, bh, bvlx, bvly, bvhx, bvhy, t1, t2) {
+			t.Skip()
+		}
+		const dims = 2
+		a := fuzzRect(ax, ay, aw, ah, avlx, avly, avhx, avhy)
+		b := fuzzRect(bx, by, bw, bh, bvlx, bvly, bvhx, bvhy)
+
+		got := Intersects(a, b, t1, t2, dims)
+		if sym := Intersects(b, a, t1, t2, dims); sym != got {
+			t.Fatalf("asymmetric: Intersects(a,b)=%v, Intersects(b,a)=%v", got, sym)
+		}
+		if t1 > t2 && got {
+			t.Fatalf("intersects over the empty window [%v, %v]", t1, t2)
+		}
+
+		iv := OverlapInterval(a, b, t1, t2, dims)
+		if got != !iv.Empty() {
+			t.Fatalf("Intersects=%v but OverlapInterval=%+v", got, iv)
+		}
+		if !iv.Empty() && (iv.Lo < t1 || iv.Hi > t2) {
+			t.Fatalf("overlap %+v escapes window [%v, %v]", iv, t1, t2)
+		}
+
+		// Monotonicity: a superset window can only add overlap.
+		if t1 <= t2 && !Intersects(a, b, t1-1, t2+1, dims) && got {
+			t.Fatal("intersection vanished when the window grew")
+		}
+
+		// Query.MatchesRect with a never-expiring rectangle is exactly
+		// the raw intersection test.
+		if t1 <= t2 {
+			q := Query{Region: a, T1: t1, T2: t2}
+			if m := q.MatchesRect(b, dims, true); m != got {
+				t.Fatalf("MatchesRect=%v, Intersects=%v", m, got)
+			}
+		}
+
+		// A reported overlap must be confirmed by the per-dimension
+		// snapshot inequalities at its midpoint.  clipLE computes each
+		// crossing as a division, so allow a relative epsilon on the
+		// comparison — the midpoint of a one-sided touch can sit a few
+		// ulps past the exact crossing.
+		if !iv.Empty() {
+			mid := (iv.Lo + iv.Hi) / 2
+			for i := 0; i < dims; i++ {
+				alo := a.Lo[i] + a.VLo[i]*mid
+				ahi := a.Hi[i] + a.VHi[i]*mid
+				blo := b.Lo[i] + b.VLo[i]*mid
+				bhi := b.Hi[i] + b.VHi[i]*mid
+				eps := 1e-9 * (1 + math.Max(math.Abs(alo)+math.Abs(ahi), math.Abs(blo)+math.Abs(bhi)) + math.Abs(mid))
+				if alo > bhi+eps || blo > ahi+eps {
+					t.Fatalf("dim %d: no snapshot overlap at midpoint %v: a=[%v,%v] b=[%v,%v]",
+						i, mid, alo, ahi, blo, bhi)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,233 @@
+package manifest
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func valid() Manifest {
+	return Manifest{
+		Version:    Version,
+		Shards:     4,
+		Hash:       Hash,
+		Partition:  "speed",
+		SpeedBands: []float64{0.5, 2, 8},
+		AutoTuned:  true,
+		Generation: 3,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Manifest)
+	}{
+		{"version 0", func(m *Manifest) { m.Version = 0 }},
+		{"future version", func(m *Manifest) { m.Version = Version + 1 }},
+		{"no shards", func(m *Manifest) { m.Shards = 0 }},
+		{"negative shards", func(m *Manifest) { m.Shards = -2 }},
+		{"wrong hash", func(m *Manifest) { m.Hash = "fnv" }},
+		{"unknown policy", func(m *Manifest) { m.Partition = "zip" }},
+		{"bands under hash", func(m *Manifest) { m.Partition = "hash"; m.SpeedBands = []float64{1} }},
+		{"band count", func(m *Manifest) { m.SpeedBands = []float64{1, 2} }},
+		{"negative band", func(m *Manifest) { m.SpeedBands = []float64{-1, 2, 8} }},
+		{"descending bands", func(m *Manifest) { m.SpeedBands = []float64{2, 1, 8} }},
+		{"nan band", func(m *Manifest) { m.SpeedBands = []float64{0.5, math.NaN(), 8} }},
+		{"inf band", func(m *Manifest) { m.SpeedBands = []float64{0.5, 2, math.Inf(1)} }},
+		{"negative generation", func(m *Manifest) { m.Generation = -1 }},
+	}
+	for _, c := range cases {
+		m := valid()
+		c.mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: accepted %+v", c.name, m)
+		}
+	}
+	// Version 1 (pre-generation) manifests are still readable.
+	m := valid()
+	m.Version = 1
+	m.Generation = 0
+	if err := m.Validate(); err != nil {
+		t.Errorf("version 1 rejected: %v", err)
+	}
+	// Equal neighboring bands are an empty band, not an error: tuned
+	// quantiles can coincide on degenerate speed distributions.
+	m = valid()
+	m.SpeedBands = []float64{2, 2, 8}
+	if err := m.Validate(); err != nil {
+		t.Errorf("equal bands rejected: %v", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, m := range []Manifest{
+		valid(),
+		{Version: 1, Shards: 1, Hash: Hash, Partition: "hash"},
+		{Version: Version, Shards: 8, Hash: Hash, Partition: "hash", Generation: 12},
+		{Version: Version, Shards: 2, Hash: Hash, Partition: "speed"}, // untuned: no bands yet
+	} {
+		data, err := m.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("decoding %s: %v", data, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round trip: got %+v, want %+v", got, m)
+		}
+	}
+}
+
+func TestReadWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.manifest")
+	if _, found, err := Read(path); err != nil || found {
+		t.Fatalf("Read(missing) = found %v, err %v", found, err)
+	}
+	m := valid()
+	if err := Write(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := Read(path)
+	if err != nil || !found {
+		t.Fatalf("Read = found %v, err %v", found, err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("Read = %+v, want %+v", got, m)
+	}
+	// Write validates: an invalid manifest must not clobber the file.
+	bad := m
+	bad.Shards = 0
+	if err := Write(path, bad); err == nil {
+		t.Error("Write accepted an invalid manifest")
+	}
+	if _, _, err := Read(path); err != nil {
+		t.Errorf("previous manifest damaged: %v", err)
+	}
+	// Corrupt file: error, not found=false.
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Read(path); err == nil {
+		t.Error("Read accepted a torn manifest")
+	}
+}
+
+func TestShardPath(t *testing.T) {
+	if got := ShardPath("idx", 0, 3); got != "idx.s3" {
+		t.Errorf("gen 0 path = %q", got)
+	}
+	if got := ShardPath("idx", 2, 0); got != "idx.g2.s0" {
+		t.Errorf("gen 2 path = %q", got)
+	}
+}
+
+func TestShardIndexDistribution(t *testing.T) {
+	// The murmur3 finalizer must spread a dense id space evenly.
+	const n, ids = 8, 80000
+	var counts [n]int
+	for id := uint32(0); id < ids; id++ {
+		i := ShardIndex(id, n)
+		if i < 0 || i >= n {
+			t.Fatalf("ShardIndex(%d, %d) = %d out of range", id, n, i)
+		}
+		counts[i]++
+	}
+	for i, c := range counts {
+		if c < ids/n*8/10 || c > ids/n*12/10 {
+			t.Errorf("shard %d holds %d of %d ids (want ~%d)", i, c, ids, ids/n)
+		}
+	}
+}
+
+func TestSpeedBandOf(t *testing.T) {
+	bands := []float64{0.5, 2, 8}
+	for _, c := range []struct {
+		sp   float64
+		want int
+	}{{0, 0}, {0.49, 0}, {0.5, 1}, {1.99, 1}, {2, 2}, {7.9, 2}, {8, 3}, {100, 3}} {
+		if got := SpeedBandOf(bands, c.sp); got != c.want {
+			t.Errorf("SpeedBandOf(%v) = %d, want %d", c.sp, got, c.want)
+		}
+	}
+	if got := SpeedBandOf(nil, 5); got != 0 {
+		t.Errorf("SpeedBandOf(nil bands) = %d, want 0", got)
+	}
+}
+
+func TestQuantileBands(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i)
+	}
+	bands := QuantileBands(samples, 4)
+	want := []float64{25, 50, 75}
+	if !reflect.DeepEqual(bands, want) {
+		t.Errorf("QuantileBands = %v, want %v", bands, want)
+	}
+	m := Manifest{Version: Version, Shards: 4, Hash: Hash, Partition: "speed", SpeedBands: bands}
+	if err := m.Validate(); err != nil {
+		t.Errorf("quantile bands do not validate: %v", err)
+	}
+}
+
+func TestSpeed(t *testing.T) {
+	if got := Speed([3]float64{3, 4, 12}, 2); got != 5 {
+		t.Errorf("2D speed = %v, want 5", got)
+	}
+	if got := Speed([3]float64{3, 4, 12}, 3); got != 13 {
+		t.Errorf("3D speed = %v, want 13", got)
+	}
+}
+
+// FuzzManifestRoundTrip feeds arbitrary bytes to Decode; whatever it
+// accepts must survive Encode → Decode unchanged (and be valid, since
+// Decode validates).  This guards the parser against inputs that
+// decode into a state the writer cannot faithfully persist.
+func FuzzManifestRoundTrip(f *testing.F) {
+	for _, m := range []Manifest{
+		valid(),
+		{Version: 1, Shards: 4, Hash: Hash, Partition: "hash"},
+		{Version: Version, Shards: 2, Hash: Hash, Partition: "speed", SpeedBands: []float64{1.5}, Generation: 1},
+	} {
+		data, err := m.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"version":2,"shards":1,"hash":"murmur3-fmix32","partition":"hash","generation":7}`))
+	f.Add([]byte(`{"version":9,"shards":-1}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return // rejected input: fine, just must not panic
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Decode returned an invalid manifest %+v: %v", m, err)
+		}
+		enc, err := m.Encode()
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", m, err)
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-Decode of %s: %v", enc, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip: %+v -> %s -> %+v", m, enc, got)
+		}
+		if strings.Contains(string(enc), "\"speed_bands\":[]") {
+			t.Fatalf("empty bands not omitted: %s", enc)
+		}
+	})
+}

@@ -256,6 +256,15 @@ type Metrics struct {
 	SpeedBandLo  GaugeFloat // lower |velocity| bound of the shard's speed band
 	SpeedBandHi  GaugeFloat // upper |velocity| bound of the shard's speed band
 
+	// Offline reshard progress (internal/reshard, PR 4).  The phase
+	// gauge holds the reshard's current phase (1 scan, 2 route, 3 load,
+	// 4 verify, 5 commit; 0 idle/done).
+	ReshardScanned Counter // leaf entries read from the source shards
+	ReshardRouted  Counter // live entries routed to a target shard
+	ReshardLoaded  Counter // entries bulk-loaded into target shards
+	ReshardBytes   Counter // bytes of target page files written
+	ReshardPhase   Gauge   // current reshard phase
+
 	// Lock acquisition wait times of the public tree (PR 2): how long
 	// operations block before entering the index.  Read covers the
 	// shared (query) lock, Write the exclusive (update) lock.
@@ -379,6 +388,12 @@ type Snapshot struct {
 	SpeedBandLo  float64
 	SpeedBandHi  float64
 
+	ReshardScanned uint64
+	ReshardRouted  uint64
+	ReshardLoaded  uint64
+	ReshardBytes   uint64
+	ReshardPhase   int64
+
 	LockWaitRead   HistSnapshot
 	LockWaitWrite  HistSnapshot
 	BatchedUpdates uint64
@@ -420,6 +435,11 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.Rerouted = m.Rerouted.Load()
 	s.SpeedBandLo = m.SpeedBandLo.Load()
 	s.SpeedBandHi = m.SpeedBandHi.Load()
+	s.ReshardScanned = m.ReshardScanned.Load()
+	s.ReshardRouted = m.ReshardRouted.Load()
+	s.ReshardLoaded = m.ReshardLoaded.Load()
+	s.ReshardBytes = m.ReshardBytes.Load()
+	s.ReshardPhase = m.ReshardPhase.Load()
 	s.LockWaitRead = m.LockWaitRead.Snapshot()
 	s.LockWaitWrite = m.LockWaitWrite.Snapshot()
 	s.BatchedUpdates = m.BatchedUpdates.Load()
@@ -463,6 +483,10 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 	d.ShardVisits -= o.ShardVisits
 	d.ShardsPruned -= o.ShardsPruned
 	d.Rerouted -= o.Rerouted
+	d.ReshardScanned -= o.ReshardScanned
+	d.ReshardRouted -= o.ReshardRouted
+	d.ReshardLoaded -= o.ReshardLoaded
+	d.ReshardBytes -= o.ReshardBytes
 	for i := range d.Ops {
 		d.Ops[i] = s.Ops[i].Sub(o.Ops[i])
 	}
@@ -506,6 +530,13 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 	d.ShardVisits += o.ShardVisits
 	d.ShardsPruned += o.ShardsPruned
 	d.Rerouted += o.Rerouted
+	d.ReshardScanned += o.ReshardScanned
+	d.ReshardRouted += o.ReshardRouted
+	d.ReshardLoaded += o.ReshardLoaded
+	d.ReshardBytes += o.ReshardBytes
+	if o.ReshardPhase > d.ReshardPhase {
+		d.ReshardPhase = o.ReshardPhase // the latest phase any worker reached
+	}
 	// The speed-band envelope: the fleet covers [min lo, max hi).
 	d.SpeedBandLo = math.Min(d.SpeedBandLo, o.SpeedBandLo)
 	d.SpeedBandHi = math.Max(d.SpeedBandHi, o.SpeedBandHi)

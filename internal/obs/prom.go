@@ -56,6 +56,10 @@ var families = []promFamily{
 	{"_query_shard_visits_total", "counter", "Shards actually searched by front-end queries.", cv(func(s *Snapshot) uint64 { return s.ShardVisits })},
 	{"_query_shards_pruned_total", "counter", "Shards skipped because the query missed their summary.", cv(func(s *Snapshot) uint64 { return s.ShardsPruned })},
 	{"_partition_rerouted_total", "counter", "Objects moved between shards on a speed-band change.", cv(func(s *Snapshot) uint64 { return s.Rerouted })},
+	{"_reshard_entries_scanned_total", "counter", "Leaf entries read from the source shards by the offline reshard.", cv(func(s *Snapshot) uint64 { return s.ReshardScanned })},
+	{"_reshard_entries_routed_total", "counter", "Live entries routed to a target shard by the offline reshard.", cv(func(s *Snapshot) uint64 { return s.ReshardRouted })},
+	{"_reshard_entries_loaded_total", "counter", "Entries bulk-loaded into target shards by the offline reshard.", cv(func(s *Snapshot) uint64 { return s.ReshardLoaded })},
+	{"_reshard_bytes_written_total", "counter", "Bytes of target page files written by the offline reshard.", cv(func(s *Snapshot) uint64 { return s.ReshardBytes })},
 	{"_height", "gauge", "Tree levels.", gv(func(s *Snapshot) int64 { return s.Height })},
 	{"_index_pages", "gauge", "Allocated pages (index size, paper Figure 15).", gv(func(s *Snapshot) int64 { return s.Pages })},
 	{"_leaf_entries", "gauge", "Stored leaf entries, live plus unpurged expired (paper 5.4).", gv(func(s *Snapshot) int64 { return s.LeafEntries })},
@@ -65,6 +69,7 @@ var families = []promFamily{
 	{"_horizon", "gauge", "Time horizon H = UI + W (paper 4.2.1).", fv(func(s *Snapshot) float64 { return s.Horizon })},
 	{"_speed_band_lo", "gauge", "Lower |velocity| bound of the shard's speed band.", fv(func(s *Snapshot) float64 { return s.SpeedBandLo })},
 	{"_speed_band_hi", "gauge", "Upper |velocity| bound of the shard's speed band.", fv(func(s *Snapshot) float64 { return s.SpeedBandHi })},
+	{"_reshard_phase", "gauge", "Current offline-reshard phase (1 scan, 2 route, 3 load, 4 verify, 5 commit; 0 idle).", gv(func(s *Snapshot) int64 { return s.ReshardPhase })},
 }
 
 // WriteSnapshot writes the snapshot in the Prometheus text exposition

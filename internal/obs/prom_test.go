@@ -48,6 +48,11 @@ func goldenSnapshot() Snapshot {
 	m.Rerouted.Add(33)
 	m.SpeedBandLo.Set(0.5)
 	m.SpeedBandHi.Set(2)
+	m.ReshardScanned.Add(10000)
+	m.ReshardRouted.Add(9500)
+	m.ReshardLoaded.Add(9500)
+	m.ReshardBytes.Add(4096 * 512)
+	m.ReshardPhase.Set(5)
 	m.LockWaitRead.Observe(900 * time.Nanosecond)
 	m.LockWaitRead.Observe(12 * time.Microsecond)
 	m.LockWaitWrite.Observe(400 * time.Microsecond)
@@ -126,6 +131,9 @@ func TestWriteSnapshotParses(t *testing.T) {
 		"rexp_query_shard_visits_total", "rexp_query_shards_pruned_total",
 		"rexp_partition_rerouted_total", "rexp_buffer_pool_pages",
 		"rexp_speed_band_lo", "rexp_speed_band_hi",
+		"rexp_reshard_entries_scanned_total", "rexp_reshard_entries_routed_total",
+		"rexp_reshard_entries_loaded_total", "rexp_reshard_bytes_written_total",
+		"rexp_reshard_phase",
 	} {
 		if !help[name] || !typ[name] {
 			t.Errorf("family %s missing HELP or TYPE", name)

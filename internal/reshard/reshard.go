@@ -1,0 +1,489 @@
+// Package reshard implements the offline K → K′ reshard of a
+// file-backed index: it opens an existing sharded (or single-tree)
+// index strictly read-only, streams every stored entry out at the
+// index's current clock, routes the live entries under a target
+// partition policy, bulk-loads K′ new shard trees into a fresh file
+// generation, verifies them, and commits with a single atomic manifest
+// rename.  A crash at any point before that rename leaves the original
+// index byte-for-byte untouched and the reshard retryable; a crash
+// after it leaves the new index committed (only garbage files remain,
+// which a retry or the next reshard cleans up).
+//
+// The phases, in order (the obs.ReshardPhase gauge tracks them):
+//
+//  1. scan    — open each source page file with
+//     storage.OpenFileStoreReadOnly and export every leaf entry.
+//  2. route   — drop entries expired at the global clock, check live
+//     ids are unique, and assign each entry its target shard
+//     (internal/manifest routing, the same code the library uses).
+//  3. load    — bulk-load each target shard into
+//     "<path>.g<G+1>.s<i>.tmp".
+//  4. verify  — reopen every tmp file read-only, check the tree
+//     invariants, and compare its exported records against the routed
+//     group element-wise.
+//  5. commit  — rename the tmp files to their final generation names
+//     (invisible to the live index, whose manifest still points at
+//     generation G), then atomically rename the new manifest into
+//     place: that single rename is the commit point.
+//
+// After the commit the previous generation's page files are deleted
+// best-effort; failures there are logged, not fatal, because the
+// committed index never references them.
+package reshard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rexptree/internal/core"
+	"rexptree/internal/geom"
+	"rexptree/internal/manifest"
+	"rexptree/internal/obs"
+	"rexptree/internal/storage"
+)
+
+// Phase numbers published on the obs.ReshardPhase gauge.
+const (
+	PhaseIdle   = 0
+	PhaseScan   = 1
+	PhaseRoute  = 2
+	PhaseLoad   = 3
+	PhaseVerify = 4
+	PhaseCommit = 5
+)
+
+// Options configures one reshard run.
+type Options struct {
+	// Path is the index base path: the manifest sidecar lives at
+	// "<Path>.manifest" and shard files at the manifest's generation.
+	// An index without a manifest is treated as a single Tree stored at
+	// Path itself.
+	Path string
+
+	// Shards is the target shard count K′ (≥ 1).
+	Shards int
+
+	// Policy is the target partition policy: "hash" or "speed".
+	Policy string
+
+	// SpeedBands are the target |velocity| band boundaries under the
+	// speed policy: Shards-1 ascending non-negative values.  Leave
+	// empty to re-tune them from the quantiles of the scanned live
+	// speed distribution.
+	SpeedBands []float64
+
+	// Metrics, when non-nil, receives the reshard progress counters
+	// and the phase gauge.
+	Metrics *obs.Metrics
+
+	// Log, when non-nil, receives progress and warning lines.
+	Log func(format string, args ...any)
+
+	// WrapSource and WrapTarget, when non-nil, wrap each source /
+	// target page store before use — the crash-injection tests insert
+	// storage.FaultStore here.
+	WrapSource func(shard int, s storage.Store) storage.Store
+	WrapTarget func(shard int, s storage.Store) storage.Store
+
+	// BeforeRename, when non-nil, runs before every commit-phase
+	// rename; returning an error aborts the reshard at that exact
+	// point — the crash-injection tests kill the run pre-rename and
+	// mid-rename through it.
+	BeforeRename func(from, to string) error
+}
+
+// Result reports what a successful reshard did.
+type Result struct {
+	SourceShards int     `json:"source_shards"`
+	SourcePolicy string  `json:"source_policy"` // "single" for a manifest-less tree
+	TargetShards int     `json:"target_shards"`
+	TargetPolicy string  `json:"target_policy"`
+	Generation   int     `json:"generation"` // committed file generation
+	Clock        float64 `json:"clock"`      // scan time: the max source shard clock
+
+	Scanned int   `json:"entries_scanned"` // leaf entries read, live and expired
+	Expired int   `json:"entries_expired"` // dropped as expired at Clock
+	Live    int   `json:"entries_live"`
+	Routed  []int `json:"routed_per_shard"`
+
+	BytesWritten int64     `json:"bytes_written"`
+	SpeedBands   []float64 `json:"speed_bands,omitempty"`
+	Retuned      bool      `json:"retuned"` // bands derived from the scanned distribution
+}
+
+type record struct {
+	oid uint32
+	p   geom.MovingPoint
+}
+
+// Run executes one reshard.  On error the original index is untouched:
+// nothing it references is written at any point before the commit
+// rename, and the commit itself only renames fully-verified files.
+func Run(opts Options) (*Result, error) {
+	r := &runner{opts: opts, m: opts.Metrics}
+	defer r.setPhase(PhaseIdle)
+	res, err := r.run()
+	if err != nil {
+		r.cleanupTmp()
+		return nil, err
+	}
+	return res, nil
+}
+
+type runner struct {
+	opts Options
+	m    *obs.Metrics
+	tmps []string // tmp files created this run, removed on error
+}
+
+func (r *runner) logf(format string, args ...any) {
+	if r.opts.Log != nil {
+		r.opts.Log(format, args...)
+	}
+}
+
+func (r *runner) setPhase(p int64) {
+	if r.m != nil {
+		r.m.ReshardPhase.Set(p)
+	}
+}
+
+func (r *runner) count(c func(*obs.Metrics) *obs.Counter, n uint64) {
+	if r.m != nil {
+		c(r.m).Add(n)
+	}
+}
+
+func (r *runner) rename(from, to string) error {
+	if r.opts.BeforeRename != nil {
+		if err := r.opts.BeforeRename(from, to); err != nil {
+			return fmt.Errorf("reshard: before rename %s -> %s: %w", from, to, err)
+		}
+	}
+	if err := os.Rename(from, to); err != nil {
+		return fmt.Errorf("reshard: %w", err)
+	}
+	return nil
+}
+
+func (r *runner) cleanupTmp() {
+	for _, f := range r.tmps {
+		os.Remove(f)
+	}
+	r.tmps = nil
+}
+
+func (r *runner) run() (*Result, error) {
+	opts := r.opts
+	if opts.Path == "" {
+		return nil, fmt.Errorf("reshard: no index path")
+	}
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("reshard: invalid target shard count %d", opts.Shards)
+	}
+	switch opts.Policy {
+	case "hash", "speed":
+	default:
+		return nil, fmt.Errorf("reshard: unknown target partition policy %q", opts.Policy)
+	}
+	if opts.Policy == "hash" && len(opts.SpeedBands) > 0 {
+		return nil, fmt.Errorf("reshard: speed bands given for hash partitioning")
+	}
+	if len(opts.SpeedBands) > 0 {
+		// Fail before scanning anything: the bands must form a valid
+		// target manifest.
+		probe := manifest.Manifest{
+			Version: manifest.Version, Shards: opts.Shards, Hash: manifest.Hash,
+			Partition: opts.Policy, SpeedBands: opts.SpeedBands,
+		}
+		if err := probe.Validate(); err != nil {
+			return nil, fmt.Errorf("reshard: %w", err)
+		}
+	}
+
+	// Locate the source: a manifest names K shard files of some
+	// generation; without one, Path itself is a single tree file.
+	res := &Result{TargetShards: opts.Shards, TargetPolicy: opts.Policy}
+	man, found, err := manifest.Read(manifest.Path(opts.Path))
+	if err != nil {
+		return nil, fmt.Errorf("reshard: %w", err)
+	}
+	srcGen := 0
+	var srcPaths []string
+	if found {
+		srcGen = man.Generation
+		res.SourceShards = man.Shards
+		res.SourcePolicy = man.Partition
+		for i := 0; i < man.Shards; i++ {
+			srcPaths = append(srcPaths, manifest.ShardPath(opts.Path, srcGen, i))
+		}
+	} else {
+		if _, err := os.Stat(opts.Path); err != nil {
+			return nil, fmt.Errorf("reshard: no index at %s: %w", opts.Path, err)
+		}
+		res.SourceShards = 1
+		res.SourcePolicy = "single"
+		srcPaths = []string{opts.Path}
+	}
+	res.Generation = srcGen + 1
+
+	// Phase 1: scan.  Strictly read-only — a fault anywhere in here
+	// cannot perturb the source files.
+	r.setPhase(PhaseScan)
+	r.logf("scan: %d source shard(s), generation %d", len(srcPaths), srcGen)
+	var cfg core.Config
+	var recs []record
+	clock := 0.0
+	for i, sp := range srcPaths {
+		fs, err := storage.OpenFileStoreReadOnly(sp)
+		if err != nil {
+			return nil, fmt.Errorf("reshard: opening source shard %d: %w", i, err)
+		}
+		var st storage.Store = fs
+		if opts.WrapSource != nil {
+			st = opts.WrapSource(i, st)
+		}
+		shardCfg, err := core.MetaConfig(st)
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("reshard: source shard %d: %w", i, err)
+		}
+		if i == 0 {
+			cfg = shardCfg
+		} else if shardCfg != cfg {
+			st.Close()
+			return nil, fmt.Errorf("reshard: source shard %d configuration %+v disagrees with shard 0 %+v", i, shardCfg, cfg)
+		}
+		t, err := core.Open(shardCfg, st)
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("reshard: opening source shard %d: %w", i, err)
+		}
+		if now := t.Now(); now > clock {
+			clock = now
+		}
+		err = t.Export(func(oid uint32, p geom.MovingPoint, live bool) error {
+			recs = append(recs, record{oid, p})
+			return nil
+		})
+		st.Close()
+		if err != nil {
+			return nil, fmt.Errorf("reshard: scanning source shard %d: %w", i, err)
+		}
+	}
+	res.Scanned = len(recs)
+	res.Clock = clock
+	r.count(func(m *obs.Metrics) *obs.Counter { return &m.ReshardScanned }, uint64(len(recs)))
+
+	// Phase 2: route.  Liveness is decided at the global clock — the
+	// max over the shard clocks — so an entry that expired between one
+	// shard's clock and another's is dropped consistently.  Live ids
+	// must be unique: the front-end's delete-then-insert re-routing
+	// keeps at most one live copy per object, so a duplicate means a
+	// corrupt source.
+	r.setPhase(PhaseRoute)
+	live := recs[:0]
+	for _, rec := range recs {
+		if cfg.ExpireAware && rec.p.TExp < clock {
+			continue
+		}
+		live = append(live, rec)
+	}
+	res.Live = len(live)
+	res.Expired = res.Scanned - res.Live
+	seen := make(map[uint32]bool, len(live))
+	for _, rec := range live {
+		if seen[rec.oid] {
+			return nil, fmt.Errorf("reshard: duplicate live object id %d across source shards", rec.oid)
+		}
+		seen[rec.oid] = true
+	}
+
+	bands := append([]float64(nil), opts.SpeedBands...)
+	if opts.Policy == "speed" && opts.Shards > 1 && len(bands) == 0 {
+		if len(live) == 0 {
+			return nil, fmt.Errorf("reshard: cannot re-tune speed bands from an empty index; pass explicit bands")
+		}
+		speeds := make([]float64, len(live))
+		for i, rec := range live {
+			speeds[i] = manifest.Speed([3]float64(rec.p.Vel), cfg.Dims)
+		}
+		bands = manifest.QuantileBands(speeds, opts.Shards)
+		res.Retuned = true
+		r.logf("route: re-tuned speed bands from %d live speeds: %v", len(live), bands)
+	}
+	if opts.Policy == "speed" {
+		res.SpeedBands = bands
+	}
+	route := func(rec record) int { return 0 }
+	if opts.Shards > 1 {
+		switch opts.Policy {
+		case "hash":
+			route = func(rec record) int { return manifest.ShardIndex(rec.oid, opts.Shards) }
+		case "speed":
+			route = func(rec record) int {
+				return manifest.SpeedBandOf(bands, manifest.Speed([3]float64(rec.p.Vel), cfg.Dims))
+			}
+		}
+	}
+	groups := make([][]core.BulkItem, opts.Shards)
+	res.Routed = make([]int, opts.Shards)
+	for _, rec := range live {
+		i := route(rec)
+		groups[i] = append(groups[i], core.BulkItem{OID: rec.oid, Point: rec.p})
+		res.Routed[i]++
+	}
+	r.count(func(m *obs.Metrics) *obs.Counter { return &m.ReshardRouted }, uint64(len(live)))
+	r.logf("route: %d live of %d scanned (%d expired at clock %.3f) -> %v", res.Live, res.Scanned, res.Expired, clock, res.Routed)
+
+	// Phase 3: load each target shard into a tmp file of the next
+	// generation.  Stale files from a previously crashed attempt at
+	// this generation are removed first so a retry starts clean.
+	r.setPhase(PhaseLoad)
+	newGen := srcGen + 1
+	if stale, _ := filepath.Glob(fmt.Sprintf("%s.g%d.s*", opts.Path, newGen)); len(stale) > 0 {
+		r.logf("load: removing %d stale file(s) from a previous attempt", len(stale))
+		for _, f := range stale {
+			os.Remove(f)
+		}
+	}
+	finals := make([]string, opts.Shards)
+	tmps := make([]string, opts.Shards)
+	for i := range groups {
+		finals[i] = manifest.ShardPath(opts.Path, newGen, i)
+		tmps[i] = finals[i] + ".tmp"
+		fs, err := storage.CreateFileStore(tmps[i])
+		if err != nil {
+			return nil, fmt.Errorf("reshard: creating target shard %d: %w", i, err)
+		}
+		r.tmps = append(r.tmps, tmps[i])
+		var st storage.Store = fs
+		if opts.WrapTarget != nil {
+			st = opts.WrapTarget(i, st)
+		}
+		t, err := core.BulkLoad(cfg, st, groups[i], clock)
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("reshard: loading target shard %d: %w", i, err)
+		}
+		if err := t.Sync(); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("reshard: syncing target shard %d: %w", i, err)
+		}
+		if err := st.Close(); err != nil {
+			return nil, fmt.Errorf("reshard: closing target shard %d: %w", i, err)
+		}
+		fi, err := os.Stat(tmps[i])
+		if err != nil {
+			return nil, fmt.Errorf("reshard: %w", err)
+		}
+		res.BytesWritten += fi.Size()
+		r.count(func(m *obs.Metrics) *obs.Counter { return &m.ReshardLoaded }, uint64(len(groups[i])))
+		r.count(func(m *obs.Metrics) *obs.Counter { return &m.ReshardBytes }, uint64(fi.Size()))
+	}
+	r.logf("load: %d target shard(s), %d bytes", opts.Shards, res.BytesWritten)
+
+	// Phase 4: verify every tmp file from disk before anything is
+	// renamed: structural invariants hold and the stored record set is
+	// element-wise the routed group.
+	r.setPhase(PhaseVerify)
+	for i := range groups {
+		if err := r.verifyShard(tmps[i], cfg, groups[i], clock); err != nil {
+			return nil, fmt.Errorf("reshard: verifying target shard %d: %w", i, err)
+		}
+	}
+
+	// Phase 5: commit.  The tmp→final renames are invisible to the
+	// live index (its manifest still names generation srcGen); the
+	// manifest rename at the end is the single atomic commit point.
+	r.setPhase(PhaseCommit)
+	for i := range groups {
+		if err := r.rename(tmps[i], finals[i]); err != nil {
+			return nil, err
+		}
+	}
+	r.tmps = nil
+	newMan := manifest.Manifest{
+		Version:    manifest.Version,
+		Shards:     opts.Shards,
+		Hash:       manifest.Hash,
+		Partition:  opts.Policy,
+		SpeedBands: bands,
+		AutoTuned:  res.Retuned,
+		Generation: newGen,
+	}
+	if err := newMan.Validate(); err != nil {
+		return nil, fmt.Errorf("reshard: %w", err)
+	}
+	data, err := newMan.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("reshard: %w", err)
+	}
+	manTmp := manifest.Path(opts.Path) + ".reshard"
+	if err := os.WriteFile(manTmp, data, 0o644); err != nil {
+		return nil, fmt.Errorf("reshard: %w", err)
+	}
+	if err := r.rename(manTmp, manifest.Path(opts.Path)); err != nil {
+		os.Remove(manTmp)
+		return nil, err
+	}
+	r.logf("commit: manifest now names %d shard(s) at generation %d", opts.Shards, newGen)
+
+	// The old generation is garbage now; removing it is best-effort.
+	for _, sp := range srcPaths {
+		if err := os.Remove(sp); err != nil {
+			r.logf("cleanup: %v (the committed index does not reference this file)", err)
+		}
+	}
+	return res, nil
+}
+
+// verifyShard reopens a freshly written shard file read-only and
+// checks it holds exactly the routed records: tree invariants pass,
+// the entry count matches, and every exported record equals its routed
+// counterpart (quantization is idempotent, so the stored form must be
+// bit-identical to the scanned form).
+func (r *runner) verifyShard(path string, cfg core.Config, group []core.BulkItem, clock float64) error {
+	fs, err := storage.OpenFileStoreReadOnly(path)
+	if err != nil {
+		return err
+	}
+	defer fs.Close()
+	t, err := core.Open(cfg, fs)
+	if err != nil {
+		return err
+	}
+	if err := t.CheckInvariants(); err != nil {
+		return err
+	}
+	if t.Now() != clock {
+		return fmt.Errorf("clock %v, want %v", t.Now(), clock)
+	}
+	want := make(map[uint32]geom.MovingPoint, len(group))
+	for _, it := range group {
+		want[it.OID] = it.Point
+	}
+	got := 0
+	err = t.Export(func(oid uint32, p geom.MovingPoint, live bool) error {
+		w, ok := want[oid]
+		if !ok {
+			return fmt.Errorf("stored object %d was not routed here", oid)
+		}
+		if p != w {
+			return fmt.Errorf("object %d stored as %+v, routed as %+v", oid, p, w)
+		}
+		if !live {
+			return fmt.Errorf("object %d stored expired", oid)
+		}
+		got++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if got != len(group) {
+		return fmt.Errorf("%d stored entries, %d routed", got, len(group))
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 )
@@ -17,9 +18,14 @@ type FileStore struct {
 	freeHead PageID
 	freedSet map[PageID]bool
 	live     int
+	readOnly bool
 }
 
 const fileMagic = 0x52455850 // "REXP"
+
+// ErrReadOnly is returned by the mutating Store methods of a store
+// opened with OpenFileStoreReadOnly.
+var ErrReadOnly = errors.New("storage: store is read-only")
 
 // CreateFileStore creates (truncating) a file-backed store at path.
 func CreateFileStore(path string) (*FileStore, error) {
@@ -38,7 +44,25 @@ func CreateFileStore(path string) (*FileStore, error) {
 // OpenFileStore opens a store previously written by CreateFileStore
 // and cleanly closed.
 func OpenFileStore(path string) (*FileStore, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	return openFileStore(path, false)
+}
+
+// OpenFileStoreReadOnly opens a store strictly for reading: the file
+// is opened O_RDONLY, every mutating Store method returns ErrReadOnly,
+// and Close does not rewrite the superblock — the file's bytes are
+// untouched no matter what the caller does.  The offline reshard tool
+// scans source shards through this so a crash mid-scan cannot perturb
+// the original index.
+func OpenFileStoreReadOnly(path string) (*FileStore, error) {
+	return openFileStore(path, true)
+}
+
+func openFileStore(path string, readOnly bool) (*FileStore, error) {
+	mode := os.O_RDWR
+	if readOnly {
+		mode = os.O_RDONLY
+	}
+	f, err := os.OpenFile(path, mode, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -56,6 +80,7 @@ func OpenFileStore(path string) (*FileStore, error) {
 		numPages: int(binary.LittleEndian.Uint32(sb[4:])),
 		freeHead: PageID(binary.LittleEndian.Uint32(sb[8:])),
 		freedSet: map[PageID]bool{},
+		readOnly: readOnly,
 	}
 	// Rebuild the freed set by walking the chain.
 	var buf [PageSize]byte
@@ -107,6 +132,9 @@ func (s *FileStore) ReadPage(id PageID, buf []byte) error {
 
 // WritePage implements Store.
 func (s *FileStore) WritePage(id PageID, buf []byte) error {
+	if s.readOnly {
+		return ErrReadOnly
+	}
 	if err := s.check(id); err != nil {
 		return err
 	}
@@ -116,6 +144,9 @@ func (s *FileStore) WritePage(id PageID, buf []byte) error {
 
 // Allocate implements Store.
 func (s *FileStore) Allocate() (PageID, error) {
+	if s.readOnly {
+		return InvalidPage, ErrReadOnly
+	}
 	var zero [PageSize]byte
 	s.live++
 	if s.freeHead != InvalidPage {
@@ -140,6 +171,9 @@ func (s *FileStore) Allocate() (PageID, error) {
 
 // Free implements Store.
 func (s *FileStore) Free(id PageID) error {
+	if s.readOnly {
+		return ErrReadOnly
+	}
 	if err := s.check(id); err != nil {
 		return err
 	}
@@ -157,8 +191,12 @@ func (s *FileStore) Free(id PageID) error {
 // Len implements Store.
 func (s *FileStore) Len() int { return s.live }
 
-// Close writes the superblock and closes the file.
+// Close writes the superblock and closes the file (read-only stores
+// skip the superblock write).
 func (s *FileStore) Close() error {
+	if s.readOnly {
+		return s.f.Close()
+	}
 	if err := s.writeSuper(); err != nil {
 		s.f.Close()
 		return err

@@ -1,12 +1,10 @@
 package rexptree
 
 import (
-	"encoding/json"
 	"fmt"
-	"math"
-	"os"
-	"sort"
 	"sync"
+
+	"rexptree/internal/manifest"
 )
 
 // PartitionPolicy selects how a ShardedTree assigns objects to shards.
@@ -108,19 +106,20 @@ func (p *speedPartitioner) policy() PartitionPolicy { return PartitionSpeed }
 
 // speedOf is the report's |velocity|.
 func speedOf(pt Point, dims int) float64 {
-	var s float64
-	for i := 0; i < dims; i++ {
-		s += pt.Vel[i] * pt.Vel[i]
-	}
-	return math.Sqrt(s)
+	return manifest.Speed(pt.Vel, dims)
 }
 
 // bandOf maps a speed to its band: band i covers [bands[i-1], bands[i]).
 func bandOf(bands []float64, sp float64) int {
-	return sort.Search(len(bands), func(i int) bool { return bands[i] > sp })
+	return manifest.SpeedBandOf(bands, sp)
 }
 
 func (p *speedPartitioner) route(id uint32, pt Point) int {
+	if p.n < 2 {
+		// One shard, one band: nothing to tune or look up (and
+		// QuantileBands cannot split a distribution into one band).
+		return 0
+	}
 	sp := speedOf(pt, p.dims)
 	p.mu.RLock()
 	bands := p.bands
@@ -147,17 +146,11 @@ func (p *speedPartitioner) route(id uint32, pt Point) int {
 // tuneLocked picks the band boundaries at the i/n quantiles of the
 // observed speeds.  Caller holds p.mu.
 func (p *speedPartitioner) tuneLocked() {
-	samples := append([]float64(nil), p.samples...)
-	sort.Float64s(samples)
-	bands := make([]float64, p.n-1)
-	for i := 1; i < p.n; i++ {
-		bands[i-1] = samples[len(samples)*i/p.n]
-	}
-	p.bands = bands
+	p.bands = manifest.QuantileBands(p.samples, p.n)
 	p.tuned = true
 	p.samples = nil
 	if p.onTune != nil {
-		p.onTune(bands)
+		p.onTune(p.bands)
 	}
 }
 
@@ -188,53 +181,7 @@ func (p *speedPartitioner) forget(id uint32) {
 	p.mu.Unlock()
 }
 
-// manifestHash names the id→shard hash scheme; it is recorded in the
-// manifest so a future scheme change cannot silently scramble a stored
-// partition.
-const manifestHash = "murmur3-fmix32"
-
-// shardManifest is the sidecar file ("<Path>.manifest") describing how
-// a file-backed sharded index is partitioned.  OpenSharded refuses to
-// reopen an index whose manifest disagrees with the requested shard
-// count or partition policy, because the stored object placement
-// depends on both.
-type shardManifest struct {
-	Version    int       `json:"version"`
-	Shards     int       `json:"shards"`
-	Hash       string    `json:"hash"`
-	Partition  string    `json:"partition"`
-	SpeedBands []float64 `json:"speed_bands,omitempty"`
-	AutoTuned  bool      `json:"auto_tuned,omitempty"`
-}
-
-// readManifest loads the manifest; found is false when none exists.
-func readManifest(path string) (m shardManifest, found bool, err error) {
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return shardManifest{}, false, nil
-	}
-	if err != nil {
-		return shardManifest{}, false, fmt.Errorf("rexptree: reading shard manifest: %w", err)
-	}
-	if err := json.Unmarshal(data, &m); err != nil {
-		return shardManifest{}, false, fmt.Errorf("rexptree: parsing shard manifest %s: %w", path, err)
-	}
-	return m, true, nil
-}
-
-// writeManifest stores the manifest atomically (write temp + rename).
-func writeManifest(path string, m shardManifest) error {
-	data, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		return err
-	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return fmt.Errorf("rexptree: writing shard manifest: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("rexptree: writing shard manifest: %w", err)
-	}
-	return nil
-}
+// The shard manifest itself — the sidecar file ("<Path>.manifest")
+// describing how a file-backed sharded index is partitioned — lives in
+// internal/manifest, shared with the offline reshard tool
+// (cmd/rexpreshard) so that tool and library route identically.

@@ -1,0 +1,646 @@
+package rexptree
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rexptree/internal/reshard"
+	"rexptree/internal/storage"
+)
+
+// movingIndex is the surface shared by Tree and ShardedTree that the
+// reshard tests exercise, so any index layout can be fingerprinted and
+// compared against the single-tree reference.
+type movingIndex interface {
+	Update(id uint32, p Point, now float64) error
+	UpdateBatch(batch []Report, now float64) error
+	Delete(id uint32, now float64) (bool, error)
+	Timeslice(r Rect, at, now float64) ([]Result, error)
+	Window(r Rect, t1, t2, now float64) ([]Result, error)
+	Moving(r1, r2 Rect, t1, t2, now float64) ([]Result, error)
+	Nearest(pos Vec, at float64, k int, now float64) ([]Result, error)
+	Get(id uint32, now float64) (Point, bool)
+	Len() int
+}
+
+// indexFingerprint captures an index's observable state: the results
+// of a fixed battery of all four query types at several times, point
+// lookups over a spread of ids, and the stored-report count.  Two
+// indexes holding the same live objects must fingerprint identically
+// regardless of shard count, partition policy or file generation.
+type indexFingerprint struct {
+	queries [][]Result
+	points  []Point
+	present []bool
+	size    int
+}
+
+func fingerprintIndex(t *testing.T, ix movingIndex, now float64) indexFingerprint {
+	t.Helper()
+	var fp indexFingerprint
+	run := func(sorted bool) func(rs []Result, err error) {
+		return func(rs []Result, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sorted {
+				// Region queries promise a result *set*; a single Tree
+				// reports it in traversal order, a ShardedTree merged by
+				// id.  Normalize before comparing.
+				sortResults(rs)
+			}
+			if len(rs) == 0 {
+				rs = nil // normalize: empty vs nil is not an observable difference
+			}
+			fp.queries = append(fp.queries, rs)
+		}
+	}
+	region, nearest := run(true), run(false)
+	inner := Rect{Lo: Vec{120, 90}, Hi: Vec{460, 430}}
+	mid := Rect{Lo: Vec{310, 260}, Hi: Vec{720, 650}}
+	world := Rect{Lo: Vec{-100, -100}, Hi: Vec{1100, 1100}}
+	region(ix.Timeslice(inner, now, now))
+	region(ix.Timeslice(world, now+12, now))
+	region(ix.Window(inner, now+1, now+9, now))
+	region(ix.Window(mid, now, now+25, now))
+	region(ix.Moving(inner, mid, now+2, now+14, now))
+	nearest(ix.Nearest(Vec{500, 500}, now+3, 12, now))
+	nearest(ix.Nearest(Vec{80, 910}, now, 5, now))
+	for id := uint32(1); id <= 1000; id += 37 {
+		p, ok := ix.Get(id, now)
+		fp.points = append(fp.points, p)
+		fp.present = append(fp.present, ok)
+	}
+	fp.size = ix.Len()
+	return fp
+}
+
+func requireSameFingerprint(t *testing.T, got, want indexFingerprint, what string) {
+	t.Helper()
+	if got.size != want.size {
+		t.Fatalf("%s: %d stored reports, reference has %d", what, got.size, want.size)
+	}
+	for i := range want.queries {
+		if !reflect.DeepEqual(got.queries[i], want.queries[i]) {
+			t.Fatalf("%s: query %d returned %d results, reference %d:\n got  %v\n want %v",
+				what, i, len(got.queries[i]), len(want.queries[i]), got.queries[i], want.queries[i])
+		}
+	}
+	if !reflect.DeepEqual(got.present, want.present) || !reflect.DeepEqual(got.points, want.points) {
+		t.Fatalf("%s: point lookups diverge from the reference", what)
+	}
+}
+
+// copyIndexFiles clones every regular file of srcDir into dstDir, so a
+// built fixture can be resharded destructively per subtest.
+func copyIndexFiles(t *testing.T, srcDir, dstDir string) {
+	t.Helper()
+	ents, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(srcDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dstDir, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// hashDir maps every regular file in dir to its content hash.
+func hashDir(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]string{}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(data)
+		out[e.Name()] = hex.EncodeToString(sum[:])
+	}
+	return out
+}
+
+func fileOpts(base string) Options {
+	o := DefaultOptions()
+	o.Path = base
+	return o
+}
+
+// updatedReports builds a post-reshard update stream: re-reports of
+// existing objects with fresh positions and velocities spanning all
+// speed bands (so speed-partitioned targets must re-route), plus a few
+// brand-new objects.
+func updatedReports(ids int, seed int64, at float64) []Report {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Report, 0, 320)
+	for i := 0; i < 300; i++ {
+		out = append(out, Report{
+			ID: uint32(rng.Intn(ids) + 1),
+			Point: Point{
+				Pos:     Vec{rng.Float64() * 1000, rng.Float64() * 1000},
+				Vel:     Vec{rng.Float64()*20 - 10, rng.Float64()*20 - 10},
+				Time:    at,
+				Expires: at + 100 + rng.Float64()*100,
+			},
+		})
+	}
+	for j := 0; j < 20; j++ {
+		out = append(out, Report{
+			ID: uint32(5000 + j),
+			Point: Point{
+				Pos:     Vec{rng.Float64() * 1000, rng.Float64() * 1000},
+				Vel:     Vec{rng.Float64()*6 - 3, rng.Float64()*6 - 3},
+				Time:    at,
+				Expires: at + 150,
+			},
+		})
+	}
+	return out
+}
+
+// applyStream mutates an index with the shared delete + update stream.
+func applyStream(t *testing.T, ix movingIndex, deletes []uint32, updates []Report, now float64) {
+	t.Helper()
+	for _, id := range deletes {
+		if _, err := ix.Delete(id, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.UpdateBatch(updates, now); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReshardMatrix drives the K → K′ matrix: hash sources with K ∈
+// {1, 2, 4} resharded to hash targets with K′ ∈ {1, 2, 3, 4, 8}, plus
+// the policy transitions (hash → speed with fixed bands, self-tuned
+// speed → hash).  After every reshard the index must answer all four
+// query types element-wise identically to the single-tree reference —
+// both immediately and after a further update stream that re-reports,
+// inserts and deletes objects (crossing speed bands, so speed targets
+// re-route).
+func TestReshardMatrix(t *testing.T) {
+	deletes := []uint32{5, 11, 50, 500, 797}
+	const now2 = 5.0
+
+	type sourceCase struct {
+		name    string
+		opts    ShardedOptions
+		reports []Report
+		updates []Report
+	}
+	sources := []sourceCase{
+		{"hash-1", ShardedOptions{Shards: 1}, testWorkload(800, 11), updatedReports(800, 101, now2)},
+		{"hash-2", ShardedOptions{Shards: 2}, testWorkload(800, 12), updatedReports(800, 102, now2)},
+		{"hash-4", ShardedOptions{Shards: 4}, testWorkload(800, 13), updatedReports(800, 103, now2)},
+		{"speed-auto-4", ShardedOptions{Shards: 4, Partition: PartitionSpeed, TuneAfter: 300},
+			mixedSpeedWorkload(800, 7, 0), mixedSpeedWorkload(300, 7, 1)},
+	}
+
+	type targetCase struct {
+		shards int
+		policy string
+		bands  []float64
+	}
+	allBands := []float64{0.5, 2, 8, 15, 30, 50, 100}
+	targetsFor := func(src string) []targetCase {
+		var out []targetCase
+		switch src {
+		case "speed-auto-4":
+			for _, k := range []int{1, 2, 4} {
+				out = append(out, targetCase{k, "hash", nil})
+			}
+		default:
+			for _, k := range []int{1, 2, 3, 4, 8} {
+				out = append(out, targetCase{k, "hash", nil})
+			}
+			if src == "hash-4" {
+				for _, k := range []int{1, 2, 3, 4, 8} {
+					out = append(out, targetCase{k, "speed", allBands[:k-1]})
+				}
+			}
+		}
+		return out
+	}
+
+	for _, src := range sources {
+		src := src
+		t.Run(src.name, func(t *testing.T) {
+			// Single-tree reference: the ground truth before and after
+			// the update stream.
+			single, err := Open(DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer single.Close()
+			if err := single.UpdateBatch(src.reports, 0); err != nil {
+				t.Fatal(err)
+			}
+			base0 := fingerprintIndex(t, single, 0)
+			applyStream(t, single, deletes, src.updates, now2)
+			base1 := fingerprintIndex(t, single, now2)
+
+			// File-backed source fixture, built once and cloned per target.
+			srcDir := t.TempDir()
+			so := src.opts
+			so.Options = fileOpts(filepath.Join(srcDir, "idx"))
+			st, err := OpenSharded(so)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.UpdateBatch(src.reports, 0); err != nil {
+				t.Fatal(err)
+			}
+			requireSameFingerprint(t, fingerprintIndex(t, st, 0), base0, "source fixture")
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			for _, tg := range targetsFor(src.name) {
+				tg := tg
+				t.Run(fmt.Sprintf("to-%s-%d", tg.policy, tg.shards), func(t *testing.T) {
+					dir := t.TempDir()
+					copyIndexFiles(t, srcDir, dir)
+					base := filepath.Join(dir, "idx")
+
+					res, err := reshard.Run(reshard.Options{
+						Path: base, Shards: tg.shards, Policy: tg.policy, SpeedBands: tg.bands,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Generation != 1 {
+						t.Fatalf("generation %d after first reshard, want 1", res.Generation)
+					}
+					if res.SourceShards != src.opts.Shards || res.TargetShards != tg.shards {
+						t.Fatalf("result shard counts %d -> %d, want %d -> %d",
+							res.SourceShards, res.TargetShards, src.opts.Shards, tg.shards)
+					}
+					if res.Expired != 0 || res.Live != base0.size || res.Scanned != res.Live {
+						t.Fatalf("entry accounting %d scanned / %d live / %d expired, want %d live",
+							res.Scanned, res.Live, res.Expired, base0.size)
+					}
+					routed := 0
+					for _, n := range res.Routed {
+						routed += n
+					}
+					if routed != res.Live {
+						t.Fatalf("routed %d entries of %d live", routed, res.Live)
+					}
+
+					ro := ShardedOptions{Options: fileOpts(base), Shards: tg.shards}
+					if tg.policy == "speed" {
+						ro.Partition = PartitionSpeed
+						ro.SpeedBands = tg.bands
+					}
+					ix, err := OpenSharded(ro)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ix.Generation() != 1 {
+						t.Fatalf("reopened generation %d, want 1", ix.Generation())
+					}
+					requireSameFingerprint(t, fingerprintIndex(t, ix, 0), base0, "resharded")
+
+					applyStream(t, ix, deletes, src.updates, now2)
+					requireSameFingerprint(t, fingerprintIndex(t, ix, now2), base1, "resharded+updates")
+					if err := ix.Close(); err != nil {
+						t.Fatal(err)
+					}
+
+					// The post-reshard updates must persist across a reopen.
+					ix2, err := OpenSharded(ro)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireSameFingerprint(t, fingerprintIndex(t, ix2, now2), base1, "resharded+updates reopened")
+					if err := ix2.Close(); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestReshardRoundTrip is the acceptance scenario: a K=4 hash index is
+// resharded to K′=2 speed shards with re-tuned bands, then back to K=4
+// hash, with all query types answering identically throughout.  The
+// index clock sits past many report expirations, so the reshard must
+// also drop expired entries without changing any query answer.
+func TestReshardRoundTrip(t *testing.T) {
+	reports := testWorkload(700, 23)
+	tick := Report{ID: 9001, Point: Point{
+		Pos: Vec{500, 500}, Vel: Vec{0, 0}, Time: 100, Expires: NoExpiry(),
+	}}
+
+	single, err := Open(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	if err := single.UpdateBatch(reports, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Advance the clock to 100: testWorkload expirations span 60..180,
+	// so a large fraction of the reports is now expired.
+	if err := single.Update(tick.ID, tick.Point, 100); err != nil {
+		t.Fatal(err)
+	}
+	base := fingerprintIndex(t, single, 100)
+
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "idx")
+	st, err := OpenSharded(ShardedOptions{Options: fileOpts(basePath), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.UpdateBatch(reports, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Update(tick.ID, tick.Point, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res1, err := reshard.Run(reshard.Options{Path: basePath, Shards: 2, Policy: "speed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.Retuned || len(res1.SpeedBands) != 1 {
+		t.Fatalf("expected re-tuned bands, got retuned=%v bands=%v", res1.Retuned, res1.SpeedBands)
+	}
+	if res1.Expired == 0 {
+		t.Fatalf("no entries expired at clock %.1f; the fixture should have many", res1.Clock)
+	}
+	sp, err := OpenSharded(ShardedOptions{Options: fileOpts(basePath), Shards: 2, Partition: PartitionSpeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Generation() != 1 {
+		t.Fatalf("generation %d, want 1", sp.Generation())
+	}
+	requireSameFingerprint(t, fingerprintIndex(t, sp, 100), base, "hash-4 -> speed-2")
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res2, err := reshard.Run(reshard.Options{Path: basePath, Shards: 4, Policy: "hash"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Generation != 2 {
+		t.Fatalf("generation %d after second reshard, want 2", res2.Generation)
+	}
+	// The first reshard already purged the expired entries.
+	if res2.Expired != 0 || res2.Scanned != res1.Live {
+		t.Fatalf("second reshard scanned %d / expired %d, want %d / 0", res2.Scanned, res2.Expired, res1.Live)
+	}
+	hs, err := OpenSharded(ShardedOptions{Options: fileOpts(basePath), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Generation() != 2 {
+		t.Fatalf("generation %d, want 2", hs.Generation())
+	}
+	requireSameFingerprint(t, fingerprintIndex(t, hs, 100), base, "speed-2 -> hash-4")
+	if err := hs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReshardSingleTreeSource converts a manifest-less single tree
+// file into a sharded index.
+func TestReshardSingleTreeSource(t *testing.T) {
+	reports := testWorkload(500, 31)
+	objs := make([]BulkObject, len(reports))
+	for i, r := range reports {
+		objs[i] = BulkObject{ID: r.ID, Point: r.Point}
+	}
+
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "idx")
+	tr, err := OpenBulk(fileOpts(basePath), objs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fingerprintIndex(t, tr, 0)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := reshard.Run(reshard.Options{Path: basePath, Shards: 3, Policy: "hash"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SourcePolicy != "single" || res.SourceShards != 1 || res.Generation != 1 {
+		t.Fatalf("source %q/%d gen %d, want single/1 gen 1", res.SourcePolicy, res.SourceShards, res.Generation)
+	}
+	// The committed index lives in generation-1 files; the original
+	// single-tree file is garbage and gets removed.
+	if _, err := os.Stat(basePath); !os.IsNotExist(err) {
+		t.Fatalf("original tree file still present: %v", err)
+	}
+	ix, err := OpenSharded(ShardedOptions{Options: fileOpts(basePath), Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameFingerprint(t, fingerprintIndex(t, ix, 0), base, "single -> hash-3")
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReshardCrashInjection aborts a reshard at every phase boundary —
+// mid-scan (source read fault), mid-load (target write fault), before
+// the first commit rename, between commit renames, and after the shard
+// renames but before the manifest rename — and checks the crash
+// contract: every file the original index references is byte-for-byte
+// untouched, the original reopens and answers queries identically, and
+// simply re-running the same reshard succeeds.
+func TestReshardCrashInjection(t *testing.T) {
+	reports := testWorkload(500, 47)
+	single, err := Open(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	if err := single.UpdateBatch(reports, 0); err != nil {
+		t.Fatal(err)
+	}
+	base := fingerprintIndex(t, single, 0)
+
+	srcDir := t.TempDir()
+	st, err := OpenSharded(ShardedOptions{Options: fileOpts(filepath.Join(srcDir, "idx")), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.UpdateBatch(reports, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	errBoom := errors.New("boom")
+	failRenameAt := func(n int) func(*reshard.Options) {
+		return func(o *reshard.Options) {
+			calls := 0
+			o.BeforeRename = func(from, to string) error {
+				calls++
+				if calls == n+1 {
+					return errBoom
+				}
+				return nil
+			}
+		}
+	}
+	cases := []struct {
+		name   string
+		inject func(*reshard.Options)
+	}{
+		{"mid-scan", func(o *reshard.Options) {
+			o.WrapSource = func(i int, s storage.Store) storage.Store {
+				if i != 1 {
+					return s
+				}
+				fs := storage.NewFaultStore(s)
+				fs.Arm(4)
+				return fs
+			}
+		}},
+		{"mid-load", func(o *reshard.Options) {
+			o.WrapTarget = func(i int, s storage.Store) storage.Store {
+				if i != 1 {
+					return s
+				}
+				fs := storage.NewFaultStore(s)
+				fs.Arm(3)
+				return fs
+			}
+		}},
+		{"pre-rename", failRenameAt(0)},
+		{"mid-rename", failRenameAt(1)},
+		// All three shard files renamed, manifest rename refused: the
+		// commit point itself.
+		{"pre-manifest-rename", failRenameAt(3)},
+	}
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			copyIndexFiles(t, srcDir, dir)
+			basePath := filepath.Join(dir, "idx")
+			before := hashDir(t, dir)
+
+			o := reshard.Options{Path: basePath, Shards: 3, Policy: "hash"}
+			c.inject(&o)
+			if _, err := reshard.Run(o); err == nil {
+				t.Fatal("injected crash did not abort the reshard")
+			}
+
+			// Everything the original index references is untouched; a
+			// crash may only leave extra (unreferenced) files behind.
+			after := hashDir(t, dir)
+			for name, h := range before {
+				if after[name] != h {
+					t.Fatalf("crash at %s modified original file %s", c.name, name)
+				}
+			}
+
+			ix, err := OpenSharded(ShardedOptions{Options: fileOpts(basePath), Shards: 2})
+			if err != nil {
+				t.Fatalf("original index does not reopen after crash: %v", err)
+			}
+			if ix.Generation() != 0 {
+				t.Fatalf("original generation %d after crash, want 0", ix.Generation())
+			}
+			requireSameFingerprint(t, fingerprintIndex(t, ix, 0), base, "original after crash")
+			if err := ix.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Retry: the identical invocation, no faults, must succeed
+			// (cleaning up whatever the crashed attempt left behind).
+			res, err := reshard.Run(reshard.Options{Path: basePath, Shards: 3, Policy: "hash"})
+			if err != nil {
+				t.Fatalf("retry after %s crash failed: %v", c.name, err)
+			}
+			if res.Generation != 1 {
+				t.Fatalf("retry committed generation %d, want 1", res.Generation)
+			}
+			ix2, err := OpenSharded(ShardedOptions{Options: fileOpts(basePath), Shards: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameFingerprint(t, fingerprintIndex(t, ix2, 0), base, "retry result")
+			if err := ix2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestReshardBadOptions checks that invalid invocations fail up front
+// without creating any files.
+func TestReshardBadOptions(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "idx")
+	st, err := OpenSharded(ShardedOptions{Options: fileOpts(basePath), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil { // empty index: no live entries
+		t.Fatal(err)
+	}
+	before := hashDir(t, dir)
+
+	cases := []struct {
+		name string
+		opts reshard.Options
+	}{
+		{"no path", reshard.Options{Shards: 2, Policy: "hash"}},
+		{"no shards", reshard.Options{Path: basePath, Policy: "hash"}},
+		{"bad policy", reshard.Options{Path: basePath, Shards: 2, Policy: "round-robin"}},
+		{"bands under hash", reshard.Options{Path: basePath, Shards: 2, Policy: "hash", SpeedBands: []float64{1}}},
+		{"descending bands", reshard.Options{Path: basePath, Shards: 3, Policy: "speed", SpeedBands: []float64{2, 1}}},
+		{"band count", reshard.Options{Path: basePath, Shards: 2, Policy: "speed", SpeedBands: []float64{1, 2}}},
+		{"missing index", reshard.Options{Path: filepath.Join(dir, "nope"), Shards: 2, Policy: "hash"}},
+		{"retune empty index", reshard.Options{Path: basePath, Shards: 2, Policy: "speed"}},
+	}
+	for _, c := range cases {
+		if _, err := reshard.Run(c.opts); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	after := hashDir(t, dir)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("a rejected reshard modified the index directory:\n before %v\n after  %v", before, after)
+	}
+}

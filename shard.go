@@ -10,13 +10,16 @@ import (
 	"time"
 
 	"rexptree/internal/geom"
+	"rexptree/internal/manifest"
 	"rexptree/internal/obs"
 )
 
 // ShardedOptions configures a ShardedTree.  The embedded Options apply
 // to every shard; Path, when set, names the base of the per-shard page
-// files (shard i is stored at "<Path>.s<i>", and a "<Path>.manifest"
-// sidecar records the partition so it cannot be reopened wrongly).
+// files (shard i is stored at "<Path>.s<i>" — or "<Path>.g<G>.s<i>"
+// after a reshard bumped the file generation to G — and a
+// "<Path>.manifest" sidecar records the partition and generation so
+// the index cannot be reopened wrongly).
 type ShardedOptions struct {
 	Options
 
@@ -94,6 +97,8 @@ type ShardedTree struct {
 	m      *obs.Metrics  // front-end registry: fan-out latencies, pruning counters
 
 	manifestPath string // "" when memory-backed
+	basePath     string // ShardedOptions.Path
+	gen          int    // shard-file generation (bumped by rexpreshard)
 
 	// Re-routing discipline of the speed policy: single-object updates
 	// hold rerouteMu shared plus the object's stripe (so the
@@ -162,11 +167,12 @@ func OpenSharded(opts ShardedOptions) (*ShardedTree, error) {
 	// Validate the manifest before touching any shard file.
 	autoTuned := false
 	manifestPath := ""
+	gen := 0
 	if opts.Path != "" {
-		manifestPath = opts.Path + ".manifest"
-		man, found, err := readManifest(manifestPath)
+		manifestPath = manifest.Path(opts.Path)
+		man, found, err := manifest.Read(manifestPath)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("rexptree: %w", err)
 		}
 		if found {
 			if man.Shards != opts.Shards {
@@ -179,6 +185,7 @@ func OpenSharded(opts ShardedOptions) (*ShardedTree, error) {
 				bands = man.SpeedBands
 				autoTuned = man.AutoTuned
 			}
+			gen = man.Generation
 		}
 	}
 
@@ -201,11 +208,13 @@ func OpenSharded(opts ShardedOptions) (*ShardedTree, error) {
 		sem:          make(chan struct{}, opts.Workers),
 		m:            obs.New(),
 		manifestPath: manifestPath,
+		basePath:     opts.Path,
+		gen:          gen,
 	}
 	for i := range s.shards {
 		so := opts.Options
 		if so.Path != "" {
-			so.Path = fmt.Sprintf("%s.s%d", opts.Path, i)
+			so.Path = manifest.ShardPath(opts.Path, gen, i)
 		}
 		if perShard > 0 {
 			so.BufferPages = perShard
@@ -263,16 +272,25 @@ func OpenSharded(opts ShardedOptions) (*ShardedTree, error) {
 
 // writeManifestFile records the current partition in the sidecar file.
 func (s *ShardedTree) writeManifestFile() error {
-	man := shardManifest{
-		Version:   1,
-		Shards:    len(s.shards),
-		Hash:      manifestHash,
-		Partition: s.part.policy().String(),
+	man := manifest.Manifest{
+		Version:    manifest.Version,
+		Shards:     len(s.shards),
+		Hash:       manifest.Hash,
+		Partition:  s.part.policy().String(),
+		Generation: s.gen,
 	}
 	if sp, ok := s.part.(*speedPartitioner); ok {
 		man.SpeedBands, man.AutoTuned = sp.Bands()
 	}
 	return writeManifest(s.manifestPath, man)
+}
+
+// writeManifest stores a manifest atomically (write temp + rename).
+func writeManifest(path string, m manifest.Manifest) error {
+	if err := manifest.Write(path, m); err != nil {
+		return fmt.Errorf("rexptree: %w", err)
+	}
+	return nil
 }
 
 // setSpeedGauges publishes each shard's speed band on its registry.
@@ -293,6 +311,12 @@ func (s *ShardedTree) setSpeedGauges(bands []float64) {
 // NumShards returns the number of shards.
 func (s *ShardedTree) NumShards() int { return len(s.shards) }
 
+// Generation returns the shard-file generation recorded in the
+// manifest: 0 for a freshly created index, bumped by every
+// rexpreshard run (whose commit writes the new generation's files and
+// switches the manifest to them atomically).
+func (s *ShardedTree) Generation() int { return s.gen }
+
 // Partition returns the configured partition policy.
 func (s *ShardedTree) Partition() PartitionPolicy { return s.part.policy() }
 
@@ -306,17 +330,11 @@ func (s *ShardedTree) SpeedBands() []float64 {
 	return nil
 }
 
-// shardIndex hashes an object id onto a shard.  The id is mixed first
-// (the murmur3 finalizer) so that dense or strided id spaces still
-// spread evenly.
+// shardIndex hashes an object id onto a shard.  The scheme (the
+// murmur3 finalizer, recorded in the manifest) is shared with the
+// offline reshard tool via internal/manifest.
 func shardIndex(id uint32, n int) int {
-	h := id
-	h ^= h >> 16
-	h *= 0x85ebca6b
-	h ^= h >> 13
-	h *= 0xc2b2ae35
-	h ^= h >> 16
-	return int(h % uint32(n))
+	return manifest.ShardIndex(id, n)
 }
 
 // widenShard grows shard i's summary to cover the stored record, and
