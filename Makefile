@@ -4,15 +4,16 @@
 #   make bench-obs        metrics-overhead microbenchmark -> BENCH_obs.json
 #   make bench-shard      concurrent-throughput comparison -> BENCH_shard.json
 #   make bench-partition  hash vs speed partitioning -> BENCH_partition.json
+#   make bench-wal        durability-policy comparison -> BENCH_wal.json
 #   make all              check + all benchmarks
 
 GO ?= go
 
-.PHONY: all check fmt-check vet build test race fuzz-smoke bench-obs bench-obs-smoke bench-shard bench-partition bench-partition-smoke clean
+.PHONY: all check fmt-check vet build test race fuzz-smoke bench-obs bench-obs-smoke bench-shard bench-partition bench-partition-smoke bench-wal bench-wal-smoke clean
 
-all: check bench-obs bench-shard bench-partition
+all: check bench-obs bench-shard bench-partition bench-wal
 
-check: fmt-check vet build test race bench-obs-smoke bench-partition-smoke
+check: fmt-check vet build test race bench-obs-smoke bench-partition-smoke bench-wal-smoke
 
 # Fails (with the offending file list) if anything is not gofmt-clean.
 fmt-check:
@@ -35,12 +36,15 @@ race:
 	$(GO) test -race ./...
 
 # A short run of each native fuzz target: the manifest decode/encode
-# round trip and the time-parameterized intersection kernel.  Ten
-# seconds each is enough to shake out regressions in the properties;
-# leave the targets running longer locally when hunting.
+# round trip, the time-parameterized intersection kernel, and the
+# write-ahead-log frame scanner (arbitrary bytes must never panic and
+# torn tails must only ever drop trailing records).  Ten seconds each
+# is enough to shake out regressions in the properties; leave the
+# targets running longer locally when hunting.
 fuzz-smoke:
 	$(GO) test ./internal/manifest -run '^$$' -fuzz FuzzManifestRoundTrip -fuzztime 10s
 	$(GO) test ./internal/geom -run '^$$' -fuzz FuzzTrapezoidIntersect -fuzztime 10s
+	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzWALRoundTrip -fuzztime 10s
 
 # Compares instrumented vs. nil-metrics Update/query throughput; the
 # observability layer's budget is a <2% regression.
@@ -70,5 +74,17 @@ bench-partition:
 bench-partition-smoke:
 	$(GO) run ./cmd/rexpbench -partitionbench -objects 2000 -duration 0.2 -quiet -partout -
 
+# Update throughput under each durability policy — none (legacy), WAL
+# with batched fsync, WAL with fsync-per-commit — plus the WAL traffic
+# each one generates (see cmd/rexpbench/durability.go).
+bench-wal:
+	$(GO) run ./cmd/rexpbench -durability -walout BENCH_wal.json
+
+# A fast pass of the durability comparison for make check: it exercises
+# the WAL append/commit/checkpoint path under all three policies
+# without committing a result file.
+bench-wal-smoke:
+	$(GO) run ./cmd/rexpbench -durability -objects 2000 -duration 0.4 -quiet -walout - >/dev/null
+
 clean:
-	rm -f BENCH_obs.json BENCH_shard.json BENCH_partition.json
+	rm -f BENCH_obs.json BENCH_shard.json BENCH_partition.json BENCH_wal.json

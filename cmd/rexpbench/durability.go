@@ -1,0 +1,188 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"rexptree"
+)
+
+// The durability-bench mode measures what crash safety costs: the same
+// single-tree update workload is driven against a file-backed index
+// under each durability policy —
+//
+//   - none:      the legacy flush-per-operation path, no WAL;
+//   - batched:   WAL appended per operation, fsynced on a timer, so a
+//     crash loses at most the last interval;
+//   - on-commit: WAL fsynced before every operation (or batch) returns,
+//     so no acknowledged update is ever lost.
+//
+// Each run is a fresh index in a temp directory; reported numbers are
+// sustained update (and batched-update) throughput over the -duration
+// window, plus the WAL traffic the policy generated.  The JSON report
+// lands in -walout.
+
+// durabilityConfig echoes the benchmark parameters into the JSON.
+type durabilityConfig struct {
+	Objects     int     `json:"objects"`
+	DurationSec float64 `json:"duration_sec"`
+	BatchSize   int     `json:"batch_size"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Seed        int64   `json:"seed"`
+}
+
+// durabilityResult is one policy's measurement.
+type durabilityResult struct {
+	UpdateOpsPerSec float64 `json:"update_ops_per_sec"`
+	BatchRepPerSec  float64 `json:"batched_reports_per_sec"`
+	WALAppends      uint64  `json:"wal_appends"`
+	WALBytes        uint64  `json:"wal_bytes"`
+	WALFsyncs       uint64  `json:"wal_fsyncs"`
+	Checkpoints     uint64  `json:"checkpoints"`
+}
+
+// durabilityReport is rexpbench -durability's JSON output.
+type durabilityReport struct {
+	Config   durabilityConfig  `json:"config"`
+	None     durabilityResult  `json:"none"`
+	Batched  durabilityResult  `json:"batched"`
+	OnCommit durabilityResult  `json:"on_commit"`
+	Relative map[string]string `json:"relative_update_throughput"`
+}
+
+// durabilityWorkload yields an endless stream of single-object
+// re-reports over a fixed population.
+func durabilityWorkload(objects int, seed int64) func(now float64) (uint32, rexptree.Point) {
+	rng := rand.New(rand.NewSource(seed))
+	return func(now float64) (uint32, rexptree.Point) {
+		id := uint32(rng.Intn(objects) + 1)
+		return id, rexptree.Point{
+			Pos:     rexptree.Vec{rng.Float64() * 1000, rng.Float64() * 1000},
+			Vel:     rexptree.Vec{rng.Float64()*2 - 1, rng.Float64()*2 - 1},
+			Time:    now,
+			Expires: now + 600,
+		}
+	}
+}
+
+// benchDurability loads and measures one policy on a fresh index file.
+func benchDurability(dir string, policy rexptree.Durability, objects, batchSize int,
+	durationSec float64, seed int64) (durabilityResult, error) {
+	var res durabilityResult
+	opts := rexptree.DefaultOptions()
+	opts.Path = filepath.Join(dir, "bench-"+policy.String()+".rexp")
+	opts.Durability = policy
+	tr, err := rexptree.Open(opts)
+	if err != nil {
+		return res, err
+	}
+	defer tr.Close()
+
+	next := durabilityWorkload(objects, seed)
+	now := 0.0
+	for i := 0; i < objects; i++ {
+		id, p := next(now)
+		if err := tr.Update(id, p, now); err != nil {
+			return res, err
+		}
+	}
+	base := tr.Metrics()
+
+	// Phase 1: single-report updates.
+	deadline := time.Now().Add(time.Duration(durationSec * float64(time.Second) / 2))
+	ops := 0
+	for time.Now().Before(deadline) {
+		now += 0.001
+		id, p := next(now)
+		if err := tr.Update(id, p, now); err != nil {
+			return res, err
+		}
+		ops++
+	}
+	res.UpdateOpsPerSec = float64(ops) / (durationSec / 2)
+
+	// Phase 2: batched updates (one durability point per batch).
+	deadline = time.Now().Add(time.Duration(durationSec * float64(time.Second) / 2))
+	reports := 0
+	batch := make([]rexptree.Report, batchSize)
+	for time.Now().Before(deadline) {
+		now += 0.001
+		for i := range batch {
+			id, p := next(now)
+			batch[i] = rexptree.Report{ID: id, Point: p}
+		}
+		if err := tr.UpdateBatch(batch, now); err != nil {
+			return res, err
+		}
+		reports += len(batch)
+	}
+	res.BatchRepPerSec = float64(reports) / (durationSec / 2)
+
+	m := tr.Metrics().Sub(base)
+	res.WALAppends = m.WALAppends
+	res.WALBytes = m.WALBytes
+	res.WALFsyncs = m.WALFsyncs
+	res.Checkpoints = m.Checkpoints
+	return res, nil
+}
+
+func runDurabilityBench(objects, batchSize int, durationSec float64, seed int64, out string, progress func(string)) error {
+	dir, err := os.MkdirTemp("", "rexpbench-wal-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	report := durabilityReport{
+		Config: durabilityConfig{
+			Objects:     objects,
+			DurationSec: durationSec,
+			BatchSize:   batchSize,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Seed:        seed,
+		},
+		Relative: map[string]string{},
+	}
+	for _, p := range []struct {
+		policy rexptree.Durability
+		dst    *durabilityResult
+	}{
+		{rexptree.DurabilityNone, &report.None},
+		{rexptree.DurabilityBatched, &report.Batched},
+		{rexptree.DurabilityOnCommit, &report.OnCommit},
+	} {
+		progress(fmt.Sprintf("measuring durability=%s", p.policy))
+		res, err := benchDurability(dir, p.policy, objects, batchSize, durationSec, seed)
+		if err != nil {
+			return fmt.Errorf("durability %s: %w", p.policy, err)
+		}
+		*p.dst = res
+	}
+	if report.None.UpdateOpsPerSec > 0 {
+		report.Relative["batched"] = fmt.Sprintf("%.3f", report.Batched.UpdateOpsPerSec/report.None.UpdateOpsPerSec)
+		report.Relative["on-commit"] = fmt.Sprintf("%.3f", report.OnCommit.UpdateOpsPerSec/report.None.UpdateOpsPerSec)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("durability bench: none %.0f ops/s, batched %.0f ops/s (%s rel), on-commit %.0f ops/s (%s rel) -> %s\n",
+		report.None.UpdateOpsPerSec,
+		report.Batched.UpdateOpsPerSec, report.Relative["batched"],
+		report.OnCommit.UpdateOpsPerSec, report.Relative["on-commit"], out)
+	return nil
+}

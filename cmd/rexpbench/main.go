@@ -58,17 +58,23 @@ func main() {
 		partBench = flag.Bool("partitionbench", false, "run the shard-partitioning comparison (hash vs speed bands) instead of figure replay")
 		partOut   = flag.String("partout", "BENCH_partition.json", "output file for the partition report; - for stdout (-partitionbench mode)")
 		partition = flag.String("partition", "hash", "partition policy for the sharded configuration, hash or speed (-throughput mode)")
+
+		durBench  = flag.Bool("durability", false, "run the durability-policy comparison (none vs batched vs on-commit WAL) instead of figure replay")
+		durOut    = flag.String("walout", "BENCH_wal.json", "output file for the durability report; - for stdout (-durability mode)")
+		batchSize = flag.Int("batch", 100, "reports per UpdateBatch in the durability bench's batched phase (-durability mode)")
 	)
 	flag.Parse()
 
-	if *throughput || *partBench {
+	if *throughput || *partBench || *durBench {
 		progress := func(line string) {
 			if !*quiet {
 				fmt.Fprintln(os.Stderr, line)
 			}
 		}
 		var err error
-		if *partBench {
+		if *durBench {
+			err = runDurabilityBench(*objects, *batchSize, *duration, *seed, *durOut, progress)
+		} else if *partBench {
 			err = runPartitionBench(*objects, *shards, *workers, *duration, *ioLat, *seed, *partOut, progress)
 		} else {
 			var policy rexptree.PartitionPolicy

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	rexptree "rexptree"
+)
+
+// buildTool compiles this command into a temp dir and returns the
+// binary path, so the tests exercise the real CLI surface: flag
+// parsing, exit codes and output format.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "tool")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// makeIndex builds a small durable index at path and closes it cleanly.
+func makeIndex(t *testing.T, path string) {
+	t.Helper()
+	opts := rexptree.DefaultOptions()
+	opts.Path = path
+	opts.Durability = rexptree.DurabilityOnCommit
+	tr, err := rexptree.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(1); i <= 300; i++ {
+		p := rexptree.Point{
+			Pos:     rexptree.Vec{float64(i % 37), float64(i % 53)},
+			Vel:     rexptree.Vec{1, -1},
+			Expires: 1e6,
+		}
+		if err := tr.Update(i, p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func run(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running %v: %v\n%s", args, err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+func TestCheckCleanFile(t *testing.T) {
+	bin := buildTool(t)
+	path := filepath.Join(t.TempDir(), "idx.rexp")
+	makeIndex(t, path)
+	out, code := run(t, bin, path)
+	if code != 0 {
+		t.Fatalf("exit %d on a healthy file\n%s", code, out)
+	}
+	for _, want := range []string{"format v2", "checksums: all pages verified", "invariants: ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckFlippedBit(t *testing.T) {
+	bin := buildTool(t)
+	path := filepath.Join(t.TempDir(), "idx.rexp")
+	makeIndex(t, path)
+
+	// Flip one bit in the payload of page 3 (well inside the file).
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pageSize, hdr = 4096, 8
+	off := int64(pageSize) + 3*int64(pageSize+hdr) + hdr + 1000
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x40
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out, code := run(t, bin, path)
+	if code != 1 {
+		t.Fatalf("exit %d on a corrupt file, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "page 3") {
+		t.Errorf("corruption report does not name page 3:\n%s", out)
+	}
+}
+
+func TestCheckUncleanRecoverable(t *testing.T) {
+	bin := buildTool(t)
+	path := filepath.Join(t.TempDir(), "idx.rexp")
+	opts := rexptree.DefaultOptions()
+	opts.Path = path
+	opts.Durability = rexptree.DurabilityOnCommit
+	tr, err := rexptree.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(1); i <= 300; i++ {
+		p := rexptree.Point{
+			Pos:     rexptree.Vec{float64(i % 37), float64(i % 53)},
+			Vel:     rexptree.Vec{1, -1},
+			Expires: 1e6,
+		}
+		if err := tr.Update(i, p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: abandon without Close.  The file stays dirty with a
+	// non-empty WAL; rexpcheck must call it recoverable, not corrupt.
+	tr.Abandon()
+
+	out, code := run(t, bin, path)
+	if code != 0 {
+		t.Fatalf("exit %d on a recoverable file, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "recoverable") {
+		t.Errorf("output does not report recoverability:\n%s", out)
+	}
+}
+
+func TestCheckSharded(t *testing.T) {
+	bin := buildTool(t)
+	base := filepath.Join(t.TempDir(), "idx")
+	opts := rexptree.ShardedOptions{Options: rexptree.DefaultOptions(), Shards: 3}
+	opts.Path = base
+	opts.Durability = rexptree.DurabilityBatched
+	s, err := rexptree.OpenSharded(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(1); i <= 200; i++ {
+		p := rexptree.Point{Pos: rexptree.Vec{float64(i % 31), float64(i % 41)}, Expires: 1e6}
+		if err := s.Update(i, p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, code := run(t, bin, base)
+	if code != 0 {
+		t.Fatalf("exit %d on a healthy sharded index\n%s", code, out)
+	}
+	if !strings.Contains(out, "3 shards") || !strings.Contains(out, "durability batched") {
+		t.Errorf("manifest summary missing:\n%s", out)
+	}
+}
+
+func TestCheckUsageErrors(t *testing.T) {
+	bin := buildTool(t)
+	if _, code := run(t, bin); code != 2 {
+		t.Fatalf("no-args exit %d, want 2", code)
+	}
+	if _, code := run(t, bin, filepath.Join(t.TempDir(), "absent.rexp")); code != 2 {
+		t.Fatalf("missing-file exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,358 @@
+package rexptree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"rexptree/internal/core"
+	"rexptree/internal/geom"
+	"rexptree/internal/storage"
+	"rexptree/internal/wal"
+)
+
+// This file holds the crash-safety machinery of a file-backed Tree:
+// write-ahead logging of mutations, the checkpoint protocol, and the
+// recovery that Open runs after an unclean shutdown.
+//
+// The invariant everything rests on: between checkpoints, the page
+// file holds exactly the state of the last checkpoint.  The buffer
+// pool runs no-steal (dirty pages are never written back outside a
+// checkpoint), frees are deferred (no chain links are written and no
+// page freed since the last checkpoint is reused), and the only writes
+// that reach the file are zero-fills of pages that are free in the
+// checkpointed state.  A checkpoint first images every dirty page into
+// the WAL and fsyncs it; only then does it touch the page file — so a
+// crash at any instant leaves either a replayable base or a complete
+// image set, never a half-written state that matters.
+
+// WALPath returns the write-ahead-log path used for the index file at
+// path.
+func WALPath(path string) string { return path + ".wal" }
+
+// errNotDurable marks open failures that refuse a dirty file under
+// DurabilityNone.
+var errNotDurable = errors.New("rexptree: file was not closed cleanly; reopen with Options.Durability set to recover")
+
+// initWAL attaches the write-ahead log to a freshly created durable
+// tree (existing files go through recoverDurable, which wires its
+// own).  It runs the initial checkpoint before marking the file dirty
+// so the page file is a valid (empty) base before any logical record
+// is appended.
+func (tr *Tree) initWAL(opts Options) error {
+	w, err := wal.Create(tr.walPath)
+	if err != nil {
+		return err
+	}
+	w.SetMetrics(tr.m)
+	w.Hook = opts.testWALHook
+	tr.wal = w
+	tr.fs.SetDeferFrees(true)
+	if err := tr.checkpointLocked(); err != nil {
+		return err
+	}
+	return tr.fs.MarkDirty()
+}
+
+// walLogUpdate appends the report's logical record; called before the
+// mutation is applied (write-ahead ordering).
+func (tr *Tree) walLogUpdate(id uint32, p Point, now float64) error {
+	u := wal.Update{ID: id, Now: now, Time: p.Time, Expires: p.Expires}
+	copy(u.Pos[:], p.Pos[:])
+	copy(u.Vel[:], p.Vel[:])
+	tr.walBuf = wal.EncodeUpdate(tr.walBuf[:0], u)
+	if err := tr.wal.Append(tr.walBuf); err != nil {
+		return err
+	}
+	tr.m.WALAppends.Inc()
+	return nil
+}
+
+// walLogDelete appends the deletion's logical record.
+func (tr *Tree) walLogDelete(id uint32, now float64) error {
+	tr.walBuf = wal.EncodeDelete(tr.walBuf[:0], wal.Delete{ID: id, Now: now})
+	if err := tr.wal.Append(tr.walBuf); err != nil {
+		return err
+	}
+	tr.m.WALAppends.Inc()
+	return nil
+}
+
+// walCommit makes the operation durable per the configured policy and
+// checkpoints when the log or the pool has grown past its bound.  It
+// is the tail of every mutating public operation in WAL mode; the
+// exclusive lock must be held.
+func (tr *Tree) walCommit() error {
+	switch tr.durability {
+	case DurabilityOnCommit:
+		if err := tr.wal.Sync(); err != nil {
+			return err
+		}
+	case DurabilityBatched:
+		if err := tr.wal.Flush(); err != nil {
+			return err
+		}
+		if time.Since(tr.lastWALSync) >= tr.syncEvery {
+			if err := tr.wal.Sync(); err != nil {
+				return err
+			}
+			tr.lastWALSync = time.Now()
+		}
+	}
+	if tr.wal.Size() >= tr.ckptBytes || tr.t.PoolOverflow() >= tr.t.Config().BufferPages {
+		return tr.checkpointLocked()
+	}
+	return nil
+}
+
+// checkpointLocked runs the checkpoint protocol:
+//
+//  1. Stage the tree metadata into its buffered page.
+//  2. Image every dirty pool page into the WAL (CkptBegin, CkptPage...,
+//     CkptCommit) and fsync — the images are now durable.
+//  3. Flush the pool and sync the store (free chain, superblock, fsync)
+//     — the page file now holds the imaged state.
+//  4. Truncate the WAL.
+//
+// A crash before the image fsync leaves the old base plus a replayable
+// logical tail (the incomplete image set is ignored); a crash after it
+// leaves a complete image set that recovery re-applies idempotently,
+// no matter how torn the page file is.
+func (tr *Tree) checkpointLocked() error {
+	if err := tr.t.StageMeta(); err != nil {
+		return err
+	}
+	if err := tr.wal.Append([]byte{byte(wal.CkptBegin)}); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 5+storage.PageSize)
+	err := tr.t.DirtyPages(func(id storage.PageID, data []byte) error {
+		buf = append(buf[:0], byte(wal.CkptPage))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+		buf = append(buf, data...)
+		return tr.wal.Append(buf)
+	})
+	if err != nil {
+		return err
+	}
+	commit := []byte{byte(wal.CkptCommit), 0, 0, 0, 0}
+	binary.LittleEndian.PutUint32(commit[1:], uint32(tr.fs.PageCount()))
+	if err := tr.wal.Append(commit); err != nil {
+		return err
+	}
+	if err := tr.wal.Sync(); err != nil {
+		return err
+	}
+	if err := tr.t.FlushPool(); err != nil {
+		return err
+	}
+	if err := storage.SyncStore(tr.store); err != nil {
+		return err
+	}
+	if err := tr.wal.Reset(); err != nil {
+		return err
+	}
+	tr.m.Checkpoints.Inc()
+	return nil
+}
+
+// recoverDurable rebuilds the tree from the page file and the WAL
+// after an unclean shutdown.  fs is the raw file store (for image
+// application), store the wrapped store the tree will run on.  The
+// returned bool asks the caller to reinitialize from scratch: the
+// crash happened during the very first checkpoint of a fresh tree, so
+// no acknowledged state exists.
+func recoverDurable(opts Options, fs *storage.FileStore, store storage.Store, cfg core.Config, tr *Tree) (retry bool, err error) {
+	start := time.Now()
+	a, err := wal.Analyze(tr.walPath)
+	if err != nil {
+		return false, err
+	}
+
+	// Re-apply the last complete checkpoint's page images.  Idempotent:
+	// however often recovery itself is interrupted, the images win.
+	if a.Images != nil {
+		if a.Pages > fs.PageCount() {
+			fs.SetPageCount(a.Pages)
+		}
+		for id, img := range a.Images {
+			if err := fs.WriteImage(id, img); err != nil {
+				return false, err
+			}
+		}
+	}
+
+	t, err := core.Open(cfg, store)
+	if err != nil {
+		if a.Images == nil && len(a.Tail) == 0 && !errors.Is(err, storage.ErrChecksum) {
+			// The file was never checkpointed (crash during the fresh
+			// tree's first checkpoint): nothing was acknowledged, so
+			// recreate from scratch.  A checksum failure is never that
+			// case — it is corruption and must surface.
+			return true, nil
+		}
+		return false, fmt.Errorf("rexptree: recovery cannot open the checkpointed base: %w", err)
+	}
+	tr.t = t
+	tr.dims = t.Config().Dims
+
+	// Rebuild the free list from reachability: the on-disk chain is
+	// stale on a dirty file.  The walk reads — and checksum-verifies —
+	// every live page, so cold corruption fails recovery here instead
+	// of surfacing as a wrong answer later.
+	live, err := t.LivePages()
+	if err != nil {
+		return false, fmt.Errorf("rexptree: recovery failed verifying reachable pages: %w", err)
+	}
+	// Deferred frees must be on before the replay mutates anything:
+	// pages the replay frees are live in the checkpointed base, and
+	// reusing one would clobber the base this very recovery would need
+	// were it interrupted.
+	fs.SetDeferFrees(true)
+	fs.ResetFreeList(live)
+
+	// Rebuild the object table, then replay the logical tail.
+	if err := t.Records(func(oid uint32, p geom.MovingPoint) error {
+		tr.objects[oid] = p
+		return nil
+	}); err != nil {
+		return false, err
+	}
+	// The recovered clock is the latest timestamp in the log; any
+	// replayed report that expires at or before it is dead on arrival —
+	// queries would never see it and a later update would purge it — so
+	// the replay skips the insert half (the delete half still runs).
+	clock := t.Now()
+	for _, rec := range a.Tail {
+		switch rec.Kind {
+		case wal.RecUpdate:
+			if rec.Update.Now > clock {
+				clock = rec.Update.Now
+			}
+		case wal.RecDelete:
+			if rec.Delete.Now > clock {
+				clock = rec.Delete.Now
+			}
+		}
+	}
+	expireAware := cfg.ExpireAware
+	for _, rec := range a.Tail {
+		switch rec.Kind {
+		case wal.RecUpdate:
+			u := rec.Update
+			if old, ok := tr.objects[u.ID]; ok {
+				if _, err := t.Delete(u.ID, old, u.Now); err != nil {
+					return false, err
+				}
+				delete(tr.objects, u.ID)
+			}
+			var p Point
+			p.Time, p.Expires = u.Time, u.Expires
+			copy(p.Pos[:], u.Pos[:])
+			copy(p.Vel[:], u.Vel[:])
+			mp := toInternal(p, tr.dims)
+			if expireAware && mp.TExp <= clock {
+				// Short-lived data: the report expired before the crash
+				// was recovered; replaying it would only be purged again.
+				tr.m.RecoveryDroppedExpired.Inc()
+				continue
+			}
+			if err := t.Insert(u.ID, mp, u.Now); err != nil {
+				return false, err
+			}
+			tr.objects[u.ID] = t.Stored(mp)
+			tr.m.RecoveryReplayed.Inc()
+		case wal.RecDelete:
+			d := rec.Delete
+			if old, ok := tr.objects[d.ID]; ok {
+				delete(tr.objects, d.ID)
+				if _, err := t.Delete(d.ID, old, d.Now); err != nil {
+					return false, err
+				}
+			}
+			tr.m.RecoveryReplayed.Inc()
+		}
+	}
+
+	// Attach the WAL writer (appending after the analyzed records: if
+	// this recovery is itself interrupted the old tail stays
+	// replayable), checkpoint the recovered state and truncate the
+	// log, then stay dirty for the ongoing session.
+	w, err := wal.Create(tr.walPath)
+	if err != nil {
+		return false, err
+	}
+	w.SetMetrics(tr.m)
+	w.Hook = opts.testWALHook
+	tr.wal = w
+	if err := tr.checkpointLocked(); err != nil {
+		return false, fmt.Errorf("rexptree: recovery checkpoint failed: %w", err)
+	}
+	if err := fs.MarkDirty(); err != nil {
+		return false, err
+	}
+	tr.m.RecoveryDuration.Observe(time.Since(start))
+	return false, nil
+}
+
+// closeDurable runs the durable half of Close: final checkpoint, then
+// a clean superblock.  On checkpoint failure the file keeps its dirty
+// flag so the next open recovers instead of trusting a half-flushed
+// base.
+func (tr *Tree) closeDurable() error {
+	if err := tr.checkpointLocked(); err != nil {
+		tr.wal.Close()
+		tr.fs.CloseKeepDirty()
+		return err
+	}
+	err := tr.wal.Close()
+	// store.Close clears the dirty flag, persists the free chain and
+	// superblock, and fsyncs; its error must surface.
+	if cerr := tr.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Abandon drops the tree without checkpointing, flushing, or clearing
+// the dirty flag: the files are left exactly as a crash at this
+// instant would leave them (WAL bytes still buffered in memory are
+// lost).  It exists so crash-recovery tests and drills can produce a
+// genuine post-crash state in-process; every other caller wants Close.
+// Abandoning a non-durable tree just closes the store.  The tree must
+// not be used afterwards.
+func (tr *Tree) Abandon() {
+	tr.lock()
+	defer tr.mu.Unlock()
+	if tr.closed {
+		return
+	}
+	tr.closed = true
+	tr.closeErr = errors.New("rexptree: tree was abandoned")
+	if tr.wal != nil {
+		tr.wal.Abort()
+		tr.fs.CloseKeepDirty()
+		return
+	}
+	tr.store.Close()
+}
+
+// RemoveIndex deletes the index file at path together with its
+// write-ahead log (if any).  It is a convenience for tooling and
+// tests; a missing file is not an error.
+func RemoveIndex(path string) error {
+	err := os.Remove(path)
+	if errors.Is(err, os.ErrNotExist) {
+		err = nil
+	}
+	werr := os.Remove(WALPath(path))
+	if errors.Is(werr, os.ErrNotExist) {
+		werr = nil
+	}
+	if err == nil {
+		err = werr
+	}
+	return err
+}

@@ -100,6 +100,13 @@ type Config struct {
 	// dimension order of near-optimal bounding rectangles.
 	Seed int64
 
+	// DeferFlush puts the engine into write-ahead-logged buffering:
+	// operations do not flush the pool (finishOp is a no-op) and the
+	// pool never steals dirty frames, so the store only changes at an
+	// explicit checkpoint (FlushPool) and stays replayable from the
+	// last checkpoint until then.
+	DeferFlush bool
+
 	// Metrics, when non-nil, attaches the observability registry of
 	// internal/obs: the engine counts buffer traffic, ChooseSubtree
 	// descents, node visits, splits, forced reinserts, condensing and

@@ -44,6 +44,17 @@ func (t *Tree) initMeta() error {
 // Sync writes the tree's metadata and flushes all dirty pages, making
 // the underlying store self-contained.
 func (t *Tree) Sync() error {
+	if err := t.StageMeta(); err != nil {
+		return err
+	}
+	return t.bp.Flush()
+}
+
+// StageMeta encodes the tree's metadata into its buffered page and
+// marks it dirty without flushing the pool.  The checkpoint protocol
+// uses it so the metadata is part of the dirty-page image set instead
+// of a separate write.
+func (t *Tree) StageMeta() error {
 	buf, err := t.bp.Get(metaPage)
 	if err != nil {
 		return err
@@ -76,10 +87,33 @@ func (t *Tree) Sync() error {
 		binary.LittleEndian.PutUint32(buf[off:], uint32(n))
 		off += 4
 	}
-	if err := t.bp.MarkDirty(metaPage); err != nil {
-		return err
-	}
-	return t.bp.Flush()
+	return t.bp.MarkDirty(metaPage)
+}
+
+// FlushPool writes every dirty buffered page to the store.
+func (t *Tree) FlushPool() error { return t.bp.Flush() }
+
+// DirtyPages calls fn for each dirty buffered page in ascending page
+// order (see storage.BufferPool.DirtyPages).
+func (t *Tree) DirtyPages(fn func(storage.PageID, []byte) error) error {
+	return t.bp.DirtyPages(fn)
+}
+
+// PoolOverflow returns how many buffered pages exceed the pool's
+// capacity (non-zero only under the no-steal policy of DeferFlush).
+func (t *Tree) PoolOverflow() int { return t.bp.Overflow() }
+
+// LivePages returns the set of pages reachable from the tree: the
+// metadata page plus every node.  Walking decodes (and therefore
+// checksum-verifies) each page.  Recovery uses the set to rebuild the
+// free list of an uncleanly closed store.
+func (t *Tree) LivePages() (map[storage.PageID]bool, error) {
+	live := map[storage.PageID]bool{metaPage: true}
+	err := t.walk(t.root, func(n *node) error {
+		live[n.id] = true
+		return nil
+	})
+	return live, err
 }
 
 // Open loads a tree previously built over store and Synced.  cfg must

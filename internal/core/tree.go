@@ -69,6 +69,9 @@ func newTreeShell(cfg Config, store storage.Store) *Tree {
 	if t.met != nil {
 		t.bp.SetMetrics(t.met)
 	}
+	if cfg.DeferFlush {
+		t.bp.SetNoSteal(true)
+	}
 	return t
 }
 
@@ -506,7 +509,14 @@ func (t *Tree) purgeNode(n *node) error {
 
 // finishOp flushes dirty pages, implementing the paper's write-back
 // policy: nodes modified during an operation are written at its end.
-func (t *Tree) finishOp() error { return t.bp.Flush() }
+// Under DeferFlush the write-ahead log carries durability and dirty
+// pages stay buffered until the next checkpoint, so nothing is done.
+func (t *Tree) finishOp() error {
+	if t.cfg.DeferFlush {
+		return nil
+	}
+	return t.bp.Flush()
+}
 
 // setRoot repins the buffer frame of the root page.
 func (t *Tree) setRoot(id storage.PageID) error {

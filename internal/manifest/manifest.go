@@ -36,6 +36,14 @@ type Manifest struct {
 	SpeedBands []float64 `json:"speed_bands,omitempty"`
 	AutoTuned  bool      `json:"auto_tuned,omitempty"`
 
+	// Durability records the crash-safety policy the index was last
+	// opened with ("none", "on-commit", "batched"; empty in manifests
+	// predating the field).  It is informational — tooling reports it,
+	// and a reopen may choose a different policy — but it tells an
+	// operator (and rexpcheck) whether the shard files are expected to
+	// carry write-ahead logs.
+	Durability string `json:"durability,omitempty"`
+
 	// Generation numbers the current set of shard page files; see
 	// ShardPath.  Generation 0 is the legacy layout.
 	Generation int `json:"generation,omitempty"`
@@ -81,6 +89,11 @@ func (m Manifest) Validate() error {
 	}
 	if m.Generation < 0 {
 		return fmt.Errorf("manifest: invalid generation %d", m.Generation)
+	}
+	switch m.Durability {
+	case "", "none", "on-commit", "batched":
+	default:
+		return fmt.Errorf("manifest: unknown durability policy %q", m.Durability)
 	}
 	return nil
 }

@@ -256,6 +256,16 @@ type Metrics struct {
 	SpeedBandLo  GaugeFloat // lower |velocity| bound of the shard's speed band
 	SpeedBandHi  GaugeFloat // upper |velocity| bound of the shard's speed band
 
+	// Durability: write-ahead log, checkpoints and recovery (PR 5).
+	WALAppends             Counter   // logical records appended to the WAL
+	WALBytes               Counter   // bytes appended to the WAL (frames, including checkpoint images)
+	WALFsyncs              Counter   // fsyncs issued on the WAL file
+	Checkpoints            Counter   // checkpoints completed (pool flush + WAL truncate)
+	RecoveryReplayed       Counter   // logical WAL records replayed during recovery
+	RecoveryDroppedExpired Counter   // replayed inserts skipped because the entry had already expired
+	ChecksumFailures       Counter   // page or superblock checksum mismatches detected
+	RecoveryDuration       Histogram // wall-clock duration of each recovery pass
+
 	// Offline reshard progress (internal/reshard, PR 4).  The phase
 	// gauge holds the reshard's current phase (1 scan, 2 route, 3 load,
 	// 4 verify, 5 commit; 0 idle/done).
@@ -388,6 +398,15 @@ type Snapshot struct {
 	SpeedBandLo  float64
 	SpeedBandHi  float64
 
+	WALAppends             uint64
+	WALBytes               uint64
+	WALFsyncs              uint64
+	Checkpoints            uint64
+	RecoveryReplayed       uint64
+	RecoveryDroppedExpired uint64
+	ChecksumFailures       uint64
+	RecoveryDuration       HistSnapshot
+
 	ReshardScanned uint64
 	ReshardRouted  uint64
 	ReshardLoaded  uint64
@@ -435,6 +454,14 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.Rerouted = m.Rerouted.Load()
 	s.SpeedBandLo = m.SpeedBandLo.Load()
 	s.SpeedBandHi = m.SpeedBandHi.Load()
+	s.WALAppends = m.WALAppends.Load()
+	s.WALBytes = m.WALBytes.Load()
+	s.WALFsyncs = m.WALFsyncs.Load()
+	s.Checkpoints = m.Checkpoints.Load()
+	s.RecoveryReplayed = m.RecoveryReplayed.Load()
+	s.RecoveryDroppedExpired = m.RecoveryDroppedExpired.Load()
+	s.ChecksumFailures = m.ChecksumFailures.Load()
+	s.RecoveryDuration = m.RecoveryDuration.Snapshot()
 	s.ReshardScanned = m.ReshardScanned.Load()
 	s.ReshardRouted = m.ReshardRouted.Load()
 	s.ReshardLoaded = m.ReshardLoaded.Load()
@@ -483,6 +510,14 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 	d.ShardVisits -= o.ShardVisits
 	d.ShardsPruned -= o.ShardsPruned
 	d.Rerouted -= o.Rerouted
+	d.WALAppends -= o.WALAppends
+	d.WALBytes -= o.WALBytes
+	d.WALFsyncs -= o.WALFsyncs
+	d.Checkpoints -= o.Checkpoints
+	d.RecoveryReplayed -= o.RecoveryReplayed
+	d.RecoveryDroppedExpired -= o.RecoveryDroppedExpired
+	d.ChecksumFailures -= o.ChecksumFailures
+	d.RecoveryDuration = s.RecoveryDuration.Sub(o.RecoveryDuration)
 	d.ReshardScanned -= o.ReshardScanned
 	d.ReshardRouted -= o.ReshardRouted
 	d.ReshardLoaded -= o.ReshardLoaded
@@ -530,6 +565,14 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 	d.ShardVisits += o.ShardVisits
 	d.ShardsPruned += o.ShardsPruned
 	d.Rerouted += o.Rerouted
+	d.WALAppends += o.WALAppends
+	d.WALBytes += o.WALBytes
+	d.WALFsyncs += o.WALFsyncs
+	d.Checkpoints += o.Checkpoints
+	d.RecoveryReplayed += o.RecoveryReplayed
+	d.RecoveryDroppedExpired += o.RecoveryDroppedExpired
+	d.ChecksumFailures += o.ChecksumFailures
+	d.RecoveryDuration = s.RecoveryDuration.Add(o.RecoveryDuration)
 	d.ReshardScanned += o.ReshardScanned
 	d.ReshardRouted += o.ReshardRouted
 	d.ReshardLoaded += o.ReshardLoaded

@@ -56,6 +56,13 @@ var families = []promFamily{
 	{"_query_shard_visits_total", "counter", "Shards actually searched by front-end queries.", cv(func(s *Snapshot) uint64 { return s.ShardVisits })},
 	{"_query_shards_pruned_total", "counter", "Shards skipped because the query missed their summary.", cv(func(s *Snapshot) uint64 { return s.ShardsPruned })},
 	{"_partition_rerouted_total", "counter", "Objects moved between shards on a speed-band change.", cv(func(s *Snapshot) uint64 { return s.Rerouted })},
+	{"_wal_appends_total", "counter", "Logical records appended to the write-ahead log.", cv(func(s *Snapshot) uint64 { return s.WALAppends })},
+	{"_wal_bytes_total", "counter", "Bytes appended to the write-ahead log, including checkpoint images.", cv(func(s *Snapshot) uint64 { return s.WALBytes })},
+	{"_wal_fsyncs_total", "counter", "Fsyncs issued on the write-ahead log file.", cv(func(s *Snapshot) uint64 { return s.WALFsyncs })},
+	{"_checkpoints_total", "counter", "Checkpoints completed (pool flush, superblock sync, WAL truncate).", cv(func(s *Snapshot) uint64 { return s.Checkpoints })},
+	{"_recovery_replayed_total", "counter", "Logical WAL records replayed during recovery.", cv(func(s *Snapshot) uint64 { return s.RecoveryReplayed })},
+	{"_recovery_dropped_expired_total", "counter", "Replayed inserts skipped because the entry had already expired.", cv(func(s *Snapshot) uint64 { return s.RecoveryDroppedExpired })},
+	{"_checksum_failures_total", "counter", "Page or superblock checksum mismatches detected.", cv(func(s *Snapshot) uint64 { return s.ChecksumFailures })},
 	{"_reshard_entries_scanned_total", "counter", "Leaf entries read from the source shards by the offline reshard.", cv(func(s *Snapshot) uint64 { return s.ReshardScanned })},
 	{"_reshard_entries_routed_total", "counter", "Live entries routed to a target shard by the offline reshard.", cv(func(s *Snapshot) uint64 { return s.ReshardRouted })},
 	{"_reshard_entries_loaded_total", "counter", "Entries bulk-loaded into target shards by the offline reshard.", cv(func(s *Snapshot) uint64 { return s.ReshardLoaded })},
@@ -108,6 +115,11 @@ func WriteSnapshotPrefix(w io.Writer, s Snapshot, prefix string) error {
 	writeHist(bw, name, `mode="read"`, &s.LockWaitRead)
 	writeHist(bw, name, `mode="write"`, &s.LockWaitWrite)
 
+	name = prefix + "_recovery_duration_seconds"
+	bw.WriteString("# HELP " + name + " Wall-clock duration of WAL recovery passes.\n")
+	bw.WriteString("# TYPE " + name + " histogram\n")
+	writeHist(bw, name, "", &s.RecoveryDuration)
+
 	name = prefix + "_op_errors_total"
 	bw.WriteString("# HELP " + name + " Public operations that returned an error.\n")
 	bw.WriteString("# TYPE " + name + " counter\n")
@@ -131,8 +143,8 @@ func WriteSnapshotPrefix(w io.Writer, s Snapshot, prefix string) error {
 	return bw.Flush()
 }
 
-// writeHist writes one labelled histogram series: the cumulative
-// buckets, the sum and the count.
+// writeHist writes one histogram series: the cumulative buckets, the
+// sum and the count.  label may be empty for an unlabelled series.
 func writeHist(bw *bufio.Writer, name, label string, h *HistSnapshot) {
 	var cum uint64
 	for i := 0; i < NumBuckets; i++ {
@@ -143,25 +155,32 @@ func writeHist(bw *bufio.Writer, name, label string, h *HistSnapshot) {
 		}
 		bw.WriteString(name)
 		bw.WriteString("_bucket{")
-		bw.WriteString(label)
-		bw.WriteString(",le=\"")
+		if label != "" {
+			bw.WriteString(label)
+			bw.WriteByte(',')
+		}
+		bw.WriteString("le=\"")
 		bw.WriteString(le)
 		bw.WriteString("\"} ")
 		bw.WriteString(strconv.FormatUint(cum, 10))
 		bw.WriteByte('\n')
 	}
-	bw.WriteString(name)
-	bw.WriteString("_sum{")
-	bw.WriteString(label)
-	bw.WriteString("} ")
-	bw.WriteString(formatFloat(h.SumSeconds))
-	bw.WriteByte('\n')
-	bw.WriteString(name)
-	bw.WriteString("_count{")
-	bw.WriteString(label)
-	bw.WriteString("} ")
-	bw.WriteString(strconv.FormatUint(h.Count, 10))
-	bw.WriteByte('\n')
+	for _, suffix := range [2]string{"_sum", "_count"} {
+		bw.WriteString(name)
+		bw.WriteString(suffix)
+		if label != "" {
+			bw.WriteString("{")
+			bw.WriteString(label)
+			bw.WriteString("}")
+		}
+		bw.WriteByte(' ')
+		if suffix == "_sum" {
+			bw.WriteString(formatFloat(h.SumSeconds))
+		} else {
+			bw.WriteString(strconv.FormatUint(h.Count, 10))
+		}
+		bw.WriteByte('\n')
+	}
 }
 
 // ContentType is the Prometheus text exposition content type.

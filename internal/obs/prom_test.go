@@ -48,6 +48,14 @@ func goldenSnapshot() Snapshot {
 	m.Rerouted.Add(33)
 	m.SpeedBandLo.Set(0.5)
 	m.SpeedBandHi.Set(2)
+	m.WALAppends.Add(5000)
+	m.WALBytes.Add(320000)
+	m.WALFsyncs.Add(48)
+	m.Checkpoints.Add(7)
+	m.RecoveryReplayed.Add(130)
+	m.RecoveryDroppedExpired.Add(21)
+	m.ChecksumFailures.Add(1)
+	m.RecoveryDuration.Observe(4 * time.Millisecond)
 	m.ReshardScanned.Add(10000)
 	m.ReshardRouted.Add(9500)
 	m.ReshardLoaded.Add(9500)

@@ -2,7 +2,9 @@ package storage
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"rexptree/internal/obs"
@@ -54,6 +56,7 @@ type BufferPool struct {
 	mu       sync.Mutex
 	store    Store
 	capacity int
+	noSteal  bool
 	frames   map[PageID]*frame
 	lru      *list.List // front = most recently used; unpinned frames only
 	stats    Stats
@@ -106,15 +109,31 @@ func (bp *BufferPool) touch(f *frame) {
 	}
 }
 
+// errNoCleanFrame reports that a no-steal eviction pass found only
+// dirty (or pinned) frames; the pool overflows instead of stealing.
+var errNoCleanFrame = errors.New("storage: no clean frame to evict")
+
 // evictOne writes back and drops the least recently used unpinned
-// frame.  It returns an error if every frame is pinned.
+// frame.  It returns an error if every frame is pinned.  Under the
+// no-steal policy dirty frames are never evicted — a dirty page may
+// only reach the store through an explicit Flush, so the on-disk state
+// stays exactly the last checkpoint's; if no clean frame exists the
+// pool overflows (errNoCleanFrame).
 func (bp *BufferPool) evictOne() error {
 	e := bp.lru.Back()
+	if bp.noSteal {
+		for e != nil && e.Value.(*frame).dirty {
+			e = e.Prev()
+		}
+		if e == nil {
+			return errNoCleanFrame
+		}
+	}
 	if e == nil {
 		return fmt.Errorf("storage: buffer pool full of pinned pages (cap %d)", bp.capacity)
 	}
 	f := e.Value.(*frame)
-	if f.dirty {
+	if !bp.noSteal && f.dirty {
 		if err := bp.store.WritePage(f.id, f.data); err != nil {
 			return err
 		}
@@ -139,11 +158,57 @@ func (bp *BufferPool) evictOne() error {
 func (bp *BufferPool) admit(f *frame) error {
 	for len(bp.frames) >= bp.capacity {
 		if err := bp.evictOne(); err != nil {
+			if bp.noSteal && errors.Is(err, errNoCleanFrame) {
+				break
+			}
 			return err
 		}
 	}
 	bp.frames[f.id] = f
 	f.lruPos = bp.lru.PushFront(f)
+	return nil
+}
+
+// SetNoSteal selects the no-steal replacement policy (see evictOne).
+// The write-ahead-logged tree enables it so page writes only happen at
+// checkpoints.
+func (bp *BufferPool) SetNoSteal(v bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.noSteal = v
+}
+
+// Overflow returns how many resident pages exceed the configured
+// capacity — under no-steal, how much dirty state has piled up beyond
+// the budget.  The tree uses it as a checkpoint trigger.
+func (bp *BufferPool) Overflow() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if n := len(bp.frames) - bp.capacity; n > 0 {
+		return n
+	}
+	return 0
+}
+
+// DirtyPages calls fn for every dirty resident page in ascending page
+// order.  The slice passed to fn aliases the frame; fn must not retain
+// it.  Dirty flags are not cleared — Flush does that when the
+// checkpoint writes the pages to the store.
+func (bp *BufferPool) DirtyPages(fn func(id PageID, data []byte) error) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	ids := make([]PageID, 0, len(bp.frames))
+	for id, f := range bp.frames {
+		if f.dirty {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := fn(id, bp.frames[id].data); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -11,6 +11,20 @@ import (
 // fires.
 var ErrInjected = errors.New("storage: injected fault")
 
+// FaultKind selects what happens when a FaultStore's countdown trips
+// on a write.
+type FaultKind int
+
+const (
+	// FaultErr fails the operation with ErrInjected and leaves the
+	// wrapped store untouched (the default).
+	FaultErr FaultKind = iota
+	// FaultTornWrite models a crash mid-write: the first TornBytes of
+	// the page reach the wrapped store (the rest of the page is
+	// zeroed), and the operation still reports ErrInjected.
+	FaultTornWrite
+)
+
 // FaultStore wraps a Store and fails operations on demand.  It exists
 // for failure-injection tests: the index must surface storage errors
 // instead of corrupting state or panicking.
@@ -22,9 +36,16 @@ type FaultStore struct {
 	// counter is reset) fails.
 	FailAfter int
 
-	// FailReads / FailWrites restrict which operations can fail.
+	// FailReads / FailWrites / FailSyncs restrict which operations can
+	// fail (and count against the FailAfter countdown).
 	FailReads  bool
 	FailWrites bool
+	FailSyncs  bool
+
+	// Kind selects the failure behavior for page writes; TornBytes is
+	// the persisted prefix length for FaultTornWrite.
+	Kind      FaultKind
+	TornBytes int
 
 	ops int
 	met *obs.Metrics
@@ -80,10 +101,36 @@ func (s *FaultStore) ReadPage(id PageID, buf []byte) error {
 func (s *FaultStore) WritePage(id PageID, buf []byte) error {
 	if s.FailWrites {
 		if err := s.maybeFail("write"); err != nil {
+			if s.Kind == FaultTornWrite {
+				n := s.TornBytes
+				if n < 0 {
+					n = 0
+				}
+				if n > len(buf) {
+					n = len(buf)
+				}
+				torn := make([]byte, len(buf))
+				copy(torn, buf[:n])
+				// Best effort: the torn prefix lands in the store even
+				// though the operation reports failure, like a write
+				// interrupted by a crash.
+				s.Inner.WritePage(id, torn)
+			}
 			return err
 		}
 	}
 	return s.Inner.WritePage(id, buf)
+}
+
+// Sync implements Syncer: it forwards to the wrapped store, failing
+// first when sync faults are armed (FailSyncs).
+func (s *FaultStore) Sync() error {
+	if s.FailSyncs {
+		if err := s.maybeFail("sync"); err != nil {
+			return err
+		}
+	}
+	return SyncStore(s.Inner)
 }
 
 // Allocate implements Store.

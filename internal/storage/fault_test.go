@@ -126,3 +126,74 @@ func TestFaultStoreCountsTrips(t *testing.T) {
 		t.Errorf("trips: counter=%d events=%d, want 1/1", met.FaultTrips.Load(), trips)
 	}
 }
+
+// TestFaultStoreTornWrite checks the torn-write kind: the first
+// TornBytes bytes reach the inner store, the rest are zeroed, and the
+// op still reports the injected error and counts a trip.
+func TestFaultStoreTornWrite(t *testing.T) {
+	inner := NewMemStore()
+	fs := NewFaultStore(inner)
+	fs.Kind = FaultTornWrite
+	fs.TornBytes = 100
+	met := obs.New()
+	fs.SetMetrics(met)
+	id, _ := fs.Allocate()
+	buf := make([]byte, PageSize)
+	for i := range buf {
+		buf[i] = 0xAB
+	}
+	fs.Arm(1)
+	if err := fs.WritePage(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write = %v, want injected", err)
+	}
+	if met.FaultTrips.Load() != 1 {
+		t.Fatalf("trips = %d, want 1", met.FaultTrips.Load())
+	}
+	got := make([]byte, PageSize)
+	if err := inner.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got[i] != 0xAB {
+			t.Fatalf("byte %d = %#x, want 0xAB (prefix must persist)", i, got[i])
+		}
+	}
+	for i := 100; i < PageSize; i++ {
+		if got[i] != 0 {
+			t.Fatalf("byte %d = %#x, want 0 (suffix must be torn off)", i, got[i])
+		}
+	}
+	// TornBytes beyond the page is clamped: the whole write persists
+	// but the error still fires.
+	fs.TornBytes = PageSize + 99
+	fs.Arm(1)
+	if err := fs.WritePage(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("clamped torn write = %v, want injected", err)
+	}
+	if err := inner.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[PageSize-1] != 0xAB {
+		t.Fatal("clamped torn write lost the tail")
+	}
+}
+
+// TestFaultStoreSyncFail checks the sync fault: disarmed or without
+// FailSyncs the call forwards to the inner store, armed with FailSyncs
+// it trips.
+func TestFaultStoreSyncFail(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	if err := fs.Sync(); err != nil {
+		t.Fatalf("sync on MemStore inner: %v", err)
+	}
+	fs.Arm(1)
+	if err := fs.Sync(); err != nil {
+		t.Fatalf("sync without FailSyncs tripped: %v", err)
+	}
+	fs.Disarm()
+	fs.FailSyncs = true
+	fs.Arm(1)
+	if err := fs.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync = %v, want injected", err)
+	}
+}

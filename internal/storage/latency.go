@@ -52,6 +52,9 @@ func (s *LatencyStore) Allocate() (PageID, error) { return s.Inner.Allocate() }
 // Free implements Store.
 func (s *LatencyStore) Free(id PageID) error { return s.Inner.Free(id) }
 
+// Sync implements Syncer by forwarding to the wrapped store.
+func (s *LatencyStore) Sync() error { return SyncStore(s.Inner) }
+
 // Len implements Store.
 func (s *LatencyStore) Len() int { return s.Inner.Len() }
 

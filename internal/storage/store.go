@@ -50,6 +50,21 @@ type Store interface {
 	Close() error
 }
 
+// Syncer is implemented by stores that can force buffered state to
+// stable storage (a FileStore fsync; wrappers forward it).
+type Syncer interface {
+	Sync() error
+}
+
+// SyncStore syncs s when it (or anything it wraps) supports it, and is
+// a no-op otherwise — a MemStore has nothing to sync.
+func SyncStore(s Store) error {
+	if sy, ok := s.(Syncer); ok {
+		return sy.Sync()
+	}
+	return nil
+}
+
 // MemStore is an in-memory Store.  The zero value is ready to use.
 type MemStore struct {
 	pages [][]byte

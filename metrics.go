@@ -105,6 +105,19 @@ type Metrics struct {
 	ShardsPruned uint64 // shards skipped because the query missed their summary
 	Rerouted     uint64 // objects moved between shards on a speed-band change
 
+	// Durability counters (zero under DurabilityNone).
+	WALAppends             uint64 // logical records appended to the write-ahead log
+	WALBytes               uint64 // bytes appended to the WAL, including checkpoint images
+	WALFsyncs              uint64 // fsyncs issued on the WAL file
+	Checkpoints            uint64 // checkpoints completed
+	RecoveryReplayed       uint64 // logical WAL records replayed during recovery
+	RecoveryDroppedExpired uint64 // replayed inserts skipped as already expired
+	ChecksumFailures       uint64 // page or superblock checksum mismatches detected
+
+	// RecoveryDuration records the wall-clock time of each recovery
+	// pass run by Open/OpenSharded after an unclean shutdown.
+	RecoveryDuration LatencyMetrics
+
 	// Lock-wait histograms: how long public operations blocked before
 	// acquiring the tree's shared (read) or exclusive (write) lock.
 	LockWaitRead  LatencyMetrics
@@ -169,6 +182,14 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 	d.ShardVisits -= prev.ShardVisits
 	d.ShardsPruned -= prev.ShardsPruned
 	d.Rerouted -= prev.Rerouted
+	d.WALAppends -= prev.WALAppends
+	d.WALBytes -= prev.WALBytes
+	d.WALFsyncs -= prev.WALFsyncs
+	d.Checkpoints -= prev.Checkpoints
+	d.RecoveryReplayed -= prev.RecoveryReplayed
+	d.RecoveryDroppedExpired -= prev.RecoveryDroppedExpired
+	d.ChecksumFailures -= prev.ChecksumFailures
+	d.RecoveryDuration = m.RecoveryDuration.Sub(prev.RecoveryDuration)
 	d.LockWaitRead = m.LockWaitRead.Sub(prev.LockWaitRead)
 	d.LockWaitWrite = m.LockWaitWrite.Sub(prev.LockWaitWrite)
 	for i := range d.Ops {
@@ -236,8 +257,18 @@ func fromSnapshot(s obs.Snapshot) Metrics {
 		ShardVisits:    s.ShardVisits,
 		ShardsPruned:   s.ShardsPruned,
 		Rerouted:       s.Rerouted,
-		LockWaitRead:   fromHist(s.LockWaitRead),
-		LockWaitWrite:  fromHist(s.LockWaitWrite),
+
+		WALAppends:             s.WALAppends,
+		WALBytes:               s.WALBytes,
+		WALFsyncs:              s.WALFsyncs,
+		Checkpoints:            s.Checkpoints,
+		RecoveryReplayed:       s.RecoveryReplayed,
+		RecoveryDroppedExpired: s.RecoveryDroppedExpired,
+		ChecksumFailures:       s.ChecksumFailures,
+		RecoveryDuration:       fromHist(s.RecoveryDuration),
+
+		LockWaitRead:  fromHist(s.LockWaitRead),
+		LockWaitWrite: fromHist(s.LockWaitWrite),
 	}
 	for i := range s.Ops {
 		m.Ops[i] = OpMetrics{

@@ -1,10 +1,12 @@
 package rexptree
 
 import (
+	"fmt"
 	"time"
 
 	"rexptree/internal/core"
 	"rexptree/internal/hull"
+	"rexptree/internal/storage"
 )
 
 // BoundingKind selects how the bounding rectangles of internal index
@@ -44,6 +46,53 @@ func (k BoundingKind) internal() hull.Kind {
 	default:
 		return hull.KindConservative
 	}
+}
+
+// Durability selects how the index survives crashes (Options.
+// Durability).  Anything other than DurabilityNone requires a
+// file-backed tree (Options.Path) in the current checksummed page
+// format and maintains a write-ahead log next to the page file
+// (<path>.wal); reopening after a crash replays it automatically.
+type Durability int
+
+const (
+	// DurabilityNone is the legacy behavior: no WAL, dirty pages are
+	// flushed per operation, and only a clean Close makes the file
+	// reopenable.  A crash loses the tree.
+	DurabilityNone Durability = iota
+	// DurabilityOnCommit fsyncs the WAL before an operation returns
+	// (one fsync per UpdateBatch — group commit), so no acknowledged
+	// update is ever lost.
+	DurabilityOnCommit
+	// DurabilityBatched appends to the WAL on every operation but
+	// fsyncs on a timer (Options.SyncEvery): a crash loses at most the
+	// last interval's acknowledged updates.
+	DurabilityBatched
+)
+
+// String returns the policy's manifest spelling.
+func (d Durability) String() string {
+	switch d {
+	case DurabilityOnCommit:
+		return "on-commit"
+	case DurabilityBatched:
+		return "batched"
+	default:
+		return "none"
+	}
+}
+
+// ParseDurability parses the manifest/CLI spelling of a policy.
+func ParseDurability(s string) (Durability, error) {
+	switch s {
+	case "", "none":
+		return DurabilityNone, nil
+	case "on-commit":
+		return DurabilityOnCommit, nil
+	case "batched":
+		return DurabilityBatched, nil
+	}
+	return DurabilityNone, fmt.Errorf("rexptree: unknown durability %q (none, on-commit, batched)", s)
 }
 
 // Options configures a Tree.  The zero value is not valid; start from
@@ -115,6 +164,27 @@ type Options struct {
 	// SlowOp receives slow operations (name and duration).  Only used
 	// when SlowOpThreshold is positive.
 	SlowOp func(op string, d time.Duration)
+
+	// Durability selects the crash-safety policy; see the Durability
+	// constants.  Requires Path.
+	Durability Durability
+
+	// SyncEvery is the WAL fsync interval under DurabilityBatched
+	// (default 100ms).
+	SyncEvery time.Duration
+
+	// CheckpointBytes triggers a checkpoint when the WAL grows past
+	// this size (default 4 MiB).  Checkpoints also fire when the buffer
+	// pool overflows to twice its capacity.
+	CheckpointBytes int64
+
+	// testWrapStore, when non-nil, wraps the page store before the tree
+	// uses it; crash and fault tests inject FaultStores here.
+	testWrapStore func(storage.Store) storage.Store
+
+	// testWALHook is installed as the WAL writer's Hook; crash tests
+	// use it to stop the world at exact injection points.
+	testWALHook func(event string) error
 }
 
 // DefaultOptions returns the paper's recommended R^exp-tree
@@ -151,5 +221,12 @@ func (o Options) internal() core.Config {
 		Beta:        o.Beta,
 		FixedW:      o.FixedW,
 		Seed:        o.Seed,
+		DeferFlush:  o.Durability != DurabilityNone,
 	}
 }
+
+// durability defaults, applied where the tree wires up its WAL.
+const (
+	defaultSyncEvery       = 100 * time.Millisecond
+	defaultCheckpointBytes = 4 << 20
+)

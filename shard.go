@@ -99,6 +99,11 @@ type ShardedTree struct {
 	manifestPath string // "" when memory-backed
 	basePath     string // ShardedOptions.Path
 	gen          int    // shard-file generation (bumped by rexpreshard)
+	durability   Durability
+
+	closeMu  sync.Mutex // Close is idempotent; see Close
+	closed   bool
+	closeErr error
 
 	// Re-routing discipline of the speed policy: single-object updates
 	// hold rerouteMu shared plus the object's stripe (so the
@@ -210,26 +215,47 @@ func OpenSharded(opts ShardedOptions) (*ShardedTree, error) {
 		manifestPath: manifestPath,
 		basePath:     opts.Path,
 		gen:          gen,
+		durability:   opts.Durability,
 	}
-	for i := range s.shards {
-		so := opts.Options
-		if so.Path != "" {
-			so.Path = manifest.ShardPath(opts.Path, gen, i)
-		}
-		if perShard > 0 {
-			so.BufferPages = perShard
-		}
-		// Distinct seeds keep the shards' tie-breaking streams
-		// independent while remaining deterministic.
-		so.Seed = opts.Seed + int64(i)
-		t, err := Open(so)
-		if err != nil {
-			for _, open := range s.shards[:i] {
-				open.Close()
+	// The shards open concurrently: each open is independent, and after
+	// an unclean shutdown each shard replays its own write-ahead log, so
+	// recovery time is bounded by the largest shard, not the sum.
+	{
+		var wg sync.WaitGroup
+		errs := make([]error, opts.Shards)
+		for i := range s.shards {
+			so := opts.Options
+			if so.Path != "" {
+				so.Path = manifest.ShardPath(opts.Path, gen, i)
 			}
-			return nil, fmt.Errorf("rexptree: opening shard %d: %w", i, err)
+			if perShard > 0 {
+				so.BufferPages = perShard
+			}
+			// Distinct seeds keep the shards' tie-breaking streams
+			// independent while remaining deterministic.
+			so.Seed = opts.Seed + int64(i)
+			wg.Add(1)
+			go func(i int, so Options) {
+				defer wg.Done()
+				t, err := Open(so)
+				if err != nil {
+					errs[i] = fmt.Errorf("rexptree: opening shard %d: %w", i, err)
+					return
+				}
+				s.shards[i] = t
+			}(i, so)
 		}
-		s.shards[i] = t
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				for _, open := range s.shards {
+					if open != nil {
+						open.Close()
+					}
+				}
+				return nil, err
+			}
+		}
 	}
 	s.dims = s.shards[0].dims
 
@@ -278,6 +304,7 @@ func (s *ShardedTree) writeManifestFile() error {
 		Hash:       manifest.Hash,
 		Partition:  s.part.policy().String(),
 		Generation: s.gen,
+		Durability: s.durability.String(),
 	}
 	if sp, ok := s.part.(*speedPartitioner); ok {
 		man.SpeedBands, man.AutoTuned = sp.Bands()
@@ -414,21 +441,40 @@ func (s *ShardedTree) fanOut(fn func(i int, t *Tree) error) error {
 	return nil
 }
 
-// Close persists the shard manifest (including self-tuned speed bands)
-// and closes every shard, returning the first error.
+// Close persists the shard manifest (including self-tuned speed bands
+// and the durability policy) and closes every shard, returning the
+// first error.  Shard closes run concurrently — under a durability
+// policy each one is a checkpoint plus fsync, so like recovery the
+// cost is bounded by the largest shard.  Close is idempotent: repeated
+// calls return the first call's result.
 func (s *ShardedTree) Close() error {
-	var first error
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
+		return s.closeErr
+	}
+	s.closed = true
 	if s.manifestPath != "" {
 		if err := s.writeManifestFile(); err != nil {
-			first = err
+			s.closeErr = err
 		}
 	}
-	for _, t := range s.shards {
-		if err := t.Close(); err != nil && first == nil {
-			first = err
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.shards))
+	for i, t := range s.shards {
+		wg.Add(1)
+		go func(i int, t *Tree) {
+			defer wg.Done()
+			errs[i] = t.Close()
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && s.closeErr == nil {
+			s.closeErr = err
 		}
 	}
-	return first
+	return s.closeErr
 }
 
 // Update inserts the object's report into its shard, replacing any

@@ -11,6 +11,7 @@ import (
 	"rexptree/internal/geom"
 	"rexptree/internal/obs"
 	"rexptree/internal/storage"
+	"rexptree/internal/wal"
 )
 
 // Tree is a thread-safe moving-object index.  It keeps an in-memory
@@ -32,6 +33,19 @@ type Tree struct {
 	dims    int
 	objects map[uint32]geom.MovingPoint
 	m       *obs.Metrics // always non-nil; see Metrics and WriteMetrics
+
+	// Durability state; all nil/zero when Durability is DurabilityNone.
+	fs          *storage.FileStore // the unwrapped page file
+	wal         *wal.Writer        // nil means no WAL (legacy mode)
+	walPath     string
+	durability  Durability
+	syncEvery   time.Duration
+	ckptBytes   int64
+	lastWALSync time.Time
+	walBuf      []byte // reused encoding scratch
+
+	closed   bool
+	closeErr error
 }
 
 // lock takes the exclusive lock, recording the wait time.
@@ -52,27 +66,54 @@ func (tr *Tree) rlock() {
 // an existing index file (previously Closed cleanly), the stored tree
 // is reopened and its object table rebuilt; otherwise a fresh index is
 // created.
-func Open(opts Options) (*Tree, error) {
+//
+// With a durability policy set (Options.Durability), Open also detects
+// an unclean shutdown and recovers: it re-applies the last complete
+// checkpoint's page images, verifies every reachable page's checksum,
+// and replays the write-ahead log's logical tail.  Without one, a file
+// left behind by a crashed durable session is refused rather than
+// silently opened against a stale base.
+func Open(opts Options) (*Tree, error) { return open(opts, false) }
+
+// open implements Open; retried guards the one recursion that recreates
+// the files after a crash during a fresh tree's first checkpoint.
+func open(opts Options, retried bool) (*Tree, error) {
+	durable := opts.Durability != DurabilityNone
+	if durable && opts.Path == "" {
+		return nil, fmt.Errorf("rexptree: Options.Durability requires a file-backed tree (set Options.Path)")
+	}
+	m := newMetrics(opts)
 	var (
 		store    storage.Store
+		fs       *storage.FileStore
 		existing bool
 	)
 	if opts.Path != "" {
-		if _, err := os.Stat(opts.Path); err == nil {
-			fs, err := storage.OpenFileStore(opts.Path)
-			if err != nil {
-				return nil, err
-			}
-			store, existing = fs, true
+		var err error
+		if _, serr := os.Stat(opts.Path); serr == nil {
+			fs, err = storage.OpenFileStore(opts.Path)
+			existing = true
 		} else {
-			fs, err := storage.CreateFileStore(opts.Path)
-			if err != nil {
-				return nil, err
-			}
-			store = fs
+			fs, err = storage.CreateFileStore(opts.Path)
 		}
+		if err != nil {
+			return nil, err
+		}
+		fs.SetMetrics(m)
+		if durable && fs.Version() < 2 {
+			fs.CloseKeepDirty()
+			return nil, fmt.Errorf("rexptree: %s is a version-%d file without page checksums; migrate it with rexpreshard before enabling durability", opts.Path, fs.Version())
+		}
+		if fs.Dirty() && !durable {
+			fs.CloseKeepDirty()
+			return nil, fmt.Errorf("%w: %s", errNotDurable, opts.Path)
+		}
+		store = fs
 	} else {
 		store = storage.NewMemStore()
+	}
+	if opts.testWrapStore != nil {
+		store = opts.testWrapStore(store)
 	}
 	if opts.IOLatency > 0 {
 		store = &storage.LatencyStore{
@@ -81,9 +122,55 @@ func Open(opts Options) (*Tree, error) {
 			WriteLatency: opts.IOLatency,
 		}
 	}
-	m := newMetrics(opts)
 	cfg := opts.internal()
 	cfg.Metrics = m
+	tr := &Tree{
+		store:   store,
+		objects: make(map[uint32]geom.MovingPoint),
+		m:       m,
+	}
+	if durable {
+		tr.fs = fs
+		tr.walPath = WALPath(opts.Path)
+		tr.durability = opts.Durability
+		tr.syncEvery = opts.SyncEvery
+		if tr.syncEvery <= 0 {
+			tr.syncEvery = defaultSyncEvery
+		}
+		tr.ckptBytes = opts.CheckpointBytes
+		if tr.ckptBytes <= 0 {
+			tr.ckptBytes = defaultCheckpointBytes
+		}
+		tr.lastWALSync = time.Now()
+	}
+
+	// Every durable open of an existing file goes through recovery: it
+	// subsumes the clean case (empty WAL, nothing to replay) and is the
+	// only correct path for the unclean one.
+	if durable && existing {
+		retry, err := recoverDurable(opts, fs, store, cfg, tr)
+		if err != nil {
+			if tr.wal != nil {
+				tr.wal.Close()
+			}
+			fs.CloseKeepDirty()
+			return nil, err
+		}
+		if retry {
+			// Crash during the fresh tree's very first checkpoint:
+			// nothing was ever acknowledged, so recreate from scratch.
+			fs.CloseKeepDirty()
+			if retried {
+				return nil, fmt.Errorf("rexptree: cannot initialize %s: repeated first-checkpoint recovery", opts.Path)
+			}
+			if err := RemoveIndex(opts.Path); err != nil {
+				return nil, err
+			}
+			return open(opts, true)
+		}
+		return tr, nil
+	}
+
 	var (
 		t   *core.Tree
 		err error
@@ -97,13 +184,8 @@ func Open(opts Options) (*Tree, error) {
 		store.Close()
 		return nil, err
 	}
-	tr := &Tree{
-		t:       t,
-		store:   store,
-		dims:    t.Config().Dims,
-		objects: make(map[uint32]geom.MovingPoint),
-		m:       m,
-	}
+	tr.t = t
+	tr.dims = t.Config().Dims
 	if existing {
 		err := t.Records(func(oid uint32, p geom.MovingPoint) error {
 			tr.objects[oid] = p
@@ -111,6 +193,16 @@ func Open(opts Options) (*Tree, error) {
 		})
 		if err != nil {
 			store.Close()
+			return nil, err
+		}
+	}
+	if durable {
+		if err := tr.initWAL(opts); err != nil {
+			if tr.wal != nil {
+				tr.wal.Close()
+			}
+			fs.CloseKeepDirty()
+			RemoveIndex(opts.Path)
 			return nil, err
 		}
 	}
@@ -141,15 +233,29 @@ func newMetrics(opts Options) *obs.Metrics {
 }
 
 // Close persists the tree's metadata and releases the underlying
-// storage.  The tree must not be used afterwards.
+// storage.  For a durable tree it runs a final checkpoint, closes the
+// WAL and stamps the file clean; if the checkpoint fails the file
+// keeps its dirty flag so the next Open recovers.  Close is
+// idempotent: repeated calls return the first call's result.  The
+// tree must not be used for anything else afterwards.
 func (tr *Tree) Close() error {
 	tr.lock()
 	defer tr.mu.Unlock()
+	if tr.closed {
+		return tr.closeErr
+	}
+	tr.closed = true
+	if tr.wal != nil {
+		tr.closeErr = tr.closeDurable()
+		return tr.closeErr
+	}
 	if err := tr.t.Sync(); err != nil {
 		tr.store.Close()
+		tr.closeErr = err
 		return err
 	}
-	return tr.store.Close()
+	tr.closeErr = tr.store.Close()
+	return tr.closeErr
 }
 
 // Update inserts the object's report, replacing any previous report
@@ -167,11 +273,24 @@ func (tr *Tree) Update(id uint32, p Point, now float64) error {
 func (tr *Tree) update(id uint32, p Point, now float64) error {
 	tr.lock()
 	defer tr.mu.Unlock()
-	return tr.updateLocked(id, p, now)
+	if err := tr.updateLocked(id, p, now); err != nil {
+		return err
+	}
+	if tr.wal != nil {
+		return tr.walCommit()
+	}
+	return nil
 }
 
 // updateLocked applies one report; the exclusive lock must be held.
+// In WAL mode the record is appended (buffered) before the mutation —
+// the caller commits per the durability policy.
 func (tr *Tree) updateLocked(id uint32, p Point, now float64) error {
+	if tr.wal != nil {
+		if err := tr.walLogUpdate(id, p, now); err != nil {
+			return err
+		}
+	}
 	if old, ok := tr.objects[id]; ok {
 		if _, err := tr.t.Delete(id, old, now); err != nil {
 			return err
@@ -206,8 +325,17 @@ func (tr *Tree) delete(id uint32, now float64) (bool, error) {
 	if !ok {
 		return false, nil
 	}
+	if tr.wal != nil {
+		if err := tr.walLogDelete(id, now); err != nil {
+			return false, err
+		}
+	}
 	delete(tr.objects, id)
-	return tr.t.Delete(id, old, now)
+	removed, err := tr.t.Delete(id, old, now)
+	if err == nil && tr.wal != nil {
+		err = tr.walCommit()
+	}
+	return removed, err
 }
 
 // Timeslice reports the objects predicted to be inside r at time at
@@ -458,5 +586,9 @@ func (tr *Tree) updateBatch(batch []Report, now float64) error {
 		}
 	}
 	tr.m.BatchedUpdates.Add(uint64(len(batch)))
+	if tr.wal != nil {
+		// Group commit: the whole batch rides on one durability point.
+		return tr.walCommit()
+	}
 	return nil
 }
