@@ -9,9 +9,14 @@
 // A file left behind by a crash (dirty flag set or non-empty WAL) is
 // not an error: rexpcheck verifies that it is *recoverable* — the last
 // complete checkpoint's page images patch cleanly over the base and
-// the logical tail is well-formed — and reports it as such.  Pages
-// superseded by a checkpoint image are exempt from the checksum sweep,
-// exactly as recovery overwrites them without reading.
+// the logical tail is well-formed — and reports it as such.  On such a
+// file the checksum sweep mirrors exactly what recovery reads: pages
+// reachable from the image-patched view.  Pages superseded by a
+// checkpoint image are never read from disk, and pages free in the
+// checkpointed base may be legitimately torn (a crash mid zero-fill or
+// mid free-chain write, the only page-file writes allowed between
+// checkpoints); recovery rewrites them before reuse, so they are
+// reported as recoverable, not as corruption.
 //
 // Exit codes: 0 when every file is healthy (clean, or unclean but
 // recoverable), 1 when any integrity error is found (bad checksum,
@@ -26,6 +31,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -44,7 +50,7 @@ const (
 
 var (
 	quiet        = flag.Bool("q", false, "print only errors and the final verdict")
-	noInvariants = flag.Bool("no-invariants", false, "skip the tree-invariant walk (checksum and WAL checks only)")
+	noInvariants = flag.Bool("no-invariants", false, "skip the tree-invariant walk (checksum, reachability and WAL checks only)")
 )
 
 func main() {
@@ -121,24 +127,23 @@ func checkFile(path string) int {
 		state = "unclean (recovery pending)"
 	}
 	logf(path, "format v%d, %d pages (%d live), %s", fs.Version(), fs.PageCount(), fs.Len(), state)
-	if a.Records > 0 {
-		logf(path, "wal: %d records, %d checkpoint image pages, %d tail records to replay",
-			a.Records, len(a.Images), len(a.Tail))
+	if a.Records > 0 || a.Torn {
+		logf(path, "wal: %d records, %d checkpoint image pages, %d tail records to replay, torn tail: %v",
+			a.Records, len(a.Images), len(a.Tail), a.Torn)
+	}
+
+	if unclean {
+		return checkUnclean(path, fs, a)
 	}
 
 	status := exitOK
 
-	// Checksum sweep.  Pages covered by a checkpoint image are exempt
-	// when the file is unclean: recovery overwrites them without
-	// reading, so their on-disk bytes are dead.
+	// Checksum sweep.  On a clean file every slot — free pages included,
+	// since a clean close rewrote the free chain through the checksum
+	// layer — must verify.
 	if fs.Version() >= 2 {
 		bad := 0
 		for id := storage.PageID(0); int(id) < fs.PageCount(); id++ {
-			if unclean {
-				if _, patched := a.Images[id]; patched {
-					continue
-				}
-			}
 			if err := fs.VerifyPage(id); err != nil {
 				report(path, "page %d: %v", id, err)
 				bad++
@@ -155,19 +160,95 @@ func checkFile(path string) int {
 	if *noInvariants || status != exitOK {
 		return status
 	}
+	return checkTree(path, fs)
+}
 
-	// Tree-level verification over the recovered view: the base pages
-	// patched with the last checkpoint's images, strictly read-only.
+// checkUnclean scrubs a file a crash left behind.  The checksum sweep
+// mirrors what recovery reads: the tree is opened over the base patched
+// with the last complete checkpoint's images, and the reachability walk
+// checksum-verifies every live page (patched pages come from the
+// CRC-framed WAL, never from disk).  Pages outside the reachable set
+// are free in the checkpointed base; a torn one is the residue of a
+// crash mid zero-fill or mid free-chain write — recovery rewrites it
+// before any reuse, so it is reported as recoverable, not corrupt.
+func checkUnclean(path string, fs *storage.FileStore, a wal.Analysis) int {
 	view := storage.Store(fs)
-	if unclean && a.Images != nil {
+	if a.Images != nil {
 		view = &overlayStore{inner: fs, patches: a.Images, pages: max(fs.PageCount(), a.Pages)}
 	}
 	cfg, err := core.MetaConfig(view)
 	if err != nil {
+		return reportOpenFailure(path, a, "metadata", err)
+	}
+	t, err := core.Open(cfg, view)
+	if err != nil {
+		return reportOpenFailure(path, a, "tree", err)
+	}
+	live, err := t.LivePages()
+	if err != nil {
+		// The walk reads (and checksum-verifies) every reachable page;
+		// recovery performs the identical walk and would fail too.
+		report(path, "reachable pages: %v", err)
+		return exitIntegrity
+	}
+	logf(path, "checksums: %d reachable pages verified (%d patched by checkpoint images)",
+		len(live), len(a.Images))
+	if fs.Version() >= 2 {
+		torn := 0
+		for id := storage.PageID(0); int(id) < fs.PageCount(); id++ {
+			if live[id] {
+				continue
+			}
+			if _, patched := a.Images[id]; patched {
+				continue
+			}
+			if err := fs.VerifyPage(id); err != nil {
+				torn++
+			}
+		}
+		if torn > 0 {
+			logf(path, "checksums: %d free pages torn (recoverable; recovery rewrites them before reuse)", torn)
+		}
+	}
+	if !*noInvariants {
+		if now := t.Now(); now < 0 || now != now {
+			report(path, "clock: recovered time %v is invalid", now)
+			return exitIntegrity
+		}
+		if err := t.CheckInvariants(); err != nil {
+			report(path, "invariants: %v", err)
+			return exitIntegrity
+		}
+		logf(path, "invariants: ok (%d leaf entries, clock %.3f)", t.LeafEntries(), t.Now())
+	}
+	logf(path, "verdict: recoverable — reopen with a durability policy to replay %d tail records", len(a.Tail))
+	return exitOK
+}
+
+// reportOpenFailure classifies a failure to open the recovered view of
+// an unclean file, mirroring recovery: with no checkpoint images, no
+// logical tail and no checksum error, the crash happened during a fresh
+// tree's very first checkpoint — nothing was ever acknowledged and Open
+// reinitializes from scratch, so the file is recoverable.  Anything
+// else is corruption.
+func reportOpenFailure(path string, a wal.Analysis, stage string, err error) int {
+	if a.Images == nil && len(a.Tail) == 0 && !errors.Is(err, storage.ErrChecksum) {
+		logf(path, "%s: %v", stage, err)
+		logf(path, "verdict: recoverable — crash during the first checkpoint of a fresh tree; reopen reinitializes it")
+		return exitOK
+	}
+	report(path, "%s: %v", stage, err)
+	return exitIntegrity
+}
+
+// checkTree runs the tree-level verification of a clean file.
+func checkTree(path string, fs *storage.FileStore) int {
+	cfg, err := core.MetaConfig(fs)
+	if err != nil {
 		report(path, "metadata: %v", err)
 		return exitIntegrity
 	}
-	t, err := core.Open(cfg, view)
+	t, err := core.Open(cfg, fs)
 	if err != nil {
 		report(path, "tree: %v", err)
 		return exitIntegrity
@@ -181,10 +262,7 @@ func checkFile(path string) int {
 		return exitIntegrity
 	}
 	logf(path, "invariants: ok (%d leaf entries, clock %.3f)", t.LeafEntries(), t.Now())
-	if unclean {
-		logf(path, "verdict: recoverable — reopen with a durability policy to replay %d tail records", len(a.Tail))
-	}
-	return status
+	return exitOK
 }
 
 // rexpWALPath mirrors rexptree.WALPath without importing the root

@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	rexptree "rexptree"
+	"rexptree/internal/core"
+	"rexptree/internal/storage"
 )
 
 // buildTool compiles this command into a temp dir and returns the
@@ -137,6 +139,112 @@ func TestCheckUncleanRecoverable(t *testing.T) {
 	}
 	if !strings.Contains(out, "recoverable") {
 		t.Errorf("output does not report recoverability:\n%s", out)
+	}
+}
+
+// TestCheckUncleanTornFreePage: a page that is free in the checkpointed
+// base may be legitimately torn by the crash (mid zero-fill or mid
+// free-chain write — the only page-file writes between checkpoints).
+// Recovery never reads it and rewrites it before reuse, so rexpcheck
+// must call the file recoverable, not corrupt.
+func TestCheckUncleanTornFreePage(t *testing.T) {
+	bin := buildTool(t)
+	path := filepath.Join(t.TempDir(), "idx.rexp")
+	opts := rexptree.DefaultOptions()
+	opts.Path = path
+	opts.Durability = rexptree.DurabilityOnCommit
+	// Checkpoint aggressively so the delete-induced frees below land in
+	// the checkpointed base (frees are deferred to the next checkpoint).
+	opts.CheckpointBytes = 4096
+	tr, err := rexptree.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(1); i <= 400; i++ {
+		p := rexptree.Point{
+			Pos:     rexptree.Vec{float64(i % 37), float64(i % 53)},
+			Vel:     rexptree.Vec{1, -1},
+			Expires: 1e6,
+		}
+		if err := tr.Update(i, p, float64(i)*0.001); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint32(1); i <= 350; i++ {
+		if _, err := tr.Delete(i, 0.5+float64(i)*0.001); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Abandon()
+
+	// Find a page that is free in the checkpointed base: within the
+	// superblock's page count but outside the reachable set.
+	fs, err := storage.OpenFileStoreReadOnly(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := core.MetaConfig(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := core.Open(cfg, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := ct.LivePages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeID := -1
+	for id := 0; id < fs.PageCount(); id++ {
+		if !live[storage.PageID(id)] {
+			freeID = id
+			break
+		}
+	}
+	fs.Close()
+	if freeID < 0 {
+		t.Fatal("workload left no free page in the checkpointed base")
+	}
+
+	// Tear it: flip a payload byte without touching the stored CRC.
+	const pageSize, hdr = 4096, 8
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(pageSize) + int64(freeID)*int64(pageSize+hdr) + hdr + 321
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x40
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out, code := run(t, bin, path)
+	if code != 0 {
+		t.Fatalf("exit %d on a recoverable file with a torn free page, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "recoverable") {
+		t.Errorf("output does not report recoverability:\n%s", out)
+	}
+	if !strings.Contains(out, "free pages torn") {
+		t.Errorf("output does not mention the torn free page:\n%s", out)
+	}
+
+	// The file must indeed recover: reachability excludes the torn page.
+	re, err := rexptree.Open(opts)
+	if err != nil {
+		t.Fatalf("recovery open after torn free page: %v", err)
+	}
+	if err := re.Validate(); err != nil {
+		t.Fatalf("recovered tree invalid: %v", err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -56,6 +56,20 @@ func (tr *Tree) initWAL(opts Options) error {
 	return tr.fs.MarkDirty()
 }
 
+// walRollback drops the record appended at offset prev after the
+// mutation it logged failed: the caller observed an error, so the
+// record must never reach a commit point — a later successful
+// operation's fsync would otherwise make the failed operation durable
+// and recovery would replay it.  If the log cannot be rewound the tree
+// is poisoned: every further mutation (and the final checkpoint) is
+// refused, the file stays dirty, and the next open recovers from the
+// last durable state instead.
+func (tr *Tree) walRollback(prev int64, cause error) {
+	if err := tr.wal.Unwind(prev); err != nil {
+		tr.walPoison = fmt.Errorf("rexptree: write-ahead log holds the record of a failed operation (%v) and could not be rewound: %w", cause, err)
+	}
+}
+
 // walLogUpdate appends the report's logical record; called before the
 // mutation is applied (write-ahead ordering).
 func (tr *Tree) walLogUpdate(id uint32, p Point, now float64) error {
@@ -171,8 +185,24 @@ func recoverDurable(opts Options, fs *storage.FileStore, store storage.Store, cf
 		return false, err
 	}
 
-	// Re-apply the last complete checkpoint's page images.  Idempotent:
-	// however often recovery itself is interrupted, the images win.
+	// Cut off a torn tail before anything is appended: frames written
+	// after unscannable garbage would be invisible to every later Scan,
+	// so if this recovery crashed after its checkpoint the next open
+	// would miss that checkpoint and replay the old records over a page
+	// file the checkpoint already rewrote.  Only invalid bytes are
+	// dropped; the analyzed records all precede ValidPrefix.
+	if a.Torn {
+		if err := wal.TruncateTail(tr.walPath, a.ValidPrefix); err != nil {
+			return false, fmt.Errorf("rexptree: recovery failed truncating the WAL's torn tail: %w", err)
+		}
+	}
+
+	// Re-apply the last complete checkpoint's page images and make them
+	// durable.  Idempotent: however often recovery itself is
+	// interrupted, the images win.  The fsync matters: the recovery
+	// checkpoint below images only the pages the replay dirties, so
+	// these patches must already be on disk before that checkpoint can
+	// supersede the records they came from.
 	if a.Images != nil {
 		if a.Pages > fs.PageCount() {
 			fs.SetPageCount(a.Pages)
@@ -181,6 +211,9 @@ func recoverDurable(opts Options, fs *storage.FileStore, store storage.Store, cf
 			if err := fs.WriteImage(id, img); err != nil {
 				return false, err
 			}
+		}
+		if err := fs.Sync(); err != nil {
+			return false, err
 		}
 	}
 
@@ -276,10 +309,12 @@ func recoverDurable(opts Options, fs *storage.FileStore, store storage.Store, cf
 		}
 	}
 
-	// Attach the WAL writer (appending after the analyzed records: if
-	// this recovery is itself interrupted the old tail stays
-	// replayable), checkpoint the recovered state and truncate the
-	// log, then stay dirty for the ongoing session.
+	// Attach the WAL writer, appending directly after the valid prefix
+	// (the torn tail, if any, was truncated above): if this recovery is
+	// itself interrupted before its checkpoint commits, the old records
+	// stay replayable; once it commits, a later Scan reaches it and the
+	// old records are superseded.  Then checkpoint the recovered state,
+	// truncate the log, and stay dirty for the ongoing session.
 	w, err := wal.Create(tr.walPath)
 	if err != nil {
 		return false, err
@@ -302,6 +337,15 @@ func recoverDurable(opts Options, fs *storage.FileStore, store storage.Store, cf
 // flag so the next open recovers instead of trusting a half-flushed
 // base.
 func (tr *Tree) closeDurable() error {
+	if tr.walPoison != nil {
+		// The log may hold the record of a failed operation; syncing or
+		// checkpointing could make it durable.  Abort the WAL unflushed
+		// and keep the dirty flag: the next open recovers the last
+		// consistent state.
+		tr.wal.Abort()
+		tr.fs.CloseKeepDirty()
+		return tr.walPoison
+	}
 	if err := tr.checkpointLocked(); err != nil {
 		tr.wal.Close()
 		tr.fs.CloseKeepDirty()

@@ -11,6 +11,7 @@ import (
 
 	"rexptree/internal/manifest"
 	"rexptree/internal/storage"
+	"rexptree/internal/wal"
 )
 
 // The crash matrix.  Every test here drives the same deterministic op
@@ -622,6 +623,146 @@ func TestDurableRecoveryDropsExpired(t *testing.T) {
 	if err := re.Validate(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestDurableDoubleCrashTornTail drills the double-crash combination:
+// the first crash leaves a torn WAL tail (garbage after the valid
+// frames), then recovery itself crashes after its checkpoint's images
+// and page flush are durable but before the WAL is truncated.  The
+// recovery checkpoint must be reachable by the next scan — recovery
+// cuts the torn tail before appending — or the final open would replay
+// the old records over a page file the first recovery already rewrote.
+func TestDurableDoubleCrashTornTail(t *testing.T) {
+	ops := crashOps(crashOpsN, 37)
+	path := filepath.Join(t.TempDir(), "double.rexp")
+	tr, err := Open(durableOpts(path, DurabilityOnCommit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOps(t, tr, ops)
+	tr.Abandon()
+
+	// Torn tail: garbage bytes after the valid frames, as a crash
+	// mid-append leaves them.
+	f, err := os.OpenFile(WALPath(path), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := make([]byte, 64)
+	for i := range garbage {
+		garbage[i] = 0xAB
+	}
+	if _, err := f.Write(garbage); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// First recovery attempt dies between the checkpoint's image fsync
+	// and the WAL truncation: the pool flush and page-file sync already
+	// ran, so the page file holds the recovered state.
+	o := durableOpts(path, DurabilityOnCommit)
+	ctl := &walHookCtl{}
+	ctl.arm("reset", 0, errors.New("injected crash"))
+	o.testWALHook = ctl.hook
+	if _, err := Open(o); err == nil {
+		t.Fatal("recovery with a failing WAL truncate should fail")
+	}
+
+	// The recovery checkpoint must now be the log's last complete one.
+	a, err := wal.Analyze(WALPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Torn {
+		t.Fatal("WAL still ends in a torn tail after a recovery attempt")
+	}
+	if a.Images == nil {
+		t.Fatal("recovery checkpoint unreachable: no complete image set after the torn tail")
+	}
+	if len(a.Tail) != 0 {
+		t.Fatalf("%d logical records survive past the recovery checkpoint, want 0", len(a.Tail))
+	}
+
+	requireRecovered(t, path, ops, len(ops))
+}
+
+// TestDurableFailedMutationRolledBack: a mutation that fails after its
+// WAL record was appended must roll the record back — otherwise a later
+// successful operation's commit fsync makes it durable and recovery
+// replays an operation whose caller observed an error.
+func TestDurableFailedMutationRolledBack(t *testing.T) {
+	ops := crashOps(crashOpsN, 41)
+	path := filepath.Join(t.TempDir(), "rollback.rexp")
+	o := durableOpts(path, DurabilityOnCommit)
+	var fault *storage.FaultStore
+	o.testWrapStore = func(s storage.Store) storage.Store {
+		fault = &storage.FaultStore{Inner: s}
+		return fault
+	}
+	tr, err := Open(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := 200
+	applyOps(t, tr, ops[:m])
+
+	// Arm every storage operation: the next op that touches the store
+	// (a split's allocation, an evicted page's read) fails mid-mutation,
+	// after its record was appended.
+	fault.FailReads, fault.FailWrites = true, true
+	fault.Arm(1)
+	failedAt := -1
+	for i := m; i < len(ops); i++ {
+		prev := tr.wal.Size()
+		op := ops[i]
+		var err error
+		if op.del {
+			_, err = tr.Delete(op.id, op.now)
+		} else {
+			err = tr.Update(op.id, op.p, op.now)
+		}
+		if err != nil {
+			if !errors.Is(err, storage.ErrInjected) {
+				t.Fatalf("op %d failed with %v, want the injected fault", i, err)
+			}
+			if got := tr.wal.Size(); got != prev {
+				t.Fatalf("WAL is %d bytes after the failed op, want rollback to %d", got, prev)
+			}
+			failedAt = i
+			break
+		}
+	}
+	if failedAt < 0 {
+		t.Fatal("no operation tripped the armed fault")
+	}
+	fault.Disarm()
+
+	// One more acknowledged operation: its commit fsync is the moment
+	// the orphaned record would have become durable.
+	lastNow := crashFinalNow() + 1
+	last := crashOp{id: 9000, p: Point{
+		Pos: Vec{5, 5}, Vel: Vec{1, 1}, Time: lastNow, Expires: lastNow + 1000,
+	}, now: lastNow}
+	if err := tr.Update(last.id, last.p, last.now); err != nil {
+		t.Fatal(err)
+	}
+	tr.Abandon()
+
+	// The recovered index must hold every acknowledged op and nothing
+	// of the failed one.
+	re, err := Open(durableOpts(path, DurabilityOnCommit))
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer re.Close()
+	if err := re.Validate(); err != nil {
+		t.Fatalf("recovered tree invalid: %v", err)
+	}
+	refOps := append(append([]crashOp{}, ops[:failedAt]...), last)
+	ref := memReference(t, refOps)
+	requireSameFingerprint(t, fingerprintIndex(t, re, lastNow), fingerprintIndex(t, ref, lastNow), "rollback recovery")
 }
 
 // TestShardedDurableCrashRecovery kills every shard of a durable

@@ -19,11 +19,23 @@ const (
 	// FaultErr fails the operation with ErrInjected and leaves the
 	// wrapped store untouched (the default).
 	FaultErr FaultKind = iota
-	// FaultTornWrite models a crash mid-write: the first TornBytes of
-	// the page reach the wrapped store (the rest of the page is
-	// zeroed), and the operation still reports ErrInjected.
+	// FaultTornWrite models a crash mid-write: only a prefix of the
+	// write persists, and the operation still reports ErrInjected.
+	// When the wrapped store supports TornWriter (FileStore does) the
+	// tear is injected below the checksum layer — the first TornBytes
+	// of the encoded on-disk slot persist, the rest keeps its previous
+	// content, so the stored CRC genuinely mismatches.  Otherwise the
+	// first TornBytes of the page reach the wrapped store through the
+	// normal write path and the rest of the page is zeroed.
 	FaultTornWrite
 )
+
+// TornWriter is implemented by stores that can persist a raw slot
+// prefix without recomputing checksums, so an injected torn write
+// produces the same on-disk state a real one would.
+type TornWriter interface {
+	WritePageTorn(id PageID, buf []byte, n int) error
+}
 
 // FaultStore wraps a Store and fails operations on demand.  It exists
 // for failure-injection tests: the index must surface storage errors
@@ -102,19 +114,23 @@ func (s *FaultStore) WritePage(id PageID, buf []byte) error {
 	if s.FailWrites {
 		if err := s.maybeFail("write"); err != nil {
 			if s.Kind == FaultTornWrite {
-				n := s.TornBytes
-				if n < 0 {
-					n = 0
-				}
-				if n > len(buf) {
-					n = len(buf)
-				}
-				torn := make([]byte, len(buf))
-				copy(torn, buf[:n])
 				// Best effort: the torn prefix lands in the store even
 				// though the operation reports failure, like a write
 				// interrupted by a crash.
-				s.Inner.WritePage(id, torn)
+				if tw, ok := s.Inner.(TornWriter); ok {
+					tw.WritePageTorn(id, buf, s.TornBytes)
+				} else {
+					n := s.TornBytes
+					if n < 0 {
+						n = 0
+					}
+					if n > len(buf) {
+						n = len(buf)
+					}
+					torn := make([]byte, len(buf))
+					copy(torn, buf[:n])
+					s.Inner.WritePage(id, torn)
+				}
 			}
 			return err
 		}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"errors"
+	"path/filepath"
 	"testing"
 
 	"rexptree/internal/obs"
@@ -175,6 +176,57 @@ func TestFaultStoreTornWrite(t *testing.T) {
 	}
 	if got[PageSize-1] != 0xAB {
 		t.Fatal("clamped torn write lost the tail")
+	}
+}
+
+// TestFaultStoreTornWriteFileStore: over a FileStore the tear is
+// injected below the checksum layer, so the slot's stored CRC genuinely
+// mismatches its contents afterwards — the on-disk state a real torn
+// write leaves, which reads and the scrub must refuse.
+func TestFaultStoreTornWriteFileStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.rexp")
+	inner, err := CreateFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	id, err := inner.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := make([]byte, PageSize)
+	for i := range old {
+		old[i] = 0x11
+	}
+	if err := inner.WritePage(id, old); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := NewFaultStore(inner)
+	fs.Kind = FaultTornWrite
+	fs.TornBytes = 512
+	fs.Arm(1)
+	buf := make([]byte, PageSize)
+	for i := range buf {
+		buf[i] = 0xAB
+	}
+	if err := fs.WritePage(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write = %v, want injected", err)
+	}
+	if err := inner.VerifyPage(id); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("torn slot verifies (%v), want %v", err, ErrChecksum)
+	}
+	got := make([]byte, PageSize)
+	if err := inner.ReadPage(id, got); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("reading the torn slot = %v, want %v", err, ErrChecksum)
+	}
+	// A full rewrite heals the slot.
+	fs.Disarm()
+	if err := fs.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.VerifyPage(id); err != nil {
+		t.Fatalf("rewritten slot fails verification: %v", err)
 	}
 }
 

@@ -378,6 +378,40 @@ func (s *FileStore) WritePage(id PageID, buf []byte) error {
 	return s.writeRaw(id, buf)
 }
 
+// WritePageTorn persists only the first n bytes of the page's encoded
+// on-disk slot — checksum header included — leaving the rest of the
+// slot as it was: the state a page write torn by a crash leaves behind,
+// below the checksum layer, so the stored CRC genuinely mismatches the
+// contents.  Fault injection (FaultTornWrite) is the only intended
+// caller.  n is clamped to the slot size; the free check is skipped so
+// any allocated slot can be torn.
+func (s *FileStore) WritePageTorn(id PageID, buf []byte, n int) error {
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	if int(id) >= s.numPages {
+		return fmt.Errorf("%w: %d", ErrPageRange, id)
+	}
+	if n < 0 {
+		n = 0
+	}
+	if s.version < 2 {
+		if n > PageSize {
+			n = PageSize
+		}
+		_, err := s.f.WriteAt(buf[:n], s.offset(id))
+		return err
+	}
+	var slot [slotSizeV2]byte
+	copy(slot[pageHdrSize:], buf[:PageSize])
+	binary.LittleEndian.PutUint32(slot[0:], crc32.Checksum(slot[pageHdrSize:], castagnoli))
+	if n > slotSizeV2 {
+		n = slotSizeV2
+	}
+	_, err := s.f.WriteAt(slot[:n], s.offset(id))
+	return err
+}
+
 // writeImage writes a recovery page image, bypassing the free check:
 // the free list of an uncleanly closed file is not known until after
 // the images are applied and the reachable set rebuilt.

@@ -12,8 +12,10 @@
 //
 // Frames are length-prefixed and CRC32C-checksummed; a torn tail (a
 // short, bit-flipped or half-written last frame) terminates the scan
-// cleanly instead of corrupting replay.  After a successful checkpoint
-// the log is truncated to empty.
+// cleanly instead of corrupting replay, and Analyze reports it along
+// with the valid-prefix offset so recovery can cut it off before
+// appending (TruncateTail).  After a successful checkpoint the log is
+// truncated to empty.
 package wal
 
 import (
@@ -59,10 +61,6 @@ const (
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
-
-// ErrTornTail reports that the scan stopped at an incomplete or
-// corrupt trailing frame — the expected state after a crash mid-append.
-var ErrTornTail = errors.New("wal: torn tail")
 
 // Update is the decoded payload of a RecUpdate record.  Pos and Vel
 // are the public (report-time) coordinates; Now is the tree clock at
@@ -287,6 +285,25 @@ func (w *Writer) Reset() error {
 	return nil
 }
 
+// Unwind flushes the buffer and truncates the log back to off bytes,
+// dropping everything appended after that point.  The tree uses it to
+// roll back the record of a mutation that failed after its append: the
+// record was never acknowledged, so it must not survive to the next
+// commit point and be replayed by recovery.
+func (w *Writer) Unwind(off int64) error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(off); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	w.size = off
+	return nil
+}
+
 // Close flushes and closes the file without truncating it.
 func (w *Writer) Close() error {
 	err := w.bw.Flush()
@@ -320,29 +337,39 @@ func Scan(path string, fn func(Record) error) error {
 
 // ScanBytes scans an in-memory log image (see Scan).
 func ScanBytes(data []byte, fn func(Record) error) error {
-	for off := 0; off < len(data); {
+	_, _, err := scanFrames(data, fn)
+	return err
+}
+
+// scanFrames walks the framed records in data, calling fn for each
+// valid one.  It returns the byte offset just past the last valid
+// frame (the valid prefix) and whether unscannable bytes — a torn tail
+// — follow it.
+func scanFrames(data []byte, fn func(Record) error) (validEnd int64, torn bool, err error) {
+	off := 0
+	for off < len(data) {
 		if len(data)-off < frameHdrSize {
-			return nil // torn tail: partial header
+			return int64(off), true, nil // torn tail: partial header
 		}
 		n := int(binary.LittleEndian.Uint32(data[off:]))
 		want := binary.LittleEndian.Uint32(data[off+4:])
 		if n > maxPayload || len(data)-off-frameHdrSize < n {
-			return nil // torn tail: corrupt length or partial payload
+			return int64(off), true, nil // torn tail: corrupt length or partial payload
 		}
 		payload := data[off+frameHdrSize : off+frameHdrSize+n]
 		if crc32.Checksum(payload, castagnoli) != want {
-			return nil // torn tail: bit flip or half-written frame
+			return int64(off), true, nil // torn tail: bit flip or half-written frame
 		}
 		var rec Record
 		if err := decodePayload(payload, &rec); err != nil {
-			return nil // torn tail: undecodable payload
+			return int64(off), true, nil // torn tail: undecodable payload
 		}
 		if err := fn(rec); err != nil {
-			return err
+			return int64(off), false, err
 		}
 		off += frameHdrSize + n
 	}
-	return nil
+	return int64(off), false, nil
 }
 
 // Analysis summarizes a scanned log for recovery.
@@ -359,14 +386,30 @@ type Analysis struct {
 	// after the last complete checkpoint — or all of them when the log
 	// has no complete checkpoint.
 	Tail []Record
+	// ValidPrefix is the byte offset just past the last valid frame.
+	ValidPrefix int64
+	// Torn reports that unscannable bytes follow the valid prefix —
+	// the log ends in a torn tail, the expected state after a crash
+	// mid-append.  Appending past those bytes would make the new frames
+	// unreachable; truncate to ValidPrefix first (TruncateTail).
+	Torn bool
 }
 
 // Analyze scans the log at path and splits it into the last complete
-// checkpoint's images and the logical tail to replay.
+// checkpoint's images and the logical tail to replay, reporting the
+// valid prefix and whether a torn tail follows it.  A missing file
+// analyzes as empty.
 func Analyze(path string) (Analysis, error) {
 	var a Analysis
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return a, nil
+		}
+		return a, err
+	}
 	var open map[storage.PageID][]byte // images of an unclosed checkpoint
-	err := Scan(path, func(rec Record) error {
+	a.ValidPrefix, a.Torn, err = scanFrames(data, func(rec Record) error {
 		a.Records++
 		switch rec.Kind {
 		case CkptBegin:
@@ -390,4 +433,21 @@ func Analyze(path string) (Analysis, error) {
 		return nil
 	})
 	return a, err
+}
+
+// TruncateTail cuts the log at path to off bytes and fsyncs the
+// truncation.  Recovery uses it to drop a torn tail before attaching a
+// writer: frames appended after garbage would be unreachable by every
+// later Scan, so a crash during recovery would silently lose the
+// recovery checkpoint.
+func TruncateTail(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(off); err != nil {
+		return err
+	}
+	return f.Sync()
 }

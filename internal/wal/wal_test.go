@@ -229,6 +229,106 @@ func TestAnalyzeIncompleteCheckpointIgnored(t *testing.T) {
 	}
 }
 
+// TestAnalyzeReportsTornTail: Analyze must report where the valid
+// frame prefix ends and that garbage follows it, TruncateTail must cut
+// exactly there, and frames appended after the cut must be reachable
+// by a later scan — the property recovery's checkpoint depends on.
+func TestAnalyzeReportsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, EncodeUpdate(nil, testUpdate(1)), EncodeUpdate(nil, testUpdate(2)))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Torn || a.ValidPrefix != int64(len(clean)) {
+		t.Fatalf("clean log: torn=%v prefix=%d, want false/%d", a.Torn, a.ValidPrefix, len(clean))
+	}
+
+	garbage := append(append([]byte(nil), clean...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01, 0x02, 0x03)
+	if err := os.WriteFile(path, garbage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err = Analyze(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Torn || a.ValidPrefix != int64(len(clean)) || a.Records != 2 {
+		t.Fatalf("torn log: torn=%v prefix=%d records=%d, want true/%d/2", a.Torn, a.ValidPrefix, a.Records, len(clean))
+	}
+
+	if err := TruncateTail(path, a.ValidPrefix); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != int64(len(clean)) {
+		t.Fatalf("truncated log is %d bytes, want %d", st.Size(), len(clean))
+	}
+
+	// Frames appended after the cut follow the valid prefix and scan.
+	w2, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w2, EncodeDelete(nil, Delete{ID: 9, Now: 3}))
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, err = Analyze(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Torn || a.Records != 3 {
+		t.Fatalf("after truncate+append: torn=%v records=%d, want false/3", a.Torn, a.Records)
+	}
+}
+
+// TestWriterUnwind: dropping the bytes appended after an offset must
+// remove exactly those frames, leave earlier ones intact, and let later
+// appends continue from the cut.
+func TestWriterUnwind(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, EncodeUpdate(nil, testUpdate(1)))
+	mark := w.Size()
+	if err := w.Append(EncodeUpdate(nil, testUpdate(2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Unwind(mark); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != mark {
+		t.Fatalf("size after unwind = %d, want %d", w.Size(), mark)
+	}
+	appendAll(t, w, EncodeDelete(nil, Delete{ID: 3, Now: 2}))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	if err := Scan(path, func(r Record) error { recs = append(recs, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Update.ID != 1 || recs[1].Kind != RecDelete {
+		t.Fatalf("after unwind the log holds %+v, want update(1) + delete", recs)
+	}
+}
+
 func TestWriterHookAborts(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "t.wal")
 	w, err := Create(path)

@@ -44,6 +44,13 @@ type Tree struct {
 	lastWALSync time.Time
 	walBuf      []byte // reused encoding scratch
 
+	// walPoison, when non-nil, refuses every further mutation: a
+	// mutation failed after its WAL record was appended and the record
+	// could not be rewound, so any later commit or checkpoint would make
+	// the failed operation durable.  Close keeps the file dirty; the
+	// next Open recovers the last consistent state.
+	walPoison error
+
 	closed   bool
 	closeErr error
 }
@@ -284,13 +291,29 @@ func (tr *Tree) update(id uint32, p Point, now float64) error {
 
 // updateLocked applies one report; the exclusive lock must be held.
 // In WAL mode the record is appended (buffered) before the mutation —
-// the caller commits per the durability policy.
+// the caller commits per the durability policy.  If the mutation then
+// fails, the record is rolled back (or the tree poisoned) so a failed
+// operation can never become durable.
 func (tr *Tree) updateLocked(id uint32, p Point, now float64) error {
-	if tr.wal != nil {
-		if err := tr.walLogUpdate(id, p, now); err != nil {
-			return err
-		}
+	if tr.wal == nil {
+		return tr.applyUpdate(id, p, now)
 	}
+	if tr.walPoison != nil {
+		return tr.walPoison
+	}
+	prev := tr.wal.Size()
+	if err := tr.walLogUpdate(id, p, now); err != nil {
+		return err
+	}
+	if err := tr.applyUpdate(id, p, now); err != nil {
+		tr.walRollback(prev, err)
+		return err
+	}
+	return nil
+}
+
+// applyUpdate is the in-tree half of an update.
+func (tr *Tree) applyUpdate(id uint32, p Point, now float64) error {
 	if old, ok := tr.objects[id]; ok {
 		if _, err := tr.t.Delete(id, old, now); err != nil {
 			return err
@@ -325,17 +348,24 @@ func (tr *Tree) delete(id uint32, now float64) (bool, error) {
 	if !ok {
 		return false, nil
 	}
-	if tr.wal != nil {
-		if err := tr.walLogDelete(id, now); err != nil {
-			return false, err
-		}
+	if tr.wal == nil {
+		delete(tr.objects, id)
+		return tr.t.Delete(id, old, now)
+	}
+	if tr.walPoison != nil {
+		return false, tr.walPoison
+	}
+	prev := tr.wal.Size()
+	if err := tr.walLogDelete(id, now); err != nil {
+		return false, err
 	}
 	delete(tr.objects, id)
 	removed, err := tr.t.Delete(id, old, now)
-	if err == nil && tr.wal != nil {
-		err = tr.walCommit()
+	if err != nil {
+		tr.walRollback(prev, err)
+		return removed, err
 	}
-	return removed, err
+	return removed, tr.walCommit()
 }
 
 // Timeslice reports the objects predicted to be inside r at time at
