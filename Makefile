@@ -5,15 +5,16 @@
 #   make bench-shard      concurrent-throughput comparison -> BENCH_shard.json
 #   make bench-partition  hash vs speed partitioning -> BENCH_partition.json
 #   make bench-wal        durability-policy comparison -> BENCH_wal.json
+#   make bench-trace      tracing-overhead microbenchmark -> BENCH_trace.json
 #   make all              check + all benchmarks
 
 GO ?= go
 
-.PHONY: all check fmt-check vet build test race fuzz-smoke bench-obs bench-obs-smoke bench-shard bench-partition bench-partition-smoke bench-wal bench-wal-smoke clean
+.PHONY: all check fmt-check vet build test race fuzz-smoke bench-obs bench-obs-smoke bench-shard bench-partition bench-partition-smoke bench-wal bench-wal-smoke bench-trace bench-trace-smoke clean
 
-all: check bench-obs bench-shard bench-partition bench-wal
+all: check bench-obs bench-shard bench-partition bench-wal bench-trace
 
-check: fmt-check vet build test race bench-obs-smoke bench-partition-smoke bench-wal-smoke
+check: fmt-check vet build test race bench-obs-smoke bench-partition-smoke bench-wal-smoke bench-trace-smoke
 
 # Fails (with the offending file list) if anything is not gofmt-clean.
 fmt-check:
@@ -86,5 +87,18 @@ bench-wal:
 bench-wal-smoke:
 	$(GO) run ./cmd/rexpbench -durability -objects 2000 -duration 0.4 -quiet -walout - >/dev/null
 
+# Compares tracing-disabled vs tracing-enabled throughput: the
+# always-on (recorder off) cost must stay under the same <2% budget as
+# the base instrumentation; the flight-recorder-on cost is reported for
+# information (see cmd/rexpobsbench/trace.go).
+bench-trace:
+	$(GO) run ./cmd/rexpobsbench -trace -out BENCH_trace.json
+
+# A fast pass of the tracing benchmark for make check: it exercises the
+# traced query/update paths and the flight recorder without committing
+# a result file.
+bench-trace-smoke:
+	$(GO) run ./cmd/rexpobsbench -trace -scale 0.005 -rounds 1 -out - >/dev/null
+
 clean:
-	rm -f BENCH_obs.json BENCH_shard.json BENCH_partition.json BENCH_wal.json
+	rm -f BENCH_obs.json BENCH_shard.json BENCH_partition.json BENCH_wal.json BENCH_trace.json

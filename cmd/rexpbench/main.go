@@ -39,13 +39,15 @@ import (
 
 func main() {
 	var (
-		figure = flag.String("figure", "", "figure to reproduce (9..16); empty = all")
-		scale  = flag.Float64("scale", 0.1, "fraction of the paper's workload scale")
-		seed   = flag.Int64("seed", 1, "workload and tree seed")
-		quiet  = flag.Bool("quiet", false, "suppress per-run progress lines")
-		csv    = flag.String("csv", "", "also append raw results as CSV to this file")
-		asJSON = flag.Bool("json", false, "print the aggregate metrics snapshot as JSON after all figures")
-		serve  = flag.String("serve", "", "serve live Prometheus metrics at /metrics on this address while figures run (e.g. :9090)")
+		figure    = flag.String("figure", "", "figure to reproduce (9..16); empty = all")
+		scale     = flag.Float64("scale", 0.1, "fraction of the paper's workload scale")
+		seed      = flag.Int64("seed", 1, "workload and tree seed")
+		quiet     = flag.Bool("quiet", false, "suppress per-run progress lines")
+		csv       = flag.String("csv", "", "also append raw results as CSV to this file")
+		asJSON    = flag.Bool("json", false, "print the aggregate metrics snapshot as JSON after all figures")
+		serve     = flag.String("serve", "", "serve live Prometheus metrics at /metrics on this address while figures run (e.g. :9090)")
+		noPprof   = flag.Bool("nopprof", false, "serve mode: do not mount net/http/pprof under /debug/pprof/")
+		noRuntime = flag.Bool("noruntime", false, "serve mode: do not append Go runtime metrics to /metrics scrapes")
 
 		throughput = flag.Bool("throughput", false, "run the concurrent-throughput comparison instead of figure replay")
 		shards     = flag.Int("shards", 4, "number of shards for the sharded configuration (-throughput/-partitionbench modes)")
@@ -94,7 +96,14 @@ func main() {
 	experiments.Instrument = met
 	if *serve != "" {
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", obs.Handler(met.Snapshot))
+		var metricsH http.Handler = obs.Handler(met.Snapshot)
+		if !*noRuntime {
+			metricsH = obs.WithRuntimeMetrics(metricsH, obs.DefaultPrefix)
+		}
+		mux.Handle("/metrics", metricsH)
+		if !*noPprof {
+			obs.RegisterPprof(mux)
+		}
 		go func() {
 			fmt.Fprintf(os.Stderr, "rexpbench: serving Prometheus metrics at http://%s/metrics\n", *serve)
 			if err := http.ListenAndServe(*serve, mux); err != nil {

@@ -16,6 +16,12 @@
 // Usage:
 //
 //	rexpobsbench [-scale 0.02] [-seed 1] [-rounds 5] [-out BENCH_obs.json]
+//	rexpobsbench -trace [-scale 0.02] [-seed 1] [-rounds 5] [-out BENCH_trace.json]
+//
+// With -trace it instead measures the execution-tracing layer (see
+// trace.go): the disabled-tracing regression against the same <2%
+// budget, plus the informational cost of running with the flight
+// recorder enabled.
 package main
 
 import (
@@ -179,9 +185,25 @@ func main() {
 		scale  = flag.Float64("scale", 0.02, "fraction of the paper's workload scale")
 		seed   = flag.Int64("seed", 1, "workload and tree seed")
 		rounds = flag.Int("rounds", 5, "measurement rounds; the best throughput of each configuration is kept")
-		out    = flag.String("out", "BENCH_obs.json", "output file (- for stdout)")
+		out    = flag.String("out", "", "output file (- for stdout); defaults to BENCH_obs.json, or BENCH_trace.json with -trace")
+		trace  = flag.Bool("trace", false, "measure the tracing layer (disabled regression + recorder-on overhead) instead of the base metrics overhead")
 	)
 	flag.Parse()
+	if *out == "" {
+		if *trace {
+			*out = "BENCH_trace.json"
+		} else {
+			*out = "BENCH_obs.json"
+		}
+	}
+
+	if *trace {
+		if err := runTraceBench(*scale, *seed, *rounds, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "rexpobsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ops, err := genOps(*scale, *seed)
 	if err != nil {

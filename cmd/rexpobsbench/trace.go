@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"rexptree"
+	"rexptree/internal/workload"
+)
+
+// The -trace mode measures the tracing layer's cost at both ends:
+//
+//   - Disabled tracing (the acceptance budget, <2%): the lockstep
+//     core-tree pair of the default mode — nil *obs.Metrics versus
+//     metrics attached.  Every phase timer added for tracing is guarded
+//     by the same nil check, so this pair captures exactly the
+//     always-on cost a tree pays when no recorder is configured.
+//   - Enabled tracing (informational): a lockstep public-Tree pair,
+//     flight recorder off versus on, measuring what full span
+//     collection and ring recording cost when a user opts in.
+type traceReport struct {
+	Scale  float64 `json:"scale"`
+	Seed   int64   `json:"seed"`
+	Rounds int     `json:"rounds"`
+
+	Baseline                   result  `json:"baseline"`     // nil metrics (tracing disabled)
+	Instrumented               result  `json:"instrumented"` // metrics + phase timers (tracing disabled)
+	DisabledUpdateRegressionPc float64 `json:"disabled_update_regression_pct"`
+	DisabledQueryRegressionPc  float64 `json:"disabled_query_regression_pct"`
+
+	RecorderOff             result  `json:"recorder_off"` // public Tree, no flight recorder
+	RecorderOn              result  `json:"recorder_on"`  // public Tree, FlightRecorder 256
+	EnabledUpdateOverheadPc float64 `json:"enabled_update_overhead_pct"`
+	EnabledQueryOverheadPc  float64 `json:"enabled_query_overhead_pct"`
+	TracesRecorded          int     `json:"traces_recorded"`
+	SlowTraces              int     `json:"slow_traces"`
+}
+
+// toPublic converts a workload report (epoch representation) to the
+// public API's form.
+func toPublic(op workload.Op) rexptree.Point {
+	at := op.Point.At(op.Time)
+	return rexptree.Point{
+		Pos:     rexptree.Vec(at),
+		Vel:     rexptree.Vec(op.Point.Vel),
+		Time:    op.Time,
+		Expires: op.Point.TExp,
+	}
+}
+
+// runPairedPublic replays ops against two public Trees in lockstep:
+// index 0 without a flight recorder, index 1 with one (and a zero-ish
+// slow threshold so the slow ring fills too).  Queries are issued as
+// fixed-region windows, identical on both sides.
+func runPairedPublic(ops []workload.Op, seed int64) ([2]result, int, int, error) {
+	var res [2]result
+	base := rexptree.DefaultOptions()
+	base.Seed = seed
+	traced := base
+	traced.FlightRecorder = 256
+	traced.FlightSlowThreshold = time.Nanosecond
+	var trees [2]*rexptree.Tree
+	for i, o := range []rexptree.Options{base, traced} {
+		t, err := rexptree.Open(o)
+		if err != nil {
+			return res, 0, 0, err
+		}
+		trees[i] = t
+	}
+	defer trees[0].Close()
+	defer trees[1].Close()
+	region := rexptree.Rect{Lo: rexptree.Vec{0, 0}, Hi: rexptree.Vec{250, 250}}
+	var updateTime, queryTime [2]time.Duration
+	apply := func(t *rexptree.Tree, op workload.Op) (time.Duration, error) {
+		start := time.Now()
+		var err error
+		switch op.Kind {
+		case workload.OpInsert:
+			err = t.Update(op.OID, toPublic(op), op.Time)
+		case workload.OpDelete:
+			_, err = t.Delete(op.OID, op.Time)
+		default:
+			_, err = t.Window(region, op.Time, op.Time+10, op.Time)
+		}
+		return time.Since(start), err
+	}
+	for i, op := range ops {
+		first := i % 2
+		for _, side := range []int{first, 1 - first} {
+			d, err := apply(trees[side], op)
+			if err != nil {
+				return res, 0, 0, err
+			}
+			if op.Kind == workload.OpQuery {
+				queryTime[side] += d
+			} else {
+				updateTime[side] += d
+			}
+		}
+		if op.Kind == workload.OpQuery {
+			res[0].Queries, res[1].Queries = res[0].Queries+1, res[1].Queries+1
+		} else {
+			res[0].Updates, res[1].Updates = res[0].Updates+1, res[1].Updates+1
+		}
+	}
+	for side := range res {
+		res[side].UpdateSeconds = updateTime[side].Seconds()
+		res[side].QuerySeconds = queryTime[side].Seconds()
+		if res[side].UpdateSeconds > 0 {
+			res[side].UpdatesPerSec = float64(res[side].Updates) / res[side].UpdateSeconds
+		}
+		if res[side].QuerySeconds > 0 {
+			res[side].QueriesPerSec = float64(res[side].Queries) / res[side].QuerySeconds
+		}
+	}
+	recent, slow := trees[1].Traces()
+	return res, len(recent), len(slow), nil
+}
+
+// runTraceBench is the -trace entry point; it writes the combined
+// disabled/enabled report to out.
+func runTraceBench(scale float64, seed int64, rounds int, out string) error {
+	ops, err := genOps(scale, seed)
+	if err != nil {
+		return err
+	}
+	rep := traceReport{Scale: scale, Seed: seed, Rounds: rounds}
+
+	// Disabled-tracing cost: the nil-metrics / instrumented pair.
+	if _, err := runPaired(ops, seed); err != nil { // warmup, discarded
+		return err
+	}
+	for i := 0; i < rounds; i++ {
+		pair, err := runPaired(ops, seed)
+		if err != nil {
+			return err
+		}
+		rep.Baseline = best(rep.Baseline, pair[0])
+		rep.Instrumented = best(rep.Instrumented, pair[1])
+	}
+	if rep.Baseline.UpdatesPerSec > 0 {
+		rep.DisabledUpdateRegressionPc = 100 * (1 - rep.Instrumented.UpdatesPerSec/rep.Baseline.UpdatesPerSec)
+	}
+	if rep.Baseline.QueriesPerSec > 0 {
+		rep.DisabledQueryRegressionPc = 100 * (1 - rep.Instrumented.QueriesPerSec/rep.Baseline.QueriesPerSec)
+	}
+
+	// Enabled-tracing cost: public Trees, recorder off versus on.
+	if _, _, _, err := runPairedPublic(ops, seed); err != nil { // warmup
+		return err
+	}
+	for i := 0; i < rounds; i++ {
+		pair, recorded, slow, err := runPairedPublic(ops, seed)
+		if err != nil {
+			return err
+		}
+		rep.RecorderOff = best(rep.RecorderOff, pair[0])
+		rep.RecorderOn = best(rep.RecorderOn, pair[1])
+		rep.TracesRecorded, rep.SlowTraces = recorded, slow
+	}
+	if rep.RecorderOff.UpdatesPerSec > 0 {
+		rep.EnabledUpdateOverheadPc = 100 * (1 - rep.RecorderOn.UpdatesPerSec/rep.RecorderOff.UpdatesPerSec)
+	}
+	if rep.RecorderOff.QueriesPerSec > 0 {
+		rep.EnabledQueryOverheadPc = 100 * (1 - rep.RecorderOn.QueriesPerSec/rep.RecorderOff.QueriesPerSec)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"rexpobsbench: disabled-tracing regression %.2f%% updates, %.2f%% queries (budget <2%%); recorder-on overhead %.2f%% updates, %.2f%% queries\n",
+		rep.DisabledUpdateRegressionPc, rep.DisabledQueryRegressionPc,
+		rep.EnabledUpdateOverheadPc, rep.EnabledQueryOverheadPc)
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 
 	"rexptree/internal/core"
 	"rexptree/internal/geom"
+	"rexptree/internal/obs"
 	"rexptree/internal/storage"
 	"rexptree/internal/wal"
 )
@@ -98,10 +99,13 @@ func (tr *Tree) walLogDelete(id uint32, now float64) error {
 // checkpoints when the log or the pool has grown past its bound.  It
 // is the tail of every mutating public operation in WAL mode; the
 // exclusive lock must be held.
-func (tr *Tree) walCommit() error {
+func (tr *Tree) walCommit(tc *QueryTrace) error {
 	switch tr.durability {
 	case DurabilityOnCommit:
-		if err := tr.wal.Sync(); err != nil {
+		fi := tc.begin(-1, "wal-fsync", -1)
+		err := tr.wal.Sync()
+		tc.endAt(fi)
+		if err != nil {
 			return err
 		}
 	case DurabilityBatched:
@@ -109,14 +113,20 @@ func (tr *Tree) walCommit() error {
 			return err
 		}
 		if time.Since(tr.lastWALSync) >= tr.syncEvery {
-			if err := tr.wal.Sync(); err != nil {
+			fi := tc.begin(-1, "wal-fsync", -1)
+			err := tr.wal.Sync()
+			tc.endAt(fi)
+			if err != nil {
 				return err
 			}
 			tr.lastWALSync = time.Now()
 		}
 	}
 	if tr.wal.Size() >= tr.ckptBytes || tr.t.PoolOverflow() >= tr.t.Config().BufferPages {
-		return tr.checkpointLocked()
+		ci := tc.begin(-1, "checkpoint", -1)
+		err := tr.checkpointLocked()
+		tc.endAt(ci)
+		return err
 	}
 	return nil
 }
@@ -135,6 +145,7 @@ func (tr *Tree) walCommit() error {
 // leaves a complete image set that recovery re-applies idempotently,
 // no matter how torn the page file is.
 func (tr *Tree) checkpointLocked() error {
+	start := time.Now()
 	if err := tr.t.StageMeta(); err != nil {
 		return err
 	}
@@ -169,6 +180,7 @@ func (tr *Tree) checkpointLocked() error {
 		return err
 	}
 	tr.m.Checkpoints.Inc()
+	tr.m.ObservePhase(obs.PhaseCheckpoint, time.Since(start))
 	return nil
 }
 
@@ -178,9 +190,11 @@ func (tr *Tree) checkpointLocked() error {
 // returned bool asks the caller to reinitialize from scratch: the
 // crash happened during the very first checkpoint of a fresh tree, so
 // no acknowledged state exists.
-func recoverDurable(opts Options, fs *storage.FileStore, store storage.Store, cfg core.Config, tr *Tree) (retry bool, err error) {
+func recoverDurable(opts Options, fs *storage.FileStore, store storage.Store, cfg core.Config, tr *Tree, tc *QueryTrace) (retry bool, err error) {
 	start := time.Now()
+	si := tc.begin(-1, "analyze", -1)
 	a, err := wal.Analyze(tr.walPath)
+	tc.endAt(si)
 	if err != nil {
 		return false, err
 	}
@@ -192,7 +206,10 @@ func recoverDurable(opts Options, fs *storage.FileStore, store storage.Store, cf
 	// file the checkpoint already rewrote.  Only invalid bytes are
 	// dropped; the analyzed records all precede ValidPrefix.
 	if a.Torn {
-		if err := wal.TruncateTail(tr.walPath, a.ValidPrefix); err != nil {
+		ti := tc.begin(-1, "truncate-tail", -1)
+		err := wal.TruncateTail(tr.walPath, a.ValidPrefix)
+		tc.endAt(ti)
+		if err != nil {
 			return false, fmt.Errorf("rexptree: recovery failed truncating the WAL's torn tail: %w", err)
 		}
 	}
@@ -204,6 +221,7 @@ func recoverDurable(opts Options, fs *storage.FileStore, store storage.Store, cf
 	// these patches must already be on disk before that checkpoint can
 	// supersede the records they came from.
 	if a.Images != nil {
+		ii := tc.begin(-1, "reapply-images", -1)
 		if a.Pages > fs.PageCount() {
 			fs.SetPageCount(a.Pages)
 		}
@@ -215,9 +233,12 @@ func recoverDurable(opts Options, fs *storage.FileStore, store storage.Store, cf
 		if err := fs.Sync(); err != nil {
 			return false, err
 		}
+		tc.endAt(ii)
 	}
 
+	oi := tc.begin(-1, "open-base", -1)
 	t, err := core.Open(cfg, store)
+	tc.endAt(oi)
 	if err != nil {
 		if a.Images == nil && len(a.Tail) == 0 && !errors.Is(err, storage.ErrChecksum) {
 			// The file was never checkpointed (crash during the fresh
@@ -247,12 +268,15 @@ func recoverDurable(opts Options, fs *storage.FileStore, store storage.Store, cf
 	fs.ResetFreeList(live)
 
 	// Rebuild the object table, then replay the logical tail.
+	bi := tc.begin(-1, "rebuild-records", -1)
 	if err := t.Records(func(oid uint32, p geom.MovingPoint) error {
 		tr.objects[oid] = p
 		return nil
 	}); err != nil {
 		return false, err
 	}
+	tc.endAt(bi)
+	ri := tc.begin(-1, "replay", -1)
 	// The recovered clock is the latest timestamp in the log; any
 	// replayed report that expires at or before it is dead on arrival —
 	// queries would never see it and a later update would purge it — so
@@ -308,6 +332,7 @@ func recoverDurable(opts Options, fs *storage.FileStore, store storage.Store, cf
 			tr.m.RecoveryReplayed.Inc()
 		}
 	}
+	tc.endAt(ri)
 
 	// Attach the WAL writer, appending directly after the valid prefix
 	// (the torn tail, if any, was truncated above): if this recovery is
@@ -322,7 +347,10 @@ func recoverDurable(opts Options, fs *storage.FileStore, store storage.Store, cf
 	w.SetMetrics(tr.m)
 	w.Hook = opts.testWALHook
 	tr.wal = w
-	if err := tr.checkpointLocked(); err != nil {
+	ci := tc.begin(-1, "checkpoint", -1)
+	err = tr.checkpointLocked()
+	tc.endAt(ci)
+	if err != nil {
 		return false, fmt.Errorf("rexptree: recovery checkpoint failed: %w", err)
 	}
 	if err := fs.MarkDirty(); err != nil {

@@ -21,6 +21,13 @@ import (
 // valid bound at that instant because entries that expire before at
 // are skipped.
 func (t *Tree) Nearest(q geom.Vec, at float64, k int, now float64) ([]Result, error) {
+	return t.NearestStats(q, at, k, now, nil)
+}
+
+// NearestStats is Nearest plus per-traversal accounting into st (which
+// may be nil).  The traversal, result set and metric side effects are
+// identical to Nearest.
+func (t *Tree) NearestStats(q geom.Vec, at float64, k int, now float64, st *TravStats) ([]Result, error) {
 	t.advance(now)
 	if at < t.Now() {
 		return nil, fmt.Errorf("core: nearest query time %v precedes current time %v", at, t.Now())
@@ -44,9 +51,9 @@ func (t *Tree) Nearest(q geom.Vec, at float64, k int, now float64) ([]Result, er
 			out = append(out, Result{OID: it.oid, Point: it.point})
 			continue
 		}
-		n, err := t.readNode(it.page)
+		n, err := t.readNodeStats(it.page, st)
 		if err != nil {
-			t.addQueryStats(nodes, leaves)
+			t.addQueryStats(nodes, leaves, st)
 			return nil, err
 		}
 		nodes++
@@ -75,7 +82,7 @@ func (t *Tree) Nearest(q geom.Vec, at float64, k int, now float64) ([]Result, er
 			})
 		}
 	}
-	t.addQueryStats(nodes, leaves)
+	t.addQueryStats(nodes, leaves, st)
 	return out, nil
 }
 

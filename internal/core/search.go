@@ -13,6 +13,17 @@ type Result struct {
 	Point geom.MovingPoint
 }
 
+// TravStats accumulates one traversal's node and page accounting for
+// query tracing: how many nodes it visited, how many leaf entries it
+// scanned, and how its page requests split between buffer-pool hits
+// and store reads.  A nil *TravStats disables the accounting.
+type TravStats struct {
+	Nodes  uint64 // nodes visited
+	Leaves uint64 // leaf entries examined
+	Reads  uint64 // page requests that missed the buffer and read the store
+	Hits   uint64 // page requests served from the buffer pool
+}
+
 // Search returns the objects whose predicted trajectories intersect
 // the query.  In expiration-aware mode, entries that have expired by
 // the current time are invisible and intersection with a bounding
@@ -21,8 +32,15 @@ type Result struct {
 // are ignored entirely, so results may contain objects whose
 // information has expired — the false drops the paper's §3 discusses.
 func (t *Tree) Search(q geom.Query, now float64) ([]Result, error) {
+	return t.SearchStats(q, now, nil)
+}
+
+// SearchStats is Search plus per-traversal accounting into st (which
+// may be nil).  The traversal, result set and metric side effects are
+// identical to Search.
+func (t *Tree) SearchStats(q geom.Query, now float64, st *TravStats) ([]Result, error) {
 	var out []Result
-	err := t.SearchFunc(q, now, func(r Result) bool {
+	err := t.SearchFuncStats(q, now, st, func(r Result) bool {
 		out = append(out, r)
 		return true
 	})
@@ -42,6 +60,12 @@ var stackPool = sync.Pool{New: func() any {
 // large result sets, and — with a warm buffer pool — runs without heap
 // allocations (the traversal stack is pooled).
 func (t *Tree) SearchFunc(q geom.Query, now float64, fn func(Result) bool) error {
+	return t.SearchFuncStats(q, now, nil, fn)
+}
+
+// SearchFuncStats is SearchFunc plus per-traversal accounting into st
+// (which may be nil — the common, untraced path).
+func (t *Tree) SearchFuncStats(q geom.Query, now float64, st *TravStats, fn func(Result) bool) error {
 	t.advance(now)
 	var nodes, leaves uint64
 	sp := stackPool.Get().(*[]storage.PageID)
@@ -53,9 +77,9 @@ func (t *Tree) SearchFunc(q geom.Query, now float64, fn func(Result) bool) error
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		n, err := t.readNode(id)
+		n, err := t.readNodeStats(id, st)
 		if err != nil {
-			t.addQueryStats(nodes, leaves)
+			t.addQueryStats(nodes, leaves, st)
 			return err
 		}
 		nodes++
@@ -71,7 +95,7 @@ func (t *Tree) SearchFunc(q geom.Query, now float64, fn func(Result) bool) error
 				p := e.point()
 				if q.MatchesPoint(p, t.cfg.Dims, t.cfg.ExpireAware) {
 					if !fn(Result{OID: e.id, Point: p}) {
-						t.addQueryStats(nodes, leaves)
+						t.addQueryStats(nodes, leaves, st)
 						return nil
 					}
 				}
@@ -84,14 +108,18 @@ func (t *Tree) SearchFunc(q geom.Query, now float64, fn func(Result) bool) error
 			}
 		}
 	}
-	t.addQueryStats(nodes, leaves)
+	t.addQueryStats(nodes, leaves, st)
 	return nil
 }
 
 // addQueryStats folds a query's locally accumulated traversal counts
-// into the metric counters, so hot loops pay one atomic add per query
-// rather than one per node.
-func (t *Tree) addQueryStats(nodes, leaves uint64) {
+// into the metric counters (and the per-traversal stats when tracing),
+// so hot loops pay one atomic add per query rather than one per node.
+func (t *Tree) addQueryStats(nodes, leaves uint64, st *TravStats) {
+	if st != nil {
+		st.Nodes += nodes
+		st.Leaves += leaves
+	}
 	if t.met == nil {
 		return
 	}

@@ -381,7 +381,29 @@ func (t *Tree) roundBR(r geom.TPRect) geom.TPRect {
 // requires the public tree's exclusive lock, which keeps concurrent
 // readers out).
 func (t *Tree) readNode(id storage.PageID) (*node, error) {
-	buf, err := t.bp.Get(id)
+	return t.readNodeStats(id, nil)
+}
+
+// readNodeStats is readNode plus per-traversal page accounting: when
+// st is non-nil, the buffer-pool hit or miss is tallied into it.  The
+// pool is consulted first either way so buffered pages stay charged
+// and LRU-ordered exactly as on the untraced path.
+func (t *Tree) readNodeStats(id storage.PageID, st *TravStats) (*node, error) {
+	var buf []byte
+	var err error
+	if st == nil {
+		buf, err = t.bp.Get(id)
+	} else {
+		var hit bool
+		buf, hit, err = t.bp.GetTracked(id)
+		if err == nil {
+			if hit {
+				st.Hits++
+			} else {
+				st.Reads++
+			}
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -22,6 +22,11 @@ func TestMetricsDocCoversExposition(t *testing.T) {
 	if err := WriteSnapshot(&buf, goldenSnapshot()); err != nil {
 		t.Fatal(err)
 	}
+	// The serve-mode runtime families are part of the documented
+	// surface too.
+	if err := WriteRuntimeMetrics(&buf, DefaultPrefix); err != nil {
+		t.Fatal(err)
+	}
 	families := map[string]bool{}
 	for _, line := range strings.Split(buf.String(), "\n") {
 		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {

@@ -285,6 +285,12 @@ type Metrics struct {
 	// UpdateBatch (each batch is additionally one OpBatch operation).
 	BatchedUpdates Counter
 
+	// Phases holds the internal phase-latency histograms (queue wait,
+	// page I/O, WAL append and fsync, checkpoint, merge), indexed by
+	// Phase.  They attribute where operations spend their time below
+	// the per-operation histograms (PR 6).
+	Phases [NumPhases]Histogram
+
 	// Ops holds the per-operation latency instruments, indexed by Op.
 	Ops [NumOps]OpMetrics
 
@@ -417,6 +423,8 @@ type Snapshot struct {
 	LockWaitWrite  HistSnapshot
 	BatchedUpdates uint64
 
+	Phases [NumPhases]HistSnapshot
+
 	Ops [NumOps]OpSnapshot
 }
 
@@ -470,6 +478,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.LockWaitRead = m.LockWaitRead.Snapshot()
 	s.LockWaitWrite = m.LockWaitWrite.Snapshot()
 	s.BatchedUpdates = m.BatchedUpdates.Load()
+	for p := Phase(0); p < NumPhases; p++ {
+		s.Phases[p] = m.Phases[p].Snapshot()
+	}
 	for op := Op(0); op < NumOps; op++ {
 		o := &m.Ops[op]
 		snap := &s.Ops[op]
@@ -507,6 +518,9 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 	d.LockWaitRead = s.LockWaitRead.Sub(o.LockWaitRead)
 	d.LockWaitWrite = s.LockWaitWrite.Sub(o.LockWaitWrite)
 	d.BatchedUpdates -= o.BatchedUpdates
+	for i := range d.Phases {
+		d.Phases[i] = s.Phases[i].Sub(o.Phases[i])
+	}
 	d.ShardVisits -= o.ShardVisits
 	d.ShardsPruned -= o.ShardsPruned
 	d.Rerouted -= o.Rerouted
@@ -562,6 +576,9 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 	d.LockWaitRead = s.LockWaitRead.Add(o.LockWaitRead)
 	d.LockWaitWrite = s.LockWaitWrite.Add(o.LockWaitWrite)
 	d.BatchedUpdates += o.BatchedUpdates
+	for i := range d.Phases {
+		d.Phases[i] = s.Phases[i].Add(o.Phases[i])
+	}
 	d.ShardVisits += o.ShardVisits
 	d.ShardsPruned += o.ShardsPruned
 	d.Rerouted += o.Rerouted

@@ -115,6 +115,13 @@ func WriteSnapshotPrefix(w io.Writer, s Snapshot, prefix string) error {
 	writeHist(bw, name, `mode="read"`, &s.LockWaitRead)
 	writeHist(bw, name, `mode="write"`, &s.LockWaitWrite)
 
+	name = prefix + "_phase_duration_seconds"
+	bw.WriteString("# HELP " + name + " Latency of internal execution phases (queue wait, page I/O, WAL append and fsync, checkpoint, merge).\n")
+	bw.WriteString("# TYPE " + name + " histogram\n")
+	for p := Phase(0); p < NumPhases; p++ {
+		writeHist(bw, name, `phase="`+p.String()+`"`, &s.Phases[p])
+	}
+
 	name = prefix + "_recovery_duration_seconds"
 	bw.WriteString("# HELP " + name + " Wall-clock duration of WAL recovery passes.\n")
 	bw.WriteString("# TYPE " + name + " histogram\n")

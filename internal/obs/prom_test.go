@@ -64,6 +64,13 @@ func goldenSnapshot() Snapshot {
 	m.LockWaitRead.Observe(900 * time.Nanosecond)
 	m.LockWaitRead.Observe(12 * time.Microsecond)
 	m.LockWaitWrite.Observe(400 * time.Microsecond)
+	m.ObservePhase(PhaseQueueWait, 3*time.Microsecond)
+	m.ObservePhase(PhaseIORead, 150*time.Microsecond)
+	m.ObservePhase(PhaseIOWrite, 220*time.Microsecond)
+	m.ObservePhase(PhaseWALAppend, 9*time.Microsecond)
+	m.ObservePhase(PhaseWALFsync, 1500*time.Microsecond)
+	m.ObservePhase(PhaseCheckpoint, 8*time.Millisecond)
+	m.ObservePhase(PhaseMerge, 40*time.Microsecond)
 	m.ObserveOp(OpUpdate, 800*time.Nanosecond, nil)
 	m.ObserveOp(OpUpdate, 30*time.Microsecond, nil)
 	m.ObserveOp(OpUpdate, 2*time.Millisecond, nil)
@@ -141,7 +148,7 @@ func TestWriteSnapshotParses(t *testing.T) {
 		"rexp_speed_band_lo", "rexp_speed_band_hi",
 		"rexp_reshard_entries_scanned_total", "rexp_reshard_entries_routed_total",
 		"rexp_reshard_entries_loaded_total", "rexp_reshard_bytes_written_total",
-		"rexp_reshard_phase",
+		"rexp_reshard_phase", "rexp_phase_duration_seconds",
 	} {
 		if !help[name] || !typ[name] {
 			t.Errorf("family %s missing HELP or TYPE", name)

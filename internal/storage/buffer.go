@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"rexptree/internal/obs"
 )
@@ -61,6 +62,8 @@ type BufferPool struct {
 	lru      *list.List // front = most recently used; unpinned frames only
 	stats    Stats
 	met      *obs.Metrics // nil when uninstrumented
+	ioReadN  uint64       // store reads since open, for phase-timer sampling
+	ioWriteN uint64
 }
 
 // NewBufferPool wraps store with a buffer of the given page capacity.
@@ -134,7 +137,7 @@ func (bp *BufferPool) evictOne() error {
 	}
 	f := e.Value.(*frame)
 	if !bp.noSteal && f.dirty {
-		if err := bp.store.WritePage(f.id, f.data); err != nil {
+		if err := bp.writePage(f.id, f.data); err != nil {
 			return err
 		}
 		bp.stats.Writes++
@@ -219,30 +222,88 @@ func (bp *BufferPool) DirtyPages(fn func(id PageID, data []byte) error) error {
 func (bp *BufferPool) Get(id PageID) ([]byte, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
-	return bp.get(id)
+	data, _, err := bp.getTracked(id)
+	return data, err
+}
+
+// GetTracked is Get plus a hit report: it returns whether the request
+// was served from the buffer (true) or had to read the store (false).
+// Query tracing uses it to attribute per-traversal cache behavior.
+func (bp *BufferPool) GetTracked(id PageID) ([]byte, bool, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.getTracked(id)
 }
 
 func (bp *BufferPool) get(id PageID) ([]byte, error) {
+	data, _, err := bp.getTracked(id)
+	return data, err
+}
+
+func (bp *BufferPool) getTracked(id PageID) ([]byte, bool, error) {
 	if f, ok := bp.frames[id]; ok {
 		bp.stats.Hits++
 		if bp.met != nil {
 			bp.met.BufHits.Inc()
 		}
 		bp.touch(f)
-		return f.data, nil
+		return f.data, true, nil
 	}
 	f := &frame{id: id, data: make([]byte, PageSize)}
-	if err := bp.store.ReadPage(id, f.data); err != nil {
-		return nil, err
+	if err := bp.readPage(id, f.data); err != nil {
+		return nil, false, err
 	}
 	bp.stats.Reads++
 	if bp.met != nil {
 		bp.met.BufReads.Inc()
 	}
 	if err := bp.admit(f); err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return f.data, nil
+	return f.data, false, nil
+}
+
+// ioSampleEvery is the 1-in-N sampling rate for the io_read/io_write
+// phase timers.  Memory-backed stores serve a 4 KiB page in well under
+// the clock readings' own cost, so timing every call on the miss path
+// would cost more than the work being measured; uniform sampling keeps
+// the latency distribution representative while bounding the timer
+// overhead.  (Volume is counted exactly by rexp_buffer_reads_total /
+// _writes_total; the phase histogram's _count is the sample count.)
+const ioSampleEvery = 8
+
+// readPage reads the page from the store, timing a uniform sample of
+// reads into the io_read phase histogram when instrumented.  Called
+// with bp.mu held (as is writePage), so the sample counters need no
+// synchronization.
+func (bp *BufferPool) readPage(id PageID, data []byte) error {
+	if bp.met == nil {
+		return bp.store.ReadPage(id, data)
+	}
+	bp.ioReadN++
+	if bp.ioReadN%ioSampleEvery != 0 {
+		return bp.store.ReadPage(id, data)
+	}
+	start := time.Now()
+	err := bp.store.ReadPage(id, data)
+	bp.met.ObservePhase(obs.PhaseIORead, time.Since(start))
+	return err
+}
+
+// writePage writes the page to the store, timing a uniform sample of
+// writes into the io_write phase histogram when instrumented.
+func (bp *BufferPool) writePage(id PageID, data []byte) error {
+	if bp.met == nil {
+		return bp.store.WritePage(id, data)
+	}
+	bp.ioWriteN++
+	if bp.ioWriteN%ioSampleEvery != 0 {
+		return bp.store.WritePage(id, data)
+	}
+	start := time.Now()
+	err := bp.store.WritePage(id, data)
+	bp.met.ObservePhase(obs.PhaseIOWrite, time.Since(start))
+	return err
 }
 
 // MarkDirty records that the page's buffered contents differ from the
@@ -337,7 +398,7 @@ func (bp *BufferPool) Flush() error {
 		if !f.dirty {
 			continue
 		}
-		if err := bp.store.WritePage(f.id, f.data); err != nil {
+		if err := bp.writePage(f.id, f.data); err != nil {
 			return err
 		}
 		f.dirty = false

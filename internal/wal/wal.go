@@ -27,6 +27,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"rexptree/internal/obs"
 	"rexptree/internal/storage"
@@ -219,6 +220,10 @@ func (w *Writer) Append(payload []byte) error {
 	if err := w.hook("append"); err != nil {
 		return err
 	}
+	var start time.Time
+	if w.met != nil {
+		start = time.Now()
+	}
 	var hdr [frameHdrSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
@@ -231,6 +236,7 @@ func (w *Writer) Append(payload []byte) error {
 	w.size += int64(frameHdrSize + len(payload))
 	if w.met != nil {
 		w.met.WALBytes.Add(uint64(frameHdrSize + len(payload)))
+		w.met.ObservePhase(obs.PhaseWALAppend, time.Since(start))
 	}
 	return nil
 }
@@ -252,11 +258,16 @@ func (w *Writer) Sync() error {
 	if err := w.hook("sync"); err != nil {
 		return err
 	}
+	var start time.Time
+	if w.met != nil {
+		start = time.Now()
+	}
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
 	if w.met != nil {
 		w.met.WALFsyncs.Inc()
+		w.met.ObservePhase(obs.PhaseWALFsync, time.Since(start))
 	}
 	return nil
 }
@@ -275,11 +286,16 @@ func (w *Writer) Reset() error {
 	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
+	var start time.Time
+	if w.met != nil {
+		start = time.Now()
+	}
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
 	if w.met != nil {
 		w.met.WALFsyncs.Inc()
+		w.met.ObservePhase(obs.PhaseWALFsync, time.Since(start))
 	}
 	w.size = 0
 	return nil

@@ -325,4 +325,7 @@ type ObserverEvent struct {
 	Level int
 	// Count is the number of entries or pages affected.
 	Count int
+	// Shard identifies which shard of a ShardedTree emitted the event;
+	// -1 for a stand-alone Tree.
+	Shard int
 }

@@ -165,6 +165,21 @@ type Options struct {
 	// when SlowOpThreshold is positive.
 	SlowOp func(op string, d time.Duration)
 
+	// FlightRecorder, when positive, keeps the execution traces of the
+	// most recent FlightRecorder operations (and, separately, the most
+	// recent FlightRecorder slow operations) in a fixed-size in-memory
+	// ring.  Retained traces are served by TraceHandler (mounted at
+	// /debug/rexp/traces by the serve-mode tools) and returned by
+	// Traces.  Zero disables the recorder; tracing then costs nothing
+	// on the regular query and update paths.
+	FlightRecorder int
+
+	// FlightSlowThreshold is the duration at or above which an
+	// operation's trace is also retained in the flight recorder's slow
+	// ring.  Defaults to SlowOpThreshold when set, else 10ms.  Only
+	// used when FlightRecorder is positive.
+	FlightSlowThreshold time.Duration
+
 	// Durability selects the crash-safety policy; see the Durability
 	// constants.  Requires Path.
 	Durability Durability

@@ -181,6 +181,29 @@ func (p *speedPartitioner) forget(id uint32) {
 	p.mu.Unlock()
 }
 
+// bandLabel describes shard i's speed band for traces ("[lo, hi)"),
+// or "" under hash partitioning or while self-tuning is still
+// sampling.
+func (s *ShardedTree) bandLabel(i int) string {
+	sp, ok := s.part.(*speedPartitioner)
+	if !ok {
+		return ""
+	}
+	bands, _ := sp.Bands()
+	if len(bands) == 0 {
+		return ""
+	}
+	lo := "0"
+	if i > 0 && i-1 < len(bands) {
+		lo = fmt.Sprintf("%.3g", bands[i-1])
+	}
+	hi := "inf"
+	if i < len(bands) {
+		hi = fmt.Sprintf("%.3g", bands[i])
+	}
+	return fmt.Sprintf("[%s, %s)", lo, hi)
+}
+
 // The shard manifest itself — the sidecar file ("<Path>.manifest")
 // describing how a file-backed sharded index is partitioned — lives in
 // internal/manifest, shared with the offline reshard tool

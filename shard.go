@@ -3,6 +3,7 @@ package rexptree
 import (
 	"fmt"
 	"io"
+	"log"
 	"math"
 	"net/http"
 	"sort"
@@ -95,6 +96,7 @@ type ShardedTree struct {
 	dims   int
 	sem    chan struct{} // bounded fan-out worker pool
 	m      *obs.Metrics  // front-end registry: fan-out latencies, pruning counters
+	rec    *obs.Recorder // fan-out flight recorder; nil unless Options.FlightRecorder > 0
 
 	manifestPath string // "" when memory-backed
 	basePath     string // ShardedOptions.Path
@@ -212,10 +214,26 @@ func OpenSharded(opts ShardedOptions) (*ShardedTree, error) {
 		sums:         make([]shardSummary, opts.Shards),
 		sem:          make(chan struct{}, opts.Workers),
 		m:            obs.New(),
+		rec:          newRecorder(opts.Options),
 		manifestPath: manifestPath,
 		basePath:     opts.Path,
 		gen:          gen,
 		durability:   opts.Durability,
+	}
+	// The front end observes every fan-out as one operation; slow
+	// fan-outs are reported with a "fanout/" tag so they are
+	// distinguishable from the per-shard events the shards emit.
+	if opts.SlowOpThreshold > 0 {
+		slow := opts.SlowOp
+		if slow == nil {
+			threshold := opts.SlowOpThreshold
+			slow = func(op string, d time.Duration) {
+				log.Printf("rexptree: slow %s: %v (threshold %v)", op, d, threshold)
+			}
+		}
+		s.m.SetSlowOp(opts.SlowOpThreshold, func(op obs.Op, d time.Duration) {
+			slow("fanout/"+op.String(), d)
+		})
 	}
 	// The shards open concurrently: each open is independent, and after
 	// an unclean shutdown each shard replays its own write-ahead log, so
@@ -234,6 +252,29 @@ func OpenSharded(opts ShardedOptions) (*ShardedTree, error) {
 			// Distinct seeds keep the shards' tie-breaking streams
 			// independent while remaining deterministic.
 			so.Seed = opts.Seed + int64(i)
+			// The observability hooks reach every shard tagged with its
+			// id, so a consumer can tell which shard split, purged, or
+			// ran slow.
+			if userObs := opts.Observer; userObs != nil {
+				shard := i
+				so.Observer = func(e ObserverEvent) {
+					e.Shard = shard
+					userObs(e)
+				}
+			}
+			if opts.SlowOpThreshold > 0 {
+				shard := i
+				userSlow := opts.SlowOp
+				if userSlow == nil {
+					threshold := opts.SlowOpThreshold
+					userSlow = func(op string, d time.Duration) {
+						log.Printf("rexptree: slow %s: %v (threshold %v)", op, d, threshold)
+					}
+				}
+				so.SlowOp = func(op string, d time.Duration) {
+					userSlow(fmt.Sprintf("shard%d/%s", shard, op), d)
+				}
+			}
 			wg.Add(1)
 			go func(i int, so Options) {
 				defer wg.Done()
@@ -419,7 +460,8 @@ func (s *ShardedTree) shardMinDist(i int, pos Vec, at float64) (d float64, ok bo
 }
 
 // fanOut runs fn once per shard on the bounded worker pool and returns
-// the first (lowest shard index) error.
+// the first (lowest shard index) error.  Time spent waiting for a
+// worker slot lands in the queue-wait phase histogram.
 func (s *ShardedTree) fanOut(fn func(i int, t *Tree) error) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(s.shards))
@@ -427,7 +469,9 @@ func (s *ShardedTree) fanOut(fn func(i int, t *Tree) error) error {
 		wg.Add(1)
 		go func(i int, t *Tree) {
 			defer wg.Done()
+			qs := time.Now()
 			s.sem <- struct{}{}
+			s.m.ObservePhase(obs.PhaseQueueWait, time.Since(qs))
 			defer func() { <-s.sem }()
 			errs[i] = fn(i, t)
 		}(i, t)
@@ -483,37 +527,57 @@ func (s *ShardedTree) Close() error {
 // object migrates to its new band.  Updates to objects on different
 // shards proceed concurrently; see Tree.Update for the time contract.
 func (s *ShardedTree) Update(id uint32, p Point, now float64) error {
+	var tc *QueryTrace
+	if s.rec != nil {
+		tc = newTrace("update")
+	}
 	start := time.Now()
-	err := s.update(id, p, now)
-	s.m.ObserveOp(obs.OpUpdate, time.Since(start), err)
+	err := s.update(id, p, now, tc)
+	d := time.Since(start)
+	s.m.ObserveOp(obs.OpUpdate, d, err)
+	tc.finishRecord(s.rec, 0, d, err)
 	return err
 }
 
-func (s *ShardedTree) update(id uint32, p Point, now float64) error {
+func (s *ShardedTree) update(id uint32, p Point, now float64, tc *QueryTrace) error {
 	if s.part.policy() == PartitionHash {
+		ri := tc.begin(-1, "route", -1)
 		i := s.part.route(id, p)
+		tc.endAt(ri)
 		t := s.shards[i]
-		if err := t.Update(id, p, now); err != nil {
+		si := tc.begin(-1, "shard", i)
+		err := t.Update(id, p, now)
+		tc.endAt(si)
+		if err != nil {
 			return err
 		}
 		s.widenShard(i, t.storedPoint(p), now)
 		return nil
 	}
+	ri := tc.begin(-1, "route", -1)
 	s.rerouteMu.RLock()
 	defer s.rerouteMu.RUnlock()
 	st := &s.stripes[id%uint32(len(s.stripes))]
 	st.Lock()
 	defer st.Unlock()
 	target := s.part.route(id, p)
-	if old, ok := s.part.locate(id); ok && old != target {
-		if _, err := s.shards[old].Delete(id, now); err != nil {
+	old, hasOld := s.part.locate(id)
+	tc.endAt(ri)
+	if hasOld && old != target {
+		di := tc.begin(-1, "reroute-delete", old)
+		_, err := s.shards[old].Delete(id, now)
+		tc.endAt(di)
+		if err != nil {
 			return err
 		}
 		s.part.forget(id)
 		s.m.Rerouted.Inc()
 	}
 	t := s.shards[target]
-	if err := t.Update(id, p, now); err != nil {
+	si := tc.begin(-1, "shard", target)
+	err := t.Update(id, p, now)
+	tc.endAt(si)
+	if err != nil {
 		return err
 	}
 	s.part.note(id, target)
@@ -523,27 +587,40 @@ func (s *ShardedTree) update(id uint32, p Point, now float64) error {
 
 // Delete removes the object's report from its shard; see Tree.Delete.
 func (s *ShardedTree) Delete(id uint32, now float64) (bool, error) {
+	var tc *QueryTrace
+	if s.rec != nil {
+		tc = newTrace("delete")
+	}
 	start := time.Now()
-	ok, err := s.delete(id, now)
-	s.m.ObserveOp(obs.OpDelete, time.Since(start), err)
+	ok, err := s.delete(id, now, tc)
+	d := time.Since(start)
+	s.m.ObserveOp(obs.OpDelete, d, err)
+	tc.finishRecord(s.rec, 0, d, err)
 	return ok, err
 }
 
-func (s *ShardedTree) delete(id uint32, now float64) (bool, error) {
+func (s *ShardedTree) delete(id uint32, now float64, tc *QueryTrace) (bool, error) {
 	if s.part.policy() == PartitionHash {
 		i, _ := s.part.locate(id)
-		return s.shards[i].Delete(id, now)
+		si := tc.begin(-1, "shard", i)
+		removed, err := s.shards[i].Delete(id, now)
+		tc.endAt(si)
+		return removed, err
 	}
+	ri := tc.begin(-1, "route", -1)
 	s.rerouteMu.RLock()
 	defer s.rerouteMu.RUnlock()
 	st := &s.stripes[id%uint32(len(s.stripes))]
 	st.Lock()
 	defer st.Unlock()
 	i, ok := s.part.locate(id)
+	tc.endAt(ri)
 	if !ok {
 		return false, nil
 	}
+	si := tc.begin(-1, "shard", i)
 	removed, err := s.shards[i].Delete(id, now)
+	tc.endAt(si)
 	if err == nil {
 		s.part.forget(id)
 	}
@@ -561,34 +638,48 @@ func (s *ShardedTree) delete(id uint32, now float64) (bool, error) {
 // Tree.UpdateBatch while other shards' groups still apply; the first
 // error is returned.
 func (s *ShardedTree) UpdateBatch(batch []Report, now float64) error {
+	var tc *QueryTrace
+	if s.rec != nil {
+		tc = newTrace("batch")
+	}
 	start := time.Now()
-	err := s.updateBatch(batch, now)
-	s.m.ObserveOp(obs.OpBatch, time.Since(start), err)
+	err := s.updateBatch(batch, now, tc)
+	d := time.Since(start)
+	s.m.ObserveOp(obs.OpBatch, d, err)
+	tc.finishRecord(s.rec, len(batch), d, err)
 	return err
 }
 
-func (s *ShardedTree) updateBatch(batch []Report, now float64) error {
+// updateBatch records batch-level spans only (route, the reroute
+// deletions, the grouped application): the fan-out goroutines never
+// touch the shared trace.
+func (s *ShardedTree) updateBatch(batch []Report, now float64, tc *QueryTrace) error {
 	if len(batch) == 0 {
 		return nil
 	}
 	if s.part.policy() == PartitionHash {
+		ri := tc.begin(-1, "route", -1)
 		groups := make([][]Report, len(s.shards))
 		for _, r := range batch {
 			i := s.part.route(r.ID, r.Point)
 			groups[i] = append(groups[i], r)
 		}
+		tc.endAt(ri)
+		ai := tc.begin(-1, "apply", -1)
 		err := s.fanOut(func(i int, t *Tree) error {
 			if len(groups[i]) == 0 {
 				return nil
 			}
 			return t.UpdateBatch(groups[i], now)
 		})
+		tc.endAt(ai)
 		// Widen with every report, even after a partial failure — a
 		// too-wide summary is always safe.
 		s.widenGroups(groups, now)
 		return err
 	}
 
+	ri := tc.begin(-1, "route", -1)
 	s.rerouteMu.Lock()
 	defer s.rerouteMu.Unlock()
 
@@ -605,7 +696,9 @@ func (s *ShardedTree) updateBatch(batch []Report, now float64) error {
 			delGroups[old] = append(delGroups[old], id)
 		}
 	}
-	if err := s.fanOut(func(i int, t *Tree) error {
+	tc.endAt(ri)
+	di := tc.begin(-1, "reroute-deletes", -1)
+	err := s.fanOut(func(i int, t *Tree) error {
 		ids := delGroups[i]
 		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 		for _, id := range ids {
@@ -616,7 +709,9 @@ func (s *ShardedTree) updateBatch(batch []Report, now float64) error {
 			s.m.Rerouted.Inc()
 		}
 		return nil
-	}); err != nil {
+	})
+	tc.endAt(di)
+	if err != nil {
 		return err
 	}
 
@@ -626,12 +721,14 @@ func (s *ShardedTree) updateBatch(batch []Report, now float64) error {
 		i := final[r.ID]
 		groups[i] = append(groups[i], r)
 	}
-	err := s.fanOut(func(i int, t *Tree) error {
+	ai := tc.begin(-1, "apply", -1)
+	err = s.fanOut(func(i int, t *Tree) error {
 		if len(groups[i]) == 0 {
 			return nil
 		}
 		return t.UpdateBatch(groups[i], now)
 	})
+	tc.endAt(ai)
 	for id, tgt := range final {
 		s.part.note(id, tgt)
 	}
@@ -676,6 +773,7 @@ func (s *ShardedTree) query(q geom.Query, run func(*Tree) ([]Result, error)) ([]
 	if err != nil {
 		return nil, err
 	}
+	ms := time.Now()
 	n := 0
 	for _, p := range parts {
 		n += len(p)
@@ -685,6 +783,7 @@ func (s *ShardedTree) query(q geom.Query, run func(*Tree) ([]Result, error)) ([]
 		out = append(out, p...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	s.m.ObservePhase(obs.PhaseMerge, time.Since(ms))
 	return out, nil
 }
 
@@ -692,6 +791,10 @@ func (s *ShardedTree) query(q geom.Query, run func(*Tree) ([]Result, error)) ([]
 // (Type 1 query), fanned out across the non-pruned shards; see
 // Tree.Timeslice.
 func (s *ShardedTree) Timeslice(r Rect, at, now float64) ([]Result, error) {
+	if s.rec != nil {
+		res, _, err := s.TraceTimeslice(r, at, now)
+		return res, err
+	}
 	start := time.Now()
 	res, err := s.timeslice(r, at, now)
 	s.m.ObserveOp(obs.OpTimeslice, time.Since(start), err)
@@ -710,6 +813,10 @@ func (s *ShardedTree) timeslice(r Rect, at, now float64) ([]Result, error) {
 // (Type 2 query), fanned out across the non-pruned shards; see
 // Tree.Window.
 func (s *ShardedTree) Window(r Rect, t1, t2, now float64) ([]Result, error) {
+	if s.rec != nil {
+		res, _, err := s.TraceWindow(r, t1, t2, now)
+		return res, err
+	}
 	start := time.Now()
 	res, err := s.window(r, t1, t2, now)
 	s.m.ObserveOp(obs.OpWindow, time.Since(start), err)
@@ -728,6 +835,10 @@ func (s *ShardedTree) window(r Rect, t1, t2, now float64) ([]Result, error) {
 // connecting r1 at t1 to r2 at t2 (Type 3 query), fanned out across
 // the non-pruned shards; see Tree.Moving.
 func (s *ShardedTree) Moving(r1, r2 Rect, t1, t2, now float64) ([]Result, error) {
+	if s.rec != nil {
+		res, _, err := s.TraceMoving(r1, r2, t1, t2, now)
+		return res, err
+	}
 	start := time.Now()
 	res, err := s.moving(r1, r2, t1, t2, now)
 	s.m.ObserveOp(obs.OpMoving, time.Since(start), err)
@@ -750,6 +861,10 @@ func (s *ShardedTree) moving(r1, r2 Rect, t1, t2, now float64) ([]Result, error)
 // cannot enter the result).  The merged list is ordered by ascending
 // distance (ties by object id) and truncated to k.
 func (s *ShardedTree) Nearest(pos Vec, at float64, k int, now float64) ([]Result, error) {
+	if s.rec != nil {
+		res, _, err := s.TraceNearest(pos, at, k, now)
+		return res, err
+	}
 	start := time.Now()
 	res, err := s.nearest(pos, at, k, now)
 	s.m.ObserveOp(obs.OpNearest, time.Since(start), err)
@@ -912,6 +1027,11 @@ func (s *ShardedTree) snapshots() (agg obs.Snapshot, shards []obs.Snapshot) {
 	agg.ShardVisits = front.ShardVisits
 	agg.ShardsPruned = front.ShardsPruned
 	agg.Rerouted = front.Rerouted
+	// The fan-out phases (queue_wait, merge) are observed only by the
+	// front-end registry; fold them into the summed shard phases.
+	for p := range agg.Phases {
+		agg.Phases[p] = agg.Phases[p].Add(front.Phases[p])
+	}
 	return agg, shards
 }
 

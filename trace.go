@@ -1,0 +1,717 @@
+package rexptree
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rexptree/internal/core"
+	"rexptree/internal/geom"
+	"rexptree/internal/obs"
+)
+
+// TraceSpan is one timed phase of a traced operation.  Spans form a
+// tree through Parent (an index into QueryTrace.Spans, -1 for roots);
+// Start is the offset from the operation's start.  The span taxonomy
+// is documented in docs/TRACING.md: route, shard, queue-wait,
+// lock-wait, traverse, merge for queries; lock-wait, apply, wal-append,
+// wal-fsync, checkpoint for mutations; analyze, truncate-tail,
+// reapply-images, open-base, rebuild-records, replay, checkpoint for
+// recovery.  Traverse spans additionally carry the traversal's node and
+// page accounting.
+type TraceSpan struct {
+	Parent    int           `json:"parent"`          // index of the parent span; -1 for roots
+	Phase     string        `json:"phase"`           // span name, see docs/TRACING.md
+	Shard     int           `json:"shard"`           // shard the span ran on; -1 when not shard-specific
+	Start     time.Duration `json:"start_ns"`        // offset from the operation's start
+	Duration  time.Duration `json:"duration_ns"`     // span length
+	Nodes     uint64        `json:"nodes,omitempty"` // traverse spans: nodes visited
+	Leaves    uint64        `json:"leaves,omitempty"`
+	PageReads uint64        `json:"page_reads,omitempty"` // buffer misses that read the store
+	PageHits  uint64        `json:"page_hits,omitempty"`  // page requests served by the buffer
+	Results   int           `json:"results,omitempty"`
+}
+
+// ShardTrace is one row of a sharded query's pruning table: what the
+// front end decided about the shard and, when it was visited, what the
+// visit cost.
+type ShardTrace struct {
+	Shard   int    `json:"shard"`
+	Band    string `json:"band,omitempty"` // speed band "[lo, hi)" under PartitionSpeed
+	Visited bool   `json:"visited"`
+	// Reason explains the decision: "match" (summary intersects the
+	// query), "summary-pruned", "empty" (provably empty shard), or
+	// "distance-pruned" (nearest: bound beyond the k-th candidate).
+	Reason    string        `json:"reason"`
+	Results   int           `json:"results"`
+	Nodes     uint64        `json:"nodes"`
+	Leaves    uint64        `json:"leaves"`
+	PageReads uint64        `json:"page_reads"`
+	PageHits  uint64        `json:"page_hits"`
+	Duration  time.Duration `json:"duration_ns"`
+}
+
+// QueryTrace is the structured execution trace of one operation: the
+// span tree, and for sharded queries the per-shard pruning table.  It
+// is the EXPLAIN result of the Trace* methods and the unit retained by
+// the flight recorder.  A trace is immutable once returned; JSON
+// encodes it for the /debug/rexp/traces endpoint and Text renders it
+// for humans.
+type QueryTrace struct {
+	Op       string        `json:"op"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Results  int           `json:"results"`
+	Error    string        `json:"error,omitempty"`
+	Shards   []ShardTrace  `json:"shards,omitempty"`
+	Spans    []TraceSpan   `json:"spans"`
+}
+
+func newTrace(op string) *QueryTrace {
+	return &QueryTrace{Op: op, Start: time.Now()}
+}
+
+// begin appends a span starting now and returns its index (-1 on a nil
+// trace — the untraced fast path costs one pointer test).  Not safe
+// for concurrent use: concurrent writers (the query fan-out) must have
+// their spans preallocated with begin before the goroutines start and
+// then only touch their own indexes via startAt/endAt.
+func (t *QueryTrace) begin(parent int, phase string, shard int) int {
+	if t == nil {
+		return -1
+	}
+	t.Spans = append(t.Spans, TraceSpan{
+		Parent: parent,
+		Phase:  phase,
+		Shard:  shard,
+		Start:  time.Since(t.Start),
+	})
+	return len(t.Spans) - 1
+}
+
+// startAt re-stamps span i's start to now.
+func (t *QueryTrace) startAt(i int) {
+	if t == nil || i < 0 {
+		return
+	}
+	t.Spans[i].Start = time.Since(t.Start)
+}
+
+// endAt closes span i, setting its duration.
+func (t *QueryTrace) endAt(i int) {
+	if t == nil || i < 0 {
+		return
+	}
+	sp := &t.Spans[i]
+	sp.Duration = time.Since(t.Start) - sp.Start
+}
+
+// setTrav attaches a traversal's node and page accounting to span i.
+func (t *QueryTrace) setTrav(i int, st core.TravStats, results int) {
+	if t == nil || i < 0 {
+		return
+	}
+	sp := &t.Spans[i]
+	sp.Nodes, sp.Leaves = st.Nodes, st.Leaves
+	sp.PageReads, sp.PageHits = st.Reads, st.Hits
+	sp.Results = results
+}
+
+// finishRecord seals the trace and hands it to the flight recorder
+// (when one is attached).  Nil-safe on both the trace and recorder.
+func (t *QueryTrace) finishRecord(rec *obs.Recorder, results int, d time.Duration, err error) {
+	if t == nil {
+		return
+	}
+	t.Duration = d
+	t.Results = results
+	if err != nil {
+		t.Error = err.Error()
+	}
+	if rec != nil {
+		rec.Record(t, d)
+	}
+}
+
+// JSON returns the trace as indented JSON (durations in nanoseconds,
+// as served by /debug/rexp/traces).
+func (t *QueryTrace) JSON() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// Text renders the trace for humans: a header line, the per-shard
+// pruning table (sharded queries), and the indented span tree.
+func (t *QueryTrace) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %v", t.Op, t.Duration)
+	if t.Error != "" {
+		fmt.Fprintf(&b, ", error: %s", t.Error)
+	} else {
+		fmt.Fprintf(&b, ", %d results", t.Results)
+	}
+	b.WriteByte('\n')
+
+	if len(t.Shards) > 0 {
+		visited := 0
+		for _, st := range t.Shards {
+			if st.Visited {
+				visited++
+			}
+		}
+		fmt.Fprintf(&b, "  shards: %d/%d visited\n", visited, len(t.Shards))
+		for _, st := range t.Shards {
+			fmt.Fprintf(&b, "    shard %d", st.Shard)
+			if st.Band != "" {
+				fmt.Fprintf(&b, " %s", st.Band)
+			}
+			if !st.Visited {
+				fmt.Fprintf(&b, ": %s\n", st.Reason)
+				continue
+			}
+			fmt.Fprintf(&b, ": %d results, %d nodes, %d leaf entries, %d reads, %d cached, %v\n",
+				st.Results, st.Nodes, st.Leaves, st.PageReads, st.PageHits, st.Duration)
+		}
+	}
+
+	if len(t.Spans) > 0 {
+		b.WriteString("  spans:\n")
+		children := make([][]int, len(t.Spans))
+		var roots []int
+		for i := range t.Spans {
+			if p := t.Spans[i].Parent; p >= 0 && p < len(t.Spans) {
+				children[p] = append(children[p], i)
+			} else {
+				roots = append(roots, i)
+			}
+		}
+		var walk func(i, depth int)
+		walk = func(i, depth int) {
+			sp := &t.Spans[i]
+			label := sp.Phase
+			if sp.Shard >= 0 {
+				label = fmt.Sprintf("%s [shard %d]", sp.Phase, sp.Shard)
+			}
+			fmt.Fprintf(&b, "    %s%-24s %v", strings.Repeat("  ", depth), label, sp.Duration)
+			if sp.Nodes > 0 || sp.Leaves > 0 || sp.PageReads > 0 || sp.PageHits > 0 {
+				fmt.Fprintf(&b, "  nodes=%d leaves=%d reads=%d cached=%d results=%d",
+					sp.Nodes, sp.Leaves, sp.PageReads, sp.PageHits, sp.Results)
+			}
+			b.WriteByte('\n')
+			for _, c := range children[i] {
+				walk(c, depth+1)
+			}
+		}
+		for _, r := range roots {
+			walk(r, 0)
+		}
+	}
+	return b.String()
+}
+
+// newRecorder builds the flight recorder configured in opts (nil when
+// disabled).  The slow threshold defaults to SlowOpThreshold when set,
+// else 10ms.
+func newRecorder(opts Options) *obs.Recorder {
+	if opts.FlightRecorder <= 0 {
+		return nil
+	}
+	slow := opts.FlightSlowThreshold
+	if slow <= 0 {
+		slow = opts.SlowOpThreshold
+	}
+	if slow <= 0 {
+		slow = 10 * time.Millisecond
+	}
+	return obs.NewRecorder(opts.FlightRecorder, slow)
+}
+
+// convTraces converts a recorder snapshot back to traces.
+func convTraces(vs []any) []*QueryTrace {
+	out := make([]*QueryTrace, 0, len(vs))
+	for _, v := range vs {
+		if t, ok := v.(*QueryTrace); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// traceHandler serves a recorder's retained traces as JSON.
+func traceHandler(rec *obs.Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if rec == nil {
+			w.Write([]byte(`{"enabled":false,"recent":[],"slow":[]}` + "\n"))
+			return
+		}
+		recent, slow := rec.Snapshot()
+		resp := struct {
+			Enabled       bool          `json:"enabled"`
+			SlowThreshold int64         `json:"slow_threshold_ns"`
+			Recent        []*QueryTrace `json:"recent"`
+			Slow          []*QueryTrace `json:"slow"`
+		}{true, int64(rec.SlowThreshold()), convTraces(recent), convTraces(slow)}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
+	})
+}
+
+// ---------------------------------------------------------------------
+// Tree EXPLAIN API.
+
+// TraceWindow runs Window and returns its execution trace alongside
+// the results.  The traversal and results are identical to Window (the
+// trace only observes); the operation is observed in the metrics and
+// flight recorder like any other.
+func (tr *Tree) TraceWindow(r Rect, t1, t2, now float64) ([]Result, *QueryTrace, error) {
+	tc := newTrace("window")
+	start := time.Now()
+	res, err := tr.windowTraced(r, t1, t2, now, tc)
+	d := time.Since(start)
+	tr.m.ObserveOp(obs.OpWindow, d, err)
+	tc.finishRecord(tr.rec, len(res), d, err)
+	return res, tc, err
+}
+
+// TraceTimeslice runs Timeslice and returns its execution trace; see
+// TraceWindow.
+func (tr *Tree) TraceTimeslice(r Rect, at, now float64) ([]Result, *QueryTrace, error) {
+	tc := newTrace("timeslice")
+	start := time.Now()
+	res, err := tr.timesliceTraced(r, at, now, tc)
+	d := time.Since(start)
+	tr.m.ObserveOp(obs.OpTimeslice, d, err)
+	tc.finishRecord(tr.rec, len(res), d, err)
+	return res, tc, err
+}
+
+// TraceMoving runs Moving and returns its execution trace; see
+// TraceWindow.
+func (tr *Tree) TraceMoving(r1, r2 Rect, t1, t2, now float64) ([]Result, *QueryTrace, error) {
+	tc := newTrace("moving")
+	start := time.Now()
+	res, err := tr.movingTraced(r1, r2, t1, t2, now, tc)
+	d := time.Since(start)
+	tr.m.ObserveOp(obs.OpMoving, d, err)
+	tc.finishRecord(tr.rec, len(res), d, err)
+	return res, tc, err
+}
+
+// TraceNearest runs Nearest and returns its execution trace; see
+// TraceWindow.
+func (tr *Tree) TraceNearest(pos Vec, at float64, k int, now float64) ([]Result, *QueryTrace, error) {
+	tc := newTrace("nearest")
+	start := time.Now()
+	res, err := tr.nearestTraced(pos, at, k, now, tc)
+	d := time.Since(start)
+	tr.m.ObserveOp(obs.OpNearest, d, err)
+	tc.finishRecord(tr.rec, len(res), d, err)
+	return res, tc, err
+}
+
+func (tr *Tree) windowTraced(r Rect, t1, t2, now float64, tc *QueryTrace) ([]Result, error) {
+	if err := checkWindow(t1, t2, now); err != nil {
+		return nil, err
+	}
+	li := tc.begin(-1, "lock-wait", -1)
+	ti := tc.begin(-1, "traverse", -1)
+	return tr.searchSpansAt(geom.Window(toRect(r), t1, t2), now, tc, li, ti)
+}
+
+func (tr *Tree) timesliceTraced(r Rect, at, now float64, tc *QueryTrace) ([]Result, error) {
+	if err := checkTimeslice(at, now); err != nil {
+		return nil, err
+	}
+	li := tc.begin(-1, "lock-wait", -1)
+	ti := tc.begin(-1, "traverse", -1)
+	return tr.searchSpansAt(geom.Timeslice(toRect(r), at), now, tc, li, ti)
+}
+
+func (tr *Tree) movingTraced(r1, r2 Rect, t1, t2, now float64, tc *QueryTrace) ([]Result, error) {
+	if err := checkMoving(t1, t2, now); err != nil {
+		return nil, err
+	}
+	li := tc.begin(-1, "lock-wait", -1)
+	ti := tc.begin(-1, "traverse", -1)
+	return tr.searchSpansAt(geom.Moving(toRect(r1), toRect(r2), t1, t2, tr.dims), now, tc, li, ti)
+}
+
+func (tr *Tree) nearestTraced(pos Vec, at float64, k int, now float64, tc *QueryTrace) ([]Result, error) {
+	if err := checkTimeslice(at, now); err != nil {
+		return nil, err
+	}
+	li := tc.begin(-1, "lock-wait", -1)
+	ti := tc.begin(-1, "traverse", -1)
+	return tr.nearestSpansAt(pos, at, k, now, tc, li, ti)
+}
+
+// searchSpansAt runs one search, timing the lock wait and traversal
+// into the preallocated spans lockIdx and travIdx (so concurrent shard
+// goroutines never append to the shared trace).  The traversal and
+// result conversion are identical to the untraced search.
+func (tr *Tree) searchSpansAt(q geom.Query, now float64, tc *QueryTrace, lockIdx, travIdx int) ([]Result, error) {
+	tc.startAt(lockIdx)
+	tr.rlock()
+	tc.endAt(lockIdx)
+	defer tr.mu.RUnlock()
+	tc.startAt(travIdx)
+	var st core.TravStats
+	rs, err := tr.t.SearchStats(q, now, &st)
+	tc.endAt(travIdx)
+	tc.setTrav(travIdx, st, len(rs))
+	if err != nil {
+		return nil, err
+	}
+	return fromResults(rs, now, tr.dims), nil
+}
+
+// nearestSpansAt is searchSpansAt for the nearest-neighbor traversal.
+// The caller must have validated the query time.
+func (tr *Tree) nearestSpansAt(pos Vec, at float64, k int, now float64, tc *QueryTrace, lockIdx, travIdx int) ([]Result, error) {
+	tc.startAt(lockIdx)
+	tr.rlock()
+	tc.endAt(lockIdx)
+	defer tr.mu.RUnlock()
+	tc.startAt(travIdx)
+	var st core.TravStats
+	rs, err := tr.t.NearestStats(geom.Vec(pos), at, k, now, &st)
+	tc.endAt(travIdx)
+	tc.setTrav(travIdx, st, len(rs))
+	if err != nil {
+		return nil, err
+	}
+	return fromResults(rs, now, tr.dims), nil
+}
+
+// Traces returns the flight recorder's retained traces, newest first.
+// Both slices are nil when the recorder is disabled
+// (Options.FlightRecorder == 0).
+func (tr *Tree) Traces() (recent, slow []*QueryTrace) {
+	if tr.rec == nil {
+		return nil, nil
+	}
+	r, s := tr.rec.Snapshot()
+	return convTraces(r), convTraces(s)
+}
+
+// TraceHandler returns an http.Handler serving the flight recorder's
+// retained traces as JSON, for mounting at /debug/rexp/traces next to
+// MetricsHandler.
+func (tr *Tree) TraceHandler() http.Handler {
+	return traceHandler(tr.rec)
+}
+
+// ---------------------------------------------------------------------
+// ShardedTree EXPLAIN API.
+
+// TraceWindow runs Window across the shards and returns the execution
+// trace: the per-shard pruning table and the span tree covering
+// routing, per-shard queue wait, lock wait and traversal, and the
+// result merge.  Results are identical to Window.
+func (s *ShardedTree) TraceWindow(r Rect, t1, t2, now float64) ([]Result, *QueryTrace, error) {
+	tc := newTrace("window")
+	start := time.Now()
+	res, err := s.windowTraced(r, t1, t2, now, tc)
+	d := time.Since(start)
+	s.m.ObserveOp(obs.OpWindow, d, err)
+	tc.finishRecord(s.rec, len(res), d, err)
+	return res, tc, err
+}
+
+// TraceTimeslice runs Timeslice across the shards and returns the
+// execution trace; see TraceWindow.
+func (s *ShardedTree) TraceTimeslice(r Rect, at, now float64) ([]Result, *QueryTrace, error) {
+	tc := newTrace("timeslice")
+	start := time.Now()
+	res, err := s.timesliceTraced(r, at, now, tc)
+	d := time.Since(start)
+	s.m.ObserveOp(obs.OpTimeslice, d, err)
+	tc.finishRecord(s.rec, len(res), d, err)
+	return res, tc, err
+}
+
+// TraceMoving runs Moving across the shards and returns the execution
+// trace; see TraceWindow.
+func (s *ShardedTree) TraceMoving(r1, r2 Rect, t1, t2, now float64) ([]Result, *QueryTrace, error) {
+	tc := newTrace("moving")
+	start := time.Now()
+	res, err := s.movingTraced(r1, r2, t1, t2, now, tc)
+	d := time.Since(start)
+	s.m.ObserveOp(obs.OpMoving, d, err)
+	tc.finishRecord(s.rec, len(res), d, err)
+	return res, tc, err
+}
+
+// TraceNearest runs Nearest across the shards and returns the
+// execution trace; the pruning table records the distance-ordered
+// visits and prunes.  See TraceWindow.
+func (s *ShardedTree) TraceNearest(pos Vec, at float64, k int, now float64) ([]Result, *QueryTrace, error) {
+	tc := newTrace("nearest")
+	start := time.Now()
+	res, err := s.nearestTraced(pos, at, k, now, tc)
+	d := time.Since(start)
+	s.m.ObserveOp(obs.OpNearest, d, err)
+	tc.finishRecord(s.rec, len(res), d, err)
+	return res, tc, err
+}
+
+func (s *ShardedTree) windowTraced(r Rect, t1, t2, now float64, tc *QueryTrace) ([]Result, error) {
+	if err := checkWindow(t1, t2, now); err != nil {
+		return nil, err
+	}
+	q := geom.Window(toRect(r), t1, t2)
+	return s.queryTraced(q, obs.OpWindow, tc, func(t *Tree, li, ti int) ([]Result, error) {
+		return t.searchSpansAt(q, now, tc, li, ti)
+	})
+}
+
+func (s *ShardedTree) timesliceTraced(r Rect, at, now float64, tc *QueryTrace) ([]Result, error) {
+	if err := checkTimeslice(at, now); err != nil {
+		return nil, err
+	}
+	q := geom.Timeslice(toRect(r), at)
+	return s.queryTraced(q, obs.OpTimeslice, tc, func(t *Tree, li, ti int) ([]Result, error) {
+		return t.searchSpansAt(q, now, tc, li, ti)
+	})
+}
+
+func (s *ShardedTree) movingTraced(r1, r2 Rect, t1, t2, now float64, tc *QueryTrace) ([]Result, error) {
+	if err := checkMoving(t1, t2, now); err != nil {
+		return nil, err
+	}
+	q := geom.Moving(toRect(r1), toRect(r2), t1, t2, s.dims)
+	return s.queryTraced(q, obs.OpMoving, tc, func(t *Tree, li, ti int) ([]Result, error) {
+		return t.searchSpansAt(q, now, tc, li, ti)
+	})
+}
+
+// queryTraced is the traced counterpart of query: same routing, prune
+// accounting, fan-out and deterministic merge, with the decisions and
+// timings recorded into tc.  Each visited shard's span block (shard,
+// queue-wait, lock-wait, traverse) is preallocated before the fan-out
+// so the goroutines only write their own slots.  Per-shard operation
+// metrics are observed like the untraced path (which calls the shard's
+// public method).
+func (s *ShardedTree) queryTraced(q geom.Query, op obs.Op, tc *QueryTrace, run func(t *Tree, lockIdx, travIdx int) ([]Result, error)) ([]Result, error) {
+	ri := tc.begin(-1, "route", -1)
+	visit := make([]bool, len(s.shards))
+	var visits, pruned uint64
+	tc.Shards = make([]ShardTrace, len(s.shards))
+	for i := range s.shards {
+		st := &tc.Shards[i]
+		st.Shard = i
+		st.Band = s.bandLabel(i)
+		if s.shardMatches(i, q) {
+			visit[i] = true
+			visits++
+			st.Visited = true
+			st.Reason = "match"
+		} else {
+			st.Reason = "summary-pruned"
+		}
+	}
+	pruned = uint64(len(s.shards)) - visits
+	tc.endAt(ri)
+	s.m.ShardVisits.Add(visits)
+	s.m.ShardsPruned.Add(pruned)
+
+	type spanBlock struct{ shard, queue, lock, trav int }
+	blocks := make([]spanBlock, len(s.shards))
+	for i := range s.shards {
+		if !visit[i] {
+			blocks[i] = spanBlock{-1, -1, -1, -1}
+			continue
+		}
+		sh := tc.begin(-1, "shard", i)
+		blocks[i] = spanBlock{
+			shard: sh,
+			queue: tc.begin(sh, "queue-wait", i),
+			lock:  tc.begin(sh, "lock-wait", i),
+			trav:  tc.begin(sh, "traverse", i),
+		}
+	}
+
+	parts := make([][]Result, len(s.shards))
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.shards))
+	for i, t := range s.shards {
+		if !visit[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, t *Tree) {
+			defer wg.Done()
+			opStart := time.Now()
+			b := blocks[i]
+			tc.startAt(b.queue)
+			qs := time.Now()
+			s.sem <- struct{}{}
+			s.m.ObservePhase(obs.PhaseQueueWait, time.Since(qs))
+			tc.endAt(b.queue)
+			defer func() { <-s.sem }()
+			rs, err := run(t, b.lock, b.trav)
+			parts[i] = rs
+			errs[i] = err
+			tc.endAt(b.shard)
+			t.m.ObserveOp(op, time.Since(opStart), err)
+		}(i, t)
+	}
+	wg.Wait()
+
+	for i := range s.shards {
+		if !visit[i] {
+			continue
+		}
+		st := &tc.Shards[i]
+		sp := &tc.Spans[blocks[i].trav]
+		st.Nodes, st.Leaves = sp.Nodes, sp.Leaves
+		st.PageReads, st.PageHits = sp.PageReads, sp.PageHits
+		st.Results = len(parts[i])
+		st.Duration = tc.Spans[blocks[i].shard].Duration
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	mi := tc.begin(-1, "merge", -1)
+	ms := time.Now()
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]Result, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	s.m.ObservePhase(obs.PhaseMerge, time.Since(ms))
+	tc.endAt(mi)
+	return out, nil
+}
+
+// nearestTraced mirrors nearest with the distance-ordered visits and
+// prunes recorded into tc.  The visits are sequential, so spans append
+// freely.
+func (s *ShardedTree) nearestTraced(pos Vec, at float64, k int, now float64, tc *QueryTrace) ([]Result, error) {
+	if err := checkTimeslice(at, now); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	ri := tc.begin(-1, "route", -1)
+	type shardDist struct {
+		i   int
+		d   float64
+		has bool
+	}
+	ord := make([]shardDist, len(s.shards))
+	for i := range s.shards {
+		d, has := s.shardMinDist(i, pos, at)
+		ord[i] = shardDist{i, d, has}
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		if ord[a].d != ord[b].d {
+			return ord[a].d < ord[b].d
+		}
+		return ord[a].i < ord[b].i
+	})
+	tc.Shards = make([]ShardTrace, len(s.shards))
+	for i := range s.shards {
+		tc.Shards[i] = ShardTrace{Shard: i, Band: s.bandLabel(i)}
+	}
+	tc.endAt(ri)
+
+	type cand struct {
+		dist float64
+		r    Result
+	}
+	var cands []cand
+	var visits, pruned uint64
+	for idx, o := range ord {
+		if !o.has || (len(cands) >= k && o.d > cands[k-1].dist) {
+			for _, rest := range ord[idx:] {
+				st := &tc.Shards[rest.i]
+				if rest.has {
+					st.Reason = "distance-pruned"
+				} else {
+					st.Reason = "empty"
+				}
+			}
+			pruned += uint64(len(ord) - idx)
+			break
+		}
+		visits++
+		st := &tc.Shards[o.i]
+		st.Visited = true
+		st.Reason = "match"
+		sh := tc.begin(-1, "shard", o.i)
+		li := tc.begin(sh, "lock-wait", o.i)
+		ti := tc.begin(sh, "traverse", o.i)
+		opStart := time.Now()
+		rs, err := s.shards[o.i].nearestSpansAt(pos, at, k, now, tc, li, ti)
+		s.shards[o.i].m.ObserveOp(obs.OpNearest, time.Since(opStart), err)
+		tc.endAt(sh)
+		sp := &tc.Spans[ti]
+		st.Nodes, st.Leaves = sp.Nodes, sp.Leaves
+		st.PageReads, st.PageHits = sp.PageReads, sp.PageHits
+		st.Results = len(rs)
+		st.Duration = tc.Spans[sh].Duration
+		if err != nil {
+			s.m.ShardVisits.Add(visits)
+			s.m.ShardsPruned.Add(pruned)
+			return nil, err
+		}
+		for _, r := range rs {
+			p := r.Point.At(at)
+			var d float64
+			for j := 0; j < s.dims; j++ {
+				dd := p[j] - pos[j]
+				d += dd * dd
+			}
+			cands = append(cands, cand{math.Sqrt(d), r})
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].dist != cands[b].dist {
+				return cands[a].dist < cands[b].dist
+			}
+			return cands[a].r.ID < cands[b].r.ID
+		})
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+	}
+	s.m.ShardVisits.Add(visits)
+	s.m.ShardsPruned.Add(pruned)
+	out := make([]Result, len(cands))
+	for i, c := range cands {
+		out[i] = c.r
+	}
+	return out, nil
+}
+
+// Traces returns the sharded front end's flight-recorder traces,
+// newest first; see Tree.Traces.  (Each shard additionally records its
+// own operations when the recorder is enabled; this is the fan-out
+// view.)
+func (s *ShardedTree) Traces() (recent, slow []*QueryTrace) {
+	if s.rec == nil {
+		return nil, nil
+	}
+	r, sl := s.rec.Snapshot()
+	return convTraces(r), convTraces(sl)
+}
+
+// TraceHandler returns an http.Handler serving the front end's flight
+// recorder as JSON, for mounting at /debug/rexp/traces.
+func (s *ShardedTree) TraceHandler() http.Handler {
+	return traceHandler(s.rec)
+}

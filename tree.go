@@ -32,7 +32,8 @@ type Tree struct {
 	store   storage.Store
 	dims    int
 	objects map[uint32]geom.MovingPoint
-	m       *obs.Metrics // always non-nil; see Metrics and WriteMetrics
+	m       *obs.Metrics  // always non-nil; see Metrics and WriteMetrics
+	rec     *obs.Recorder // flight recorder; nil unless Options.FlightRecorder > 0
 
 	// Durability state; all nil/zero when Durability is DurabilityNone.
 	fs          *storage.FileStore // the unwrapped page file
@@ -135,6 +136,7 @@ func open(opts Options, retried bool) (*Tree, error) {
 		store:   store,
 		objects: make(map[uint32]geom.MovingPoint),
 		m:       m,
+		rec:     newRecorder(opts),
 	}
 	if durable {
 		tr.fs = fs
@@ -155,7 +157,13 @@ func open(opts Options, retried bool) (*Tree, error) {
 	// subsumes the clean case (empty WAL, nothing to replay) and is the
 	// only correct path for the unclean one.
 	if durable && existing {
-		retry, err := recoverDurable(opts, fs, store, cfg, tr)
+		var tc *QueryTrace
+		if tr.rec != nil {
+			tc = newTrace("recovery")
+		}
+		rstart := time.Now()
+		retry, err := recoverDurable(opts, fs, store, cfg, tr, tc)
+		tc.finishRecord(tr.rec, 0, time.Since(rstart), err)
 		if err != nil {
 			if tr.wal != nil {
 				tr.wal.Close()
@@ -223,7 +231,7 @@ func newMetrics(opts Options) *obs.Metrics {
 	if opts.Observer != nil {
 		hook := opts.Observer
 		m.Observer = obs.ObserverFunc(func(e obs.Event) {
-			hook(ObserverEvent{Kind: e.Kind.String(), Level: e.Level, Count: e.N})
+			hook(ObserverEvent{Kind: e.Kind.String(), Level: e.Level, Count: e.N, Shard: -1})
 		})
 	}
 	if opts.SlowOpThreshold > 0 {
@@ -271,20 +279,28 @@ func (tr *Tree) Close() error {
 // time; p.Time must not precede now's meaning for the caller, and time
 // must never run backwards across calls.
 func (tr *Tree) Update(id uint32, p Point, now float64) error {
+	var tc *QueryTrace
+	if tr.rec != nil {
+		tc = newTrace("update")
+	}
 	start := time.Now()
-	err := tr.update(id, p, now)
-	tr.m.ObserveOp(obs.OpUpdate, time.Since(start), err)
+	err := tr.update(id, p, now, tc)
+	d := time.Since(start)
+	tr.m.ObserveOp(obs.OpUpdate, d, err)
+	tc.finishRecord(tr.rec, 0, d, err)
 	return err
 }
 
-func (tr *Tree) update(id uint32, p Point, now float64) error {
+func (tr *Tree) update(id uint32, p Point, now float64, tc *QueryTrace) error {
+	li := tc.begin(-1, "lock-wait", -1)
 	tr.lock()
+	tc.endAt(li)
 	defer tr.mu.Unlock()
-	if err := tr.updateLocked(id, p, now); err != nil {
+	if err := tr.updateLocked(id, p, now, tc); err != nil {
 		return err
 	}
 	if tr.wal != nil {
-		return tr.walCommit()
+		return tr.walCommit(tc)
 	}
 	return nil
 }
@@ -294,18 +310,27 @@ func (tr *Tree) update(id uint32, p Point, now float64) error {
 // the caller commits per the durability policy.  If the mutation then
 // fails, the record is rolled back (or the tree poisoned) so a failed
 // operation can never become durable.
-func (tr *Tree) updateLocked(id uint32, p Point, now float64) error {
+func (tr *Tree) updateLocked(id uint32, p Point, now float64, tc *QueryTrace) error {
 	if tr.wal == nil {
-		return tr.applyUpdate(id, p, now)
+		ai := tc.begin(-1, "apply", -1)
+		err := tr.applyUpdate(id, p, now)
+		tc.endAt(ai)
+		return err
 	}
 	if tr.walPoison != nil {
 		return tr.walPoison
 	}
 	prev := tr.wal.Size()
-	if err := tr.walLogUpdate(id, p, now); err != nil {
+	wi := tc.begin(-1, "wal-append", -1)
+	err := tr.walLogUpdate(id, p, now)
+	tc.endAt(wi)
+	if err != nil {
 		return err
 	}
-	if err := tr.applyUpdate(id, p, now); err != nil {
+	ai := tc.begin(-1, "apply", -1)
+	err = tr.applyUpdate(id, p, now)
+	tc.endAt(ai)
+	if err != nil {
 		tr.walRollback(prev, err)
 		return err
 	}
@@ -335,14 +360,22 @@ func (tr *Tree) applyUpdate(id uint32, p Point, now float64) error {
 // entry is invisible to the deletion search, §4.3; it will be purged
 // lazily).
 func (tr *Tree) Delete(id uint32, now float64) (bool, error) {
+	var tc *QueryTrace
+	if tr.rec != nil {
+		tc = newTrace("delete")
+	}
 	start := time.Now()
-	ok, err := tr.delete(id, now)
-	tr.m.ObserveOp(obs.OpDelete, time.Since(start), err)
+	ok, err := tr.delete(id, now, tc)
+	d := time.Since(start)
+	tr.m.ObserveOp(obs.OpDelete, d, err)
+	tc.finishRecord(tr.rec, 0, d, err)
 	return ok, err
 }
 
-func (tr *Tree) delete(id uint32, now float64) (bool, error) {
+func (tr *Tree) delete(id uint32, now float64, tc *QueryTrace) (bool, error) {
+	li := tc.begin(-1, "lock-wait", -1)
 	tr.lock()
+	tc.endAt(li)
 	defer tr.mu.Unlock()
 	old, ok := tr.objects[id]
 	if !ok {
@@ -356,21 +389,30 @@ func (tr *Tree) delete(id uint32, now float64) (bool, error) {
 		return false, tr.walPoison
 	}
 	prev := tr.wal.Size()
-	if err := tr.walLogDelete(id, now); err != nil {
+	wi := tc.begin(-1, "wal-append", -1)
+	err := tr.walLogDelete(id, now)
+	tc.endAt(wi)
+	if err != nil {
 		return false, err
 	}
 	delete(tr.objects, id)
+	ai := tc.begin(-1, "apply", -1)
 	removed, err := tr.t.Delete(id, old, now)
+	tc.endAt(ai)
 	if err != nil {
 		tr.walRollback(prev, err)
 		return removed, err
 	}
-	return removed, tr.walCommit()
+	return removed, tr.walCommit(tc)
 }
 
 // Timeslice reports the objects predicted to be inside r at time at
 // (Type 1 query).  now is the current time; at must not precede it.
 func (tr *Tree) Timeslice(r Rect, at, now float64) ([]Result, error) {
+	if tr.rec != nil {
+		res, _, err := tr.TraceTimeslice(r, at, now)
+		return res, err
+	}
 	start := time.Now()
 	res, err := tr.timeslice(r, at, now)
 	tr.m.ObserveOp(obs.OpTimeslice, time.Since(start), err)
@@ -411,6 +453,10 @@ func checkMoving(t1, t2, now float64) error {
 // Window reports the objects predicted to cross r at some time in
 // [t1, t2] (Type 2 query).
 func (tr *Tree) Window(r Rect, t1, t2, now float64) ([]Result, error) {
+	if tr.rec != nil {
+		res, _, err := tr.TraceWindow(r, t1, t2, now)
+		return res, err
+	}
 	start := time.Now()
 	res, err := tr.window(r, t1, t2, now)
 	tr.m.ObserveOp(obs.OpWindow, time.Since(start), err)
@@ -427,6 +473,10 @@ func (tr *Tree) window(r Rect, t1, t2, now float64) ([]Result, error) {
 // Moving reports the objects predicted to cross the trapezoid
 // connecting r1 at t1 to r2 at t2 (Type 3 query).
 func (tr *Tree) Moving(r1, r2 Rect, t1, t2, now float64) ([]Result, error) {
+	if tr.rec != nil {
+		res, _, err := tr.TraceMoving(r1, r2, t1, t2, now)
+		return res, err
+	}
 	start := time.Now()
 	res, err := tr.moving(r1, r2, t1, t2, now)
 	tr.m.ObserveOp(obs.OpMoving, time.Since(start), err)
@@ -444,6 +494,10 @@ func (tr *Tree) moving(r1, r2 Rect, t1, t2, now float64) ([]Result, error) {
 // are closest to pos, nearest first.  Expired reports never qualify.
 // Like Timeslice, the query time must not precede the current time.
 func (tr *Tree) Nearest(pos Vec, at float64, k int, now float64) ([]Result, error) {
+	if tr.rec != nil {
+		res, _, err := tr.TraceNearest(pos, at, k, now)
+		return res, err
+	}
 	start := time.Now()
 	res, err := tr.nearest(pos, at, k, now)
 	tr.m.ObserveOp(obs.OpNearest, time.Since(start), err)
@@ -597,28 +651,42 @@ type Report struct {
 // earlier reports remain applied, the failing and later ones do not
 // take effect.  now is the current time for the whole batch.
 func (tr *Tree) UpdateBatch(batch []Report, now float64) error {
+	var tc *QueryTrace
+	if tr.rec != nil {
+		tc = newTrace("batch")
+	}
 	start := time.Now()
-	err := tr.updateBatch(batch, now)
-	tr.m.ObserveOp(obs.OpBatch, time.Since(start), err)
+	err := tr.updateBatch(batch, now, tc)
+	d := time.Since(start)
+	tr.m.ObserveOp(obs.OpBatch, d, err)
+	tc.finishRecord(tr.rec, len(batch), d, err)
 	return err
 }
 
-func (tr *Tree) updateBatch(batch []Report, now float64) error {
+func (tr *Tree) updateBatch(batch []Report, now float64, tc *QueryTrace) error {
 	if len(batch) == 0 {
 		return nil
 	}
+	li := tc.begin(-1, "lock-wait", -1)
 	tr.lock()
+	tc.endAt(li)
 	defer tr.mu.Unlock()
+	// Batch-level spans only: per-report spans would bloat the trace
+	// linearly, so the whole application loop is one "apply" span (the
+	// WAL appends it contains ride in the wal-append histogram instead).
+	ai := tc.begin(-1, "apply", -1)
 	for i := range batch {
-		if err := tr.updateLocked(batch[i].ID, batch[i].Point, now); err != nil {
+		if err := tr.updateLocked(batch[i].ID, batch[i].Point, now, nil); err != nil {
+			tc.endAt(ai)
 			tr.m.BatchedUpdates.Add(uint64(i))
 			return err
 		}
 	}
+	tc.endAt(ai)
 	tr.m.BatchedUpdates.Add(uint64(len(batch)))
 	if tr.wal != nil {
 		// Group commit: the whole batch rides on one durability point.
-		return tr.walCommit()
+		return tr.walCommit(tc)
 	}
 	return nil
 }
