@@ -6,15 +6,17 @@
 #   make bench-partition  hash vs speed partitioning -> BENCH_partition.json
 #   make bench-wal        durability-policy comparison -> BENCH_wal.json
 #   make bench-trace      tracing-overhead microbenchmark -> BENCH_trace.json
+#   make serve-smoke      the README serving quickstart, end to end
+#   make bench-serve      rexpd + remote loadgen -> BENCH_serve.json
 #   make all              check + all benchmarks
 
 GO ?= go
 
-.PHONY: all check fmt-check vet build test race fuzz-smoke bench-obs bench-obs-smoke bench-shard bench-partition bench-partition-smoke bench-wal bench-wal-smoke bench-trace bench-trace-smoke clean
+.PHONY: all check fmt-check vet build test race fuzz-smoke bench-obs bench-obs-smoke bench-shard bench-partition bench-partition-smoke bench-wal bench-wal-smoke bench-trace bench-trace-smoke serve-smoke bench-serve bench-serve-smoke clean
 
-all: check bench-obs bench-shard bench-partition bench-wal bench-trace
+all: check bench-obs bench-shard bench-partition bench-wal bench-trace bench-serve
 
-check: fmt-check vet build test race bench-obs-smoke bench-partition-smoke bench-wal-smoke bench-trace-smoke
+check: fmt-check vet build test race bench-obs-smoke bench-partition-smoke bench-wal-smoke bench-trace-smoke serve-smoke bench-serve-smoke
 
 # Fails (with the offending file list) if anything is not gofmt-clean.
 fmt-check:
@@ -100,5 +102,30 @@ bench-trace:
 bench-trace-smoke:
 	$(GO) run ./cmd/rexpobsbench -trace -scale 0.005 -rounds 1 -out - >/dev/null
 
+# The README "Serving" quickstart as a test: rexpgen a workload, serve
+# it with rexpd, ingest through rexpbench -remote -replay, query over
+# HTTP, scrape /metrics, SIGTERM, assert a clean drain (see
+# cmd/rexpd/main_test.go).
+serve-smoke:
+	$(GO) test ./cmd/rexpd -run 'TestServeSmoke|TestDrainNoAckedLossAcrossProcess' -count 1 -v
+
+# Serving-layer throughput: spawn rexpd, drive concurrent mixed
+# update/query HTTP load, SIGTERM it, and record sustained updates/sec
+# and query latency percentiles (see cmd/rexpbench/remote.go).
+bench-serve: bin/rexpd
+	$(GO) run ./cmd/rexpbench -spawn bin/rexpd -objects 20000 -workers 8 -duration 5 -serveout BENCH_serve.json
+
+# A fast pass of the serving bench for make check: it exercises spawn,
+# preload, mixed load and the SIGTERM drain without committing a file.
+bench-serve-smoke: bin/rexpd
+	$(GO) run ./cmd/rexpbench -spawn bin/rexpd -objects 2000 -workers 4 -duration 0.5 -quiet -serveout - >/dev/null
+
+bin/rexpd: FORCE
+	@mkdir -p bin
+	$(GO) build -o bin/rexpd ./cmd/rexpd
+
+FORCE:
+
 clean:
-	rm -f BENCH_obs.json BENCH_shard.json BENCH_partition.json BENCH_wal.json BENCH_trace.json
+	rm -f BENCH_obs.json BENCH_shard.json BENCH_partition.json BENCH_wal.json BENCH_trace.json BENCH_serve.json
+	rm -rf bin

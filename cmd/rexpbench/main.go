@@ -64,8 +64,26 @@ func main() {
 		durBench  = flag.Bool("durability", false, "run the durability-policy comparison (none vs batched vs on-commit WAL) instead of figure replay")
 		durOut    = flag.String("walout", "BENCH_wal.json", "output file for the durability report; - for stdout (-durability mode)")
 		batchSize = flag.Int("batch", 100, "reports per UpdateBatch in the durability bench's batched phase (-durability mode)")
+
+		remote   = flag.String("remote", "", "drive a running rexpd at this address (host:port) with mixed update/query load")
+		spawn    = flag.String("spawn", "", "spawn this rexpd binary on 127.0.0.1:0, bench it, then SIGTERM it (instead of -remote)")
+		replay   = flag.String("replay", "", "remote mode: replay this rexpgen workload file instead of synthetic load")
+		serveOut = flag.String("serveout", "BENCH_serve.json", "output file for the serving report; - for stdout (-remote/-spawn modes)")
 	)
 	flag.Parse()
+
+	if *remote != "" || *spawn != "" {
+		progress := func(line string) {
+			if !*quiet {
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}
+		if err := runRemoteBench(*remote, *spawn, *replay, *objects, *workers, *duration, *seed, *serveOut, progress); err != nil {
+			fmt.Fprintf(os.Stderr, "rexpbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *throughput || *partBench || *durBench {
 		progress := func(line string) {

@@ -1,0 +1,213 @@
+// Command rexpd serves a moving-object index over HTTP/JSON: routed
+// updates and deletes, streaming NDJSON batch ingest with admission
+// control, the three paper query types plus Nearest (with an optional
+// ?explain=1 EXPLAIN mode), Prometheus metrics, the flight-recorder
+// trace endpoint, pprof, and health/readiness probes.  docs/API.md is
+// the endpoint reference; docs/OPERATIONS.md is the runbook.
+//
+// The daemon owns the index's lifecycle: it opens (recovering if the
+// previous run crashed and a durability policy is set), seeds the
+// logical clock from the newest stored report, serves until SIGTERM or
+// SIGINT, then drains — stops admitting mutations, finishes the
+// in-flight ones, lets readers complete, checkpoints and closes.  With
+// a durability policy every acknowledged mutation survives the whole
+// sequence, including a crash in the middle of it.
+//
+// Usage:
+//
+//	rexpd -addr :7364 -path /var/lib/rexp/idx [-shards 4] [-partition hash|speed]
+//	      [-durability none|on-commit|batched] [-max-inflight 4] [-timeout 30s] ...
+//
+// With no -path the index is held in memory (and lost on exit).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"rexptree"
+	"rexptree/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7364", "listen address (host:port; port 0 picks a free port)")
+		path      = flag.String("path", "", "index file base path; empty serves an in-memory index")
+		shards    = flag.Int("shards", 4, "shard count (must match an existing index)")
+		workers   = flag.Int("workers", 0, "query fan-out workers (default: one per shard)")
+		partition = flag.String("partition", "hash", "object->shard partition policy: hash or speed")
+		bands     = flag.String("bands", "", "explicit speed-band boundaries, comma-separated (speed partition)")
+		durab     = flag.String("durability", "none", "crash-safety policy: none, on-commit or batched (requires -path)")
+		syncEvery = flag.Duration("sync-every", 0, "WAL fsync interval under -durability batched (default 100ms)")
+		ckptBytes = flag.Int64("checkpoint-bytes", 0, "checkpoint when a shard's WAL passes this size (default 4MiB)")
+		bufPages  = flag.Int("buffer-pages", 0, "total buffer-pool budget in 4KiB pages, split across shards (default 50/shard)")
+		recorder  = flag.Int("flight-recorder", 256, "flight-recorder ring capacity; 0 disables /debug/rexp/traces retention")
+		slowOp    = flag.Duration("slow", 0, "log operations at least this slow (0 disables)")
+		inflight  = flag.Int("max-inflight", 4, "ingest batches admitted concurrently; more get 429 + Retry-After")
+		maxBatch  = flag.Int("max-batch", 1000, "reports per UpdateBatch chunk of a streamed ingest body")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline (504 past it); 0 disables")
+		retry     = flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+		drainWait = flag.Duration("drain-timeout", time.Minute, "shutdown: maximum wait for in-flight requests")
+		noPprof   = flag.Bool("nopprof", false, "do not mount net/http/pprof under /debug/pprof/")
+		noRuntime = flag.Bool("noruntime", false, "do not append Go runtime metrics to /metrics scrapes")
+	)
+	flag.Parse()
+
+	if err := run(config{
+		addr: *addr, path: *path, shards: *shards, workers: *workers,
+		partition: *partition, bands: *bands, durability: *durab,
+		syncEvery: *syncEvery, ckptBytes: *ckptBytes, bufPages: *bufPages,
+		recorder: *recorder, slowOp: *slowOp,
+		inflight: *inflight, maxBatch: *maxBatch, timeout: *timeout,
+		retry: *retry, drainWait: *drainWait,
+		pprof: !*noPprof, runtime: !*noRuntime,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "rexpd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr, path, partition, bands, durability string
+	shards, workers, bufPages, recorder      int
+	syncEvery, slowOp, timeout, retry        time.Duration
+	ckptBytes                                int64
+	inflight, maxBatch                       int
+	drainWait                                time.Duration
+	pprof, runtime                           bool
+}
+
+func run(cfg config) error {
+	ix, durability, err := openIndex(cfg)
+	if err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{
+		Index:          ix,
+		MaxInFlight:    cfg.inflight,
+		MaxBatch:       cfg.maxBatch,
+		RequestTimeout: cfg.timeout,
+		RetryAfter:     cfg.retry,
+		Pprof:          cfg.pprof,
+		RuntimeMetrics: cfg.runtime,
+	})
+	srv.SetDurability(durability.String())
+
+	// Seed the logical clock from the newest stored report, so a
+	// reopened index accepts queries and monotone updates immediately.
+	newest := 0.0
+	ix.ForEach(0, func(r rexptree.Result) bool {
+		if r.Point.Time > newest {
+			newest = r.Point.Time
+		}
+		return true
+	})
+	srv.ObserveClock(newest)
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		srv.CloseIndex()
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+
+	// The one line the smoke tests (and humans) parse: the bound
+	// address, which matters when -addr asked for port 0.
+	fmt.Fprintf(os.Stderr, "rexpd: serving http://%s (index: %s, %d shard(s), %s partition, durability %s)\n",
+		ln.Addr(), pathOrMemory(cfg.path), ix.NumShards(), ix.Partition(), durability)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "rexpd: %v: draining (no new mutations; waiting for in-flight work)\n", got)
+	case err := <-errc:
+		srv.CloseIndex()
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	// Drain sequence: refuse new mutations and wait for the admitted
+	// ones (srv.Drain), let the listener's remaining readers finish
+	// (httpSrv.Shutdown), then checkpoint and close the index.  Every
+	// mutation acknowledged before this point is on disk when Close
+	// returns — and, under a durability policy, already was.
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "rexpd: shutdown: %v (closing the index anyway)\n", err)
+	}
+	if err := srv.CloseIndex(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "rexpd: clean shutdown")
+	return nil
+}
+
+// openIndex translates the daemon flags into ShardedOptions.
+func openIndex(cfg config) (*rexptree.ShardedTree, rexptree.Durability, error) {
+	durability, err := rexptree.ParseDurability(cfg.durability)
+	if err != nil {
+		return nil, 0, err
+	}
+	if durability != rexptree.DurabilityNone && cfg.path == "" {
+		return nil, 0, errors.New("-durability requires -path (a WAL needs a file-backed index)")
+	}
+	policy, err := rexptree.ParsePartitionPolicy(cfg.partition)
+	if err != nil {
+		return nil, 0, err
+	}
+	var speedBands []float64
+	if cfg.bands != "" {
+		for _, part := range strings.Split(cfg.bands, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return nil, 0, fmt.Errorf("-bands: %q is not a number", part)
+			}
+			speedBands = append(speedBands, f)
+		}
+	}
+
+	opts := rexptree.DefaultOptions()
+	opts.Path = cfg.path
+	opts.Durability = durability
+	opts.SyncEvery = cfg.syncEvery
+	opts.CheckpointBytes = cfg.ckptBytes
+	opts.BufferPages = cfg.bufPages
+	opts.FlightRecorder = cfg.recorder
+	opts.SlowOpThreshold = cfg.slowOp
+
+	ix, err := rexptree.OpenSharded(rexptree.ShardedOptions{
+		Options:    opts,
+		Shards:     cfg.shards,
+		Workers:    cfg.workers,
+		Partition:  policy,
+		SpeedBands: speedBands,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return ix, durability, nil
+}
+
+func pathOrMemory(path string) string {
+	if path == "" {
+		return "memory"
+	}
+	return path
+}

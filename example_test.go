@@ -3,6 +3,8 @@ package rexptree_test
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"rexptree"
 )
@@ -122,4 +124,95 @@ func ExampleShardedTree() {
 	// object 3
 	// object 4
 	// object 5
+}
+
+// A durability policy makes a file-backed index crash-safe: every
+// acknowledged mutation is WAL-logged (and, under DurabilityOnCommit,
+// fsynced) before the call returns, and reopening recovers
+// automatically.
+func Example_durability() {
+	dir, err := os.MkdirTemp("", "rexp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	opts := rexptree.DefaultOptions()
+	opts.Path = filepath.Join(dir, "fleet.rexp")
+	opts.Durability = rexptree.DurabilityOnCommit
+
+	tree, err := rexptree.Open(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree.Update(7, rexptree.Point{
+		Pos: rexptree.Vec{100, 200}, Vel: rexptree.Vec{1, 0},
+		Expires: rexptree.NoExpiry(),
+	}, 0)
+	tree.Close()
+
+	// A new process (or one recovering from a crash) reopens the file
+	// with the same policy and finds the acknowledged report.
+	tree, err = rexptree.Open(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tree.Close()
+	p, ok := tree.Get(7, 0)
+	fmt.Printf("object 7 recovered: %v, at (%.0f, %.0f)\n", ok, p.Pos[0], p.Pos[1])
+	// Output:
+	// object 7 recovered: true, at (100, 200)
+}
+
+// The flight recorder retains the traces of recent operations in a
+// lock-free ring, so the queries leading up to an incident stay
+// inspectable after the fact (rexpd serves them at /debug/rexp/traces).
+func Example_flightRecorder() {
+	opts := rexptree.DefaultOptions()
+	opts.FlightRecorder = 8 // ring capacity; 0 (the default) disables
+
+	tree, _ := rexptree.Open(opts)
+	defer tree.Close()
+
+	tree.Update(1, rexptree.Point{Pos: rexptree.Vec{10, 10}, Expires: rexptree.NoExpiry()}, 0)
+	tree.Window(rexptree.Rect{Hi: rexptree.Vec{100, 100}}, 0, 5, 0)
+
+	recent, _ := tree.Traces() // newest first
+	fmt.Println("retained:", len(recent))
+	fmt.Println("newest op:", recent[0].Op, "with", recent[0].Results, "result(s)")
+	// Output:
+	// retained: 2
+	// newest op: window with 1 result(s)
+}
+
+// Trace* query variants return the results plus an EXPLAIN trace; on a
+// sharded index it includes the per-shard pruning table.
+func ExampleShardedTree_TraceWindow() {
+	tree, _ := rexptree.OpenSharded(rexptree.ShardedOptions{
+		Options: rexptree.DefaultOptions(),
+		Shards:  2,
+	})
+	defer tree.Close()
+
+	for id := uint32(1); id <= 6; id++ {
+		tree.Update(id, rexptree.Point{
+			Pos:     rexptree.Vec{float64(id) * 100, 500},
+			Expires: rexptree.NoExpiry(),
+		}, 0)
+	}
+
+	res, trace, _ := tree.TraceWindow(rexptree.Rect{
+		Lo: rexptree.Vec{150, 0}, Hi: rexptree.Vec{450, 1000},
+	}, 0, 10, 0)
+
+	visited := 0
+	for _, sh := range trace.Shards {
+		if sh.Visited {
+			visited++
+		}
+	}
+	fmt.Printf("op %s: %d results, %d of %d shards visited\n",
+		trace.Op, len(res), visited, len(trace.Shards))
+	// Output:
+	// op window: 3 results, 2 of 2 shards visited
 }

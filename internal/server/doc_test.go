@@ -1,0 +1,39 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestAPIDocCoversRoutes keeps docs/API.md in sync with the route
+// table: every registered route must be documented, and every
+// "METHOD /path" the document claims must be a registered route.
+func TestAPIDocCoversRoutes(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "API.md"))
+	if err != nil {
+		t.Fatalf("endpoint reference missing: %v", err)
+	}
+	doc := string(raw)
+
+	registered := map[string]bool{}
+	for _, r := range Routes() {
+		registered[r] = true
+		if !strings.Contains(doc, "`"+r+"`") {
+			t.Errorf("docs/API.md does not document %s", r)
+		}
+	}
+	if len(registered) < len(routes) {
+		t.Fatalf("route table lists %d routes, Routes() returned %d", len(routes), len(registered))
+	}
+
+	// Every endpoint-shaped code span in the document must be real.
+	spanRe := regexp.MustCompile("`(GET|HEAD|POST|PUT|PATCH|DELETE) (/[^`]*)`")
+	for _, m := range spanRe.FindAllStringSubmatch(doc, -1) {
+		if !registered[m[1]+" "+m[2]] {
+			t.Errorf("docs/API.md mentions %s %s, which is not a registered route", m[1], m[2])
+		}
+	}
+}

@@ -1,0 +1,569 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rexptree"
+	"rexptree/internal/obs"
+)
+
+// reply is a handler outcome awaiting encoding.
+type reply struct {
+	status int
+	body   any
+}
+
+func okReply(v any) reply { return reply{http.StatusOK, v} }
+
+// errReply classifies an error: malformed requests are 400, index
+// errors 500.
+func errReply(err error) reply {
+	var br badRequest
+	if errors.As(err, &br) {
+		return reply{http.StatusBadRequest, errorResponse{br.Error()}}
+	}
+	return reply{http.StatusInternalServerError, errorResponse{err.Error()}}
+}
+
+func (r reply) write(w http.ResponseWriter) {
+	if er, ok := r.body.(errorResponse); ok {
+		writeJSON(w, r.status, er)
+		return
+	}
+	writeJSON(w, r.status, r.body)
+}
+
+// deadline resolves the request's deadline: the configured
+// RequestTimeout, tightened by an explicit ?timeout= parameter
+// (a Go duration).  Zero means no deadline.
+func (s *Server) deadline(r *http.Request) (time.Duration, error) {
+	d := s.cfg.RequestTimeout
+	if p := r.URL.Query().Get("timeout"); p != "" {
+		pd, err := time.ParseDuration(p)
+		if err != nil || pd <= 0 {
+			return 0, badRequestf("invalid timeout %q", p)
+		}
+		if d == 0 || pd < d {
+			d = pd
+		}
+	}
+	return d, nil
+}
+
+// run executes fn under the request deadline.  On timeout the request
+// is answered 504 while fn runs to completion in the background —
+// whatever it was doing is then simply never acknowledged (and, for a
+// mutation, still holds its in-flight slot, so a drain waits for it).
+func (s *Server) run(w http.ResponseWriter, r *http.Request, fn func() reply) {
+	d, err := s.deadline(r)
+	if err != nil {
+		errReply(err).write(w)
+		return
+	}
+	if d <= 0 {
+		fn().write(w)
+		return
+	}
+	done := make(chan reply, 1)
+	go func() { done <- fn() }()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case res := <-done:
+		res.write(w)
+	case <-timer.C:
+		// Answer 504 and return.  Do NOT touch r.Body here: its mutex
+		// is held by the stalled read, so Close would deadlock.  When
+		// this handler returns, net/http aborts the pending read
+		// (finishRequest -> abortPendingRead), which errors fn's next
+		// Read so it finishes and releases its admission slot (and,
+		// for a mutation, its drain token).  Connection: close keeps
+		// the half-consumed body from poisoning a keep-alive reuse.
+		w.Header().Set("Connection", "close")
+		writeError(w, http.StatusGatewayTimeout, "deadline %v exceeded", d)
+	case <-r.Context().Done():
+		// Client gone; the pending read aborts when we return, fn
+		// finishes in the background and its reply is dropped.
+	}
+}
+
+// --- Mutations ---------------------------------------------------------
+
+// updateResponse acknowledges a single routed mutation.
+type updateResponse struct {
+	OK      bool    `json:"ok"`
+	Removed bool    `json:"removed,omitempty"` // deletes: report existed
+	Clock   float64 `json:"clock"`             // server logical clock after the op
+}
+
+// handleUpdate applies one report: POST /v1/update, body a Record.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admitMutation(w)
+	if !ok {
+		return
+	}
+	s.run(w, r, func() reply {
+		defer release()
+		var rec Record
+		if err := decodeBody(r.Body, &rec); err != nil {
+			return errReply(err)
+		}
+		if rec.Op != "" && rec.Op != "update" {
+			return errReply(badRequestf("op %q not valid on /v1/update (use /v1/delete or /v1/batch)", rec.Op))
+		}
+		p, err := rec.point(s.ix.Dims())
+		if err != nil {
+			return errReply(badRequest{err.Error()})
+		}
+		s.clock.Observe(rec.Time)
+		now := s.clock.Now()
+		if err := s.ix.Update(rec.ID, p, now); err != nil {
+			return errReply(err)
+		}
+		return okReply(updateResponse{OK: true, Clock: now})
+	})
+}
+
+// handleDelete removes one report: POST /v1/delete, body {"id": N}.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admitMutation(w)
+	if !ok {
+		return
+	}
+	s.run(w, r, func() reply {
+		defer release()
+		var rec Record
+		if err := decodeBody(r.Body, &rec); err != nil {
+			return errReply(err)
+		}
+		if rec.Op != "" && rec.Op != "delete" {
+			return errReply(badRequestf("op %q not valid on /v1/delete", rec.Op))
+		}
+		s.clock.Observe(rec.Time)
+		now := s.clock.Now()
+		removed, err := s.ix.Delete(rec.ID, now)
+		if err != nil {
+			return errReply(err)
+		}
+		return okReply(updateResponse{OK: true, Removed: removed, Clock: now})
+	})
+}
+
+// batchResponse acknowledges a streamed ingest batch.
+type batchResponse struct {
+	Applied int     `json:"applied"` // update records applied
+	Deleted int     `json:"deleted"` // delete records applied
+	Batches int     `json:"batches"` // UpdateBatch calls issued
+	Clock   float64 `json:"clock"`
+}
+
+// handleBatch streams an NDJSON body — one Record per line, updates
+// and deletes — into the index, chunked into UpdateBatch calls of at
+// most MaxBatch reports (a delete flushes the pending chunk first, so
+// the stream applies in order).  Everything before a malformed line
+// stays applied; the 400 names the offending line.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admitMutation(w)
+	if !ok {
+		return
+	}
+	slot, ok := s.acquireBatchSlot(w)
+	if !ok {
+		release()
+		return
+	}
+	s.run(w, r, func() reply {
+		defer release()
+		defer slot()
+		resp, err := s.ingest(r.Body)
+		if err != nil {
+			return errReply(err)
+		}
+		return okReply(resp)
+	})
+}
+
+// ingest is the body of handleBatch.
+func (s *Server) ingest(body io.Reader) (batchResponse, error) {
+	var resp batchResponse
+	pending := make([]rexptree.Report, 0, s.cfg.MaxBatch)
+	var pendingMax float64
+
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		s.clock.Observe(pendingMax)
+		now := s.clock.Now()
+		if err := s.ix.UpdateBatch(pending, now); err != nil {
+			return err
+		}
+		resp.Applied += len(pending)
+		resp.Batches++
+		resp.Clock = now
+		pending = pending[:0]
+		return nil
+	}
+
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return resp, badRequestf("line %d: %v", line, err)
+		}
+		switch rec.Op {
+		case "", "update":
+			p, err := rec.point(s.ix.Dims())
+			if err != nil {
+				return resp, badRequestf("line %d: %v", line, err)
+			}
+			if rec.Time > pendingMax {
+				pendingMax = rec.Time
+			}
+			pending = append(pending, rexptree.Report{ID: rec.ID, Point: p})
+			if len(pending) >= s.cfg.MaxBatch {
+				if err := flush(); err != nil {
+					return resp, err
+				}
+			}
+		case "delete":
+			if err := flush(); err != nil {
+				return resp, err
+			}
+			s.clock.Observe(rec.Time)
+			now := s.clock.Now()
+			if _, err := s.ix.Delete(rec.ID, now); err != nil {
+				return resp, err
+			}
+			resp.Deleted++
+			resp.Clock = now
+		default:
+			return resp, badRequestf("line %d: unknown op %q", line, rec.Op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return resp, badRequestf("line %d: exceeds the 1 MiB line limit", line+1)
+		}
+		return resp, err
+	}
+	if err := flush(); err != nil {
+		return resp, err
+	}
+	if resp.Clock == 0 {
+		resp.Clock = s.clock.Now()
+	}
+	return resp, nil
+}
+
+// decodeBody decodes a single-JSON-value request body strictly.
+func decodeBody(body io.Reader, v any) error {
+	dec := json.NewDecoder(io.LimitReader(body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequestf("malformed body: %v", err)
+	}
+	if dec.More() {
+		return badRequestf("malformed body: trailing data after the JSON value")
+	}
+	return nil
+}
+
+// --- Queries -----------------------------------------------------------
+
+// queryNow resolves the query's evaluation time: an explicit ?now=
+// (absolute or "+N"), else the server clock.
+func (s *Server) queryNow(q map[string][]string) (float64, error) {
+	clock := s.clock.Now()
+	vals := q["now"]
+	if len(vals) == 0 || vals[0] == "" {
+		return clock, nil
+	}
+	now, err := parseTime(vals[0], clock)
+	if err != nil {
+		return 0, badRequestf("now: %v", err)
+	}
+	return now, nil
+}
+
+// explain reports whether ?explain=1 (or =true) was passed.
+func explain(q map[string][]string) bool {
+	if vals := q["explain"]; len(vals) > 0 {
+		on, _ := strconv.ParseBool(vals[0])
+		return on
+	}
+	return false
+}
+
+// respond packages query results (and the trace under explain).
+func (s *Server) respond(rs []rexptree.Result, tc *rexptree.QueryTrace, now float64) reply {
+	return okReply(queryResponse{
+		Now:     now,
+		Count:   len(rs),
+		Results: toResultJSON(rs, s.ix.Dims()),
+		Trace:   tc,
+	})
+}
+
+// handleTimeslice answers GET /v1/timeslice?lo=..&hi=..&at=..
+func (s *Server) handleTimeslice(w http.ResponseWriter, r *http.Request) {
+	s.run(w, r, func() reply {
+		q := r.URL.Query()
+		now, err := s.queryNow(q)
+		if err != nil {
+			return errReply(err)
+		}
+		dims := s.ix.Dims()
+		lo, err := parseVec(q.Get("lo"), dims)
+		if err != nil {
+			return errReply(badRequestf("lo: %v", err))
+		}
+		hi, err := parseVec(q.Get("hi"), dims)
+		if err != nil {
+			return errReply(badRequestf("hi: %v", err))
+		}
+		at, err := parseTime(q.Get("at"), now)
+		if err != nil {
+			return errReply(badRequestf("at: %v", err))
+		}
+		rect := rexptree.Rect{Lo: lo, Hi: hi}
+		if explain(q) {
+			rs, tc, err := s.ix.TraceTimeslice(rect, at, now)
+			if err != nil {
+				return errReply(badRequest{err.Error()})
+			}
+			return s.respond(rs, tc, now)
+		}
+		rs, err := s.ix.Timeslice(rect, at, now)
+		if err != nil {
+			return errReply(badRequest{err.Error()})
+		}
+		return s.respond(rs, nil, now)
+	})
+}
+
+// handleWindow answers GET /v1/window?lo=..&hi=..&t1=..&t2=..
+func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	s.run(w, r, func() reply {
+		q := r.URL.Query()
+		now, err := s.queryNow(q)
+		if err != nil {
+			return errReply(err)
+		}
+		dims := s.ix.Dims()
+		lo, err := parseVec(q.Get("lo"), dims)
+		if err != nil {
+			return errReply(badRequestf("lo: %v", err))
+		}
+		hi, err := parseVec(q.Get("hi"), dims)
+		if err != nil {
+			return errReply(badRequestf("hi: %v", err))
+		}
+		t1, err := parseTime(q.Get("t1"), now)
+		if err != nil {
+			return errReply(badRequestf("t1: %v", err))
+		}
+		t2, err := parseTime(q.Get("t2"), now)
+		if err != nil {
+			return errReply(badRequestf("t2: %v", err))
+		}
+		rect := rexptree.Rect{Lo: lo, Hi: hi}
+		if explain(q) {
+			rs, tc, err := s.ix.TraceWindow(rect, t1, t2, now)
+			if err != nil {
+				return errReply(badRequest{err.Error()})
+			}
+			return s.respond(rs, tc, now)
+		}
+		rs, err := s.ix.Window(rect, t1, t2, now)
+		if err != nil {
+			return errReply(badRequest{err.Error()})
+		}
+		return s.respond(rs, nil, now)
+	})
+}
+
+// handleMoving answers GET /v1/moving?lo1=..&hi1=..&lo2=..&hi2=..&t1=..&t2=..
+func (s *Server) handleMoving(w http.ResponseWriter, r *http.Request) {
+	s.run(w, r, func() reply {
+		q := r.URL.Query()
+		now, err := s.queryNow(q)
+		if err != nil {
+			return errReply(err)
+		}
+		dims := s.ix.Dims()
+		var rects [2]rexptree.Rect
+		for i, names := range [][2]string{{"lo1", "hi1"}, {"lo2", "hi2"}} {
+			lo, err := parseVec(q.Get(names[0]), dims)
+			if err != nil {
+				return errReply(badRequestf("%s: %v", names[0], err))
+			}
+			hi, err := parseVec(q.Get(names[1]), dims)
+			if err != nil {
+				return errReply(badRequestf("%s: %v", names[1], err))
+			}
+			rects[i] = rexptree.Rect{Lo: lo, Hi: hi}
+		}
+		t1, err := parseTime(q.Get("t1"), now)
+		if err != nil {
+			return errReply(badRequestf("t1: %v", err))
+		}
+		t2, err := parseTime(q.Get("t2"), now)
+		if err != nil {
+			return errReply(badRequestf("t2: %v", err))
+		}
+		if explain(q) {
+			rs, tc, err := s.ix.TraceMoving(rects[0], rects[1], t1, t2, now)
+			if err != nil {
+				return errReply(badRequest{err.Error()})
+			}
+			return s.respond(rs, tc, now)
+		}
+		rs, err := s.ix.Moving(rects[0], rects[1], t1, t2, now)
+		if err != nil {
+			return errReply(badRequest{err.Error()})
+		}
+		return s.respond(rs, nil, now)
+	})
+}
+
+// handleNearest answers GET /v1/nearest?pos=..&k=..&at=..
+func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
+	s.run(w, r, func() reply {
+		q := r.URL.Query()
+		now, err := s.queryNow(q)
+		if err != nil {
+			return errReply(err)
+		}
+		pos, err := parseVec(q.Get("pos"), s.ix.Dims())
+		if err != nil {
+			return errReply(badRequestf("pos: %v", err))
+		}
+		k, err := strconv.Atoi(q.Get("k"))
+		if err != nil || k <= 0 {
+			return errReply(badRequestf("k: %q is not a positive integer", q.Get("k")))
+		}
+		at := now
+		if q.Get("at") != "" {
+			if at, err = parseTime(q.Get("at"), now); err != nil {
+				return errReply(badRequestf("at: %v", err))
+			}
+		}
+		if explain(q) {
+			rs, tc, err := s.ix.TraceNearest(pos, at, k, now)
+			if err != nil {
+				return errReply(badRequest{err.Error()})
+			}
+			return s.respond(rs, tc, now)
+		}
+		rs, err := s.ix.Nearest(pos, at, k, now)
+		if err != nil {
+			return errReply(badRequest{err.Error()})
+		}
+		return s.respond(rs, nil, now)
+	})
+}
+
+// handleObject answers GET /v1/object?id=N — the object's current
+// report, or 404.
+func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
+	s.run(w, r, func() reply {
+		q := r.URL.Query()
+		id, err := strconv.ParseUint(q.Get("id"), 10, 32)
+		if err != nil {
+			return errReply(badRequestf("id: %q is not an object id", q.Get("id")))
+		}
+		now, err := s.queryNow(q)
+		if err != nil {
+			return errReply(err)
+		}
+		p, ok := s.ix.Get(uint32(id), now)
+		if !ok {
+			return reply{http.StatusNotFound, errorResponse{fmt.Sprintf("object %d: no live report", id)}}
+		}
+		rows := toResultJSON([]rexptree.Result{{ID: uint32(id), Point: p}}, s.ix.Dims())
+		return okReply(rows[0])
+	})
+}
+
+// statsResponse describes the served index.
+type statsResponse struct {
+	Clock      float64   `json:"clock"`
+	Objects    int       `json:"objects"`
+	Shards     int       `json:"shards"`
+	Generation int       `json:"generation"`
+	Partition  string    `json:"partition"`
+	SpeedBands []float64 `json:"speed_bands,omitempty"`
+	Durability string    `json:"durability"`
+	Draining   bool      `json:"draining"`
+	Height     int       `json:"height"`
+	Pages      int       `json:"pages"`
+}
+
+// handleStats answers GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.ix.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Clock:      s.clock.Now(),
+		Objects:    s.ix.Len(),
+		Shards:     s.ix.NumShards(),
+		Generation: s.ix.Generation(),
+		Partition:  s.ix.Partition().String(),
+		SpeedBands: s.ix.SpeedBands(),
+		Durability: s.durabilityName(),
+		Draining:   s.draining.Load(),
+		Height:     st.Height,
+		Pages:      st.Pages,
+	})
+}
+
+// durability is configured on the daemon, not readable off the tree;
+// rexpd records it on the server for /v1/stats.
+func (s *Server) durabilityName() string { return s.durability }
+
+// SetDurability records the daemon's durability policy for /v1/stats.
+func (s *Server) SetDurability(name string) { s.durability = name }
+
+// handleHealthz answers GET /healthz: the process is up.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz answers GET /readyz: ready to admit mutations; flips to
+// 503 the moment a drain begins, so load balancers stop routing here.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleMetrics serves the Prometheus exposition (aggregate + per-shard
+// sections, plus the Go runtime families unless disabled).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	h := s.ix.MetricsHandler()
+	if s.cfg.RuntimeMetrics {
+		h = obs.WithRuntimeMetrics(h, obs.DefaultPrefix)
+	}
+	h.ServeHTTP(w, r)
+}
+
+// handleTraces serves the flight recorder's retained traces.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	s.ix.TraceHandler().ServeHTTP(w, r)
+}

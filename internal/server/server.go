@@ -1,0 +1,228 @@
+// Package server implements the HTTP/JSON front end of the moving-
+// object index: the handlers, request codec, admission control and
+// graceful-drain machinery behind the rexpd daemon.  The endpoint
+// reference lives in docs/API.md; a doc-coverage test keeps the two in
+// sync.
+//
+// The server wraps a ShardedTree (a single-tree deployment is a
+// 1-shard ShardedTree) and maintains the index's logical clock: every
+// ingested report advances it monotonically, queries default their
+// evaluation time to it, and a "+N" time parameter is resolved against
+// it.  Mutations are acknowledged only after the index call returns —
+// under DurabilityOnCommit that means the WAL is fsynced — so a 200
+// ack survives a crash; a 504 or 429 promises nothing either way.
+package server
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rexptree"
+	"rexptree/internal/obs"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Index is the served index.  Required.
+	Index *rexptree.ShardedTree
+
+	// MaxInFlight bounds the ingest batches (/v1/batch) admitted
+	// concurrently; further batches are refused with 429 and a
+	// Retry-After header rather than queued without bound (default 4).
+	MaxInFlight int
+
+	// MaxBatch is the number of records a streamed ingest body is
+	// chunked into per UpdateBatch call (default 1000).  Smaller chunks
+	// admit readers between groups; larger ones amortize locking and,
+	// under durability, fsyncs.
+	MaxBatch int
+
+	// RequestTimeout is the per-request deadline.  A request that
+	// exceeds it is answered 504; an in-flight mutation keeps running
+	// to completion but is not acknowledged.  Zero disables deadlines.
+	RequestTimeout time.Duration
+
+	// RetryAfter is the client back-off hint attached to 429 and
+	// drain-time 503 responses (default 1s).
+	RetryAfter time.Duration
+
+	// Pprof mounts net/http/pprof under /debug/pprof/ (rexpd enables
+	// it by default).
+	Pprof bool
+
+	// RuntimeMetrics appends Go runtime families to /metrics scrapes.
+	RuntimeMetrics bool
+}
+
+// Server is the HTTP front end over one sharded index.
+type Server struct {
+	ix  *rexptree.ShardedTree
+	cfg Config
+	mux *http.ServeMux
+
+	clock atomicClock
+
+	gate chan struct{} // admission: in-flight ingest batches
+
+	durability string // daemon-configured policy name, for /v1/stats
+
+	draining atomic.Bool
+	inflight sync.WaitGroup // in-flight mutations, awaited by Drain
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New builds a Server and its route table.
+func New(cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1000
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	s := &Server{
+		ix:   cfg.Index,
+		cfg:  cfg,
+		gate: make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.mux = http.NewServeMux()
+	for _, r := range routes {
+		h := r.handler
+		s.mux.HandleFunc(r.Method+" "+r.Pattern, func(w http.ResponseWriter, req *http.Request) {
+			h(s, w, req)
+		})
+	}
+	if cfg.Pprof {
+		obs.RegisterPprof(s.mux)
+	}
+	return s
+}
+
+// ServeHTTP dispatches to the route table.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// route is one entry of the server's route table.  The table is the
+// single source of truth: the mux is built from it and the docs/API.md
+// coverage test walks it.
+type route struct {
+	Method  string
+	Pattern string
+	handler func(*Server, http.ResponseWriter, *http.Request)
+}
+
+var routes = []route{
+	{"POST", "/v1/update", (*Server).handleUpdate},
+	{"POST", "/v1/delete", (*Server).handleDelete},
+	{"POST", "/v1/batch", (*Server).handleBatch},
+	{"GET", "/v1/timeslice", (*Server).handleTimeslice},
+	{"GET", "/v1/window", (*Server).handleWindow},
+	{"GET", "/v1/moving", (*Server).handleMoving},
+	{"GET", "/v1/nearest", (*Server).handleNearest},
+	{"GET", "/v1/object", (*Server).handleObject},
+	{"GET", "/v1/stats", (*Server).handleStats},
+	{"GET", "/healthz", (*Server).handleHealthz},
+	{"GET", "/readyz", (*Server).handleReadyz},
+	{"GET", "/metrics", (*Server).handleMetrics},
+	{"GET", "/debug/rexp/traces", (*Server).handleTraces},
+}
+
+// Routes lists the registered routes as "METHOD /path" strings (pprof,
+// mounted wholesale under /debug/pprof/, is listed as its mount point).
+func Routes() []string {
+	out := make([]string, 0, len(routes)+1)
+	for _, r := range routes {
+		out = append(out, r.Method+" "+r.Pattern)
+	}
+	out = append(out, "GET /debug/pprof/")
+	return out
+}
+
+// Clock returns the server's logical clock: the largest report time
+// ingested so far (or observed at startup from the reopened index).
+func (s *Server) Clock() float64 { return s.clock.Now() }
+
+// ObserveClock advances the logical clock to at least t; rexpd seeds
+// it from the reopened index's newest report so queries start valid.
+func (s *Server) ObserveClock(t float64) { s.clock.Observe(t) }
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain stops admitting mutations (they are refused with 503 +
+// Retry-After; /readyz flips to 503) and waits for the in-flight ones
+// to finish.  It does not close the index — the daemon does that after
+// the HTTP listener has drained its readers too — and is idempotent.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.inflight.Wait()
+}
+
+// CloseIndex checkpoints and closes the index; idempotent.
+func (s *Server) CloseIndex() error {
+	s.closeOnce.Do(func() { s.closeErr = s.ix.Close() })
+	return s.closeErr
+}
+
+// admitMutation gates every mutating request: during a drain it is
+// refused outright, otherwise it joins the in-flight group the drain
+// waits on.  The returned release must be called exactly once; ok is
+// false when the request was already answered.
+func (s *Server) admitMutation(w http.ResponseWriter) (release func(), ok bool) {
+	if s.draining.Load() {
+		s.retryLater(w, http.StatusServiceUnavailable, "draining: not admitting mutations")
+		return nil, false
+	}
+	s.inflight.Add(1)
+	// A drain that began after the check above waits for this request
+	// like any other in-flight mutation; no ack can race the close.
+	return func() { s.inflight.Done() }, true
+}
+
+// acquireBatchSlot additionally bounds ingest-batch concurrency: when
+// MaxInFlight batches are already streaming, the caller is told to back
+// off with 429 + Retry-After instead of queueing without bound.
+func (s *Server) acquireBatchSlot(w http.ResponseWriter) (release func(), ok bool) {
+	select {
+	case s.gate <- struct{}{}:
+		return func() { <-s.gate }, true
+	default:
+		s.retryLater(w, http.StatusTooManyRequests,
+			"overloaded: %d ingest batches in flight", cap(s.gate))
+		return nil, false
+	}
+}
+
+// retryLater answers an overload or drain refusal with a back-off hint.
+func (s *Server) retryLater(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+	writeError(w, status, format, args...)
+}
+
+// atomicClock is a monotone float64 clock (CAS-max on the bit pattern).
+type atomicClock struct{ bits atomic.Uint64 }
+
+func (c *atomicClock) Now() float64 {
+	return math.Float64frombits(c.bits.Load())
+}
+
+func (c *atomicClock) Observe(t float64) {
+	for {
+		old := c.bits.Load()
+		if math.Float64frombits(old) >= t {
+			return
+		}
+		if c.bits.CompareAndSwap(old, math.Float64bits(t)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,532 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rexptree"
+)
+
+// newTestServer builds an in-memory 2-shard index behind a Server and
+// an httptest listener.  mod, when non-nil, adjusts the server config.
+func newTestServer(t *testing.T, mod func(*Config)) (*httptest.Server, *Server) {
+	t.Helper()
+	opts := rexptree.DefaultOptions()
+	opts.FlightRecorder = 16
+	ix, err := rexptree.OpenSharded(rexptree.ShardedOptions{Options: opts, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Index: ix, RuntimeMetrics: true}
+	if mod != nil {
+		mod(&cfg)
+	}
+	srv := New(cfg)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		hs.Close()
+		srv.CloseIndex()
+	})
+	return hs, srv
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func decodeInto(t *testing.T, raw []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(raw, v); err != nil {
+		t.Fatalf("decoding %s: %v", raw, err)
+	}
+}
+
+// TestEndpointsRoundTrip drives every endpoint once: ingest via update
+// and batch, all four query types (plain and EXPLAIN), object lookup,
+// stats, probes, metrics and traces.
+func TestEndpointsRoundTrip(t *testing.T) {
+	hs, _ := newTestServer(t, nil)
+
+	// One routed update.
+	resp, raw := postJSON(t, hs.URL+"/v1/update",
+		`{"id":1,"pos":[100,200],"vel":[1,0],"time":0,"expires":1000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: %d %s", resp.StatusCode, raw)
+	}
+	var ack updateResponse
+	decodeInto(t, raw, &ack)
+	if !ack.OK {
+		t.Fatalf("update not acknowledged: %s", raw)
+	}
+
+	// A streamed batch with updates and one delete.
+	var b strings.Builder
+	for id := 2; id <= 40; id++ {
+		fmt.Fprintf(&b, `{"id":%d,"pos":[%d,%d],"vel":[0.5,-0.5],"time":1,"expires":1000}`+"\n", id, id*10, id*10)
+	}
+	b.WriteString(`{"op":"delete","id":40,"time":1}` + "\n")
+	resp, raw = postJSON(t, hs.URL+"/v1/batch", b.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d %s", resp.StatusCode, raw)
+	}
+	var back batchResponse
+	decodeInto(t, raw, &back)
+	if back.Applied != 39 || back.Deleted != 1 {
+		t.Fatalf("batch ack: %+v", back)
+	}
+
+	// Timeslice over the whole world finds everything still live.
+	resp, raw = get(t, hs.URL+"/v1/timeslice?lo=-10000,-10000&hi=10000,10000&at=%2B1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("timeslice: %d %s", resp.StatusCode, raw)
+	}
+	var qr queryResponse
+	decodeInto(t, raw, &qr)
+	if qr.Count != 39 { // 40 inserted, one deleted
+		t.Fatalf("timeslice count %d, want 39 (%s)", qr.Count, raw)
+	}
+	// Results are ordered by ascending id.
+	for i := 1; i < len(qr.Results); i++ {
+		if qr.Results[i-1].ID >= qr.Results[i].ID {
+			t.Fatalf("results not id-ordered: %v >= %v", qr.Results[i-1].ID, qr.Results[i].ID)
+		}
+	}
+
+	// Window and moving, with relative times.
+	resp, raw = get(t, hs.URL+"/v1/window?lo=0,0&hi=500,500&t1=%2B0&t2=%2B10")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("window: %d %s", resp.StatusCode, raw)
+	}
+	resp, raw = get(t, hs.URL+"/v1/moving?lo1=0,0&hi1=100,100&lo2=50,50&hi2=150,150&t1=%2B0&t2=%2B10")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("moving: %d %s", resp.StatusCode, raw)
+	}
+
+	// Nearest with EXPLAIN: results plus a trace with the shard table.
+	resp, raw = get(t, hs.URL+"/v1/nearest?pos=100,200&k=5&at=%2B0&explain=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("nearest: %d %s", resp.StatusCode, raw)
+	}
+	qr = queryResponse{}
+	decodeInto(t, raw, &qr)
+	if qr.Count != 5 || qr.Trace == nil || qr.Trace.Op != "nearest" {
+		t.Fatalf("nearest explain: count=%d trace=%+v", qr.Count, qr.Trace)
+	}
+	if len(qr.Trace.Shards) != 2 {
+		t.Fatalf("explain shard table has %d rows, want 2", len(qr.Trace.Shards))
+	}
+
+	// EXPLAIN on a window too.
+	resp, raw = get(t, hs.URL+"/v1/window?lo=0,0&hi=1000,1000&t1=%2B0&t2=%2B5&explain=true")
+	qr = queryResponse{}
+	decodeInto(t, raw, &qr)
+	if qr.Trace == nil || qr.Trace.Op != "window" {
+		t.Fatalf("window explain missing trace: %s", raw)
+	}
+
+	// Object lookup: present, then deleted -> 404.
+	resp, raw = get(t, hs.URL+"/v1/object?id=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("object: %d %s", resp.StatusCode, raw)
+	}
+	var row resultJSON
+	decodeInto(t, raw, &row)
+	if row.ID != 1 {
+		t.Fatalf("object row: %s", raw)
+	}
+	resp, _ = get(t, hs.URL+"/v1/object?id=40")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted object: %d, want 404", resp.StatusCode)
+	}
+
+	// Stats.
+	resp, raw = get(t, hs.URL+"/v1/stats")
+	var st statsResponse
+	decodeInto(t, raw, &st)
+	if st.Objects != 39 || st.Shards != 2 || st.Partition != "hash" {
+		t.Fatalf("stats: %s", raw)
+	}
+
+	// Probes.
+	if resp, _ = get(t, hs.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	if resp, _ = get(t, hs.URL+"/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: %d", resp.StatusCode)
+	}
+
+	// Metrics exposition: aggregate, per-shard and runtime families.
+	_, raw = get(t, hs.URL+"/metrics")
+	for _, want := range []string{"rexp_op_duration_seconds", "rexp_shard0_buffer_reads_total", "rexp_go_goroutines"} {
+		if !bytes.Contains(raw, []byte(want)) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	// Flight-recorder endpoint.
+	_, raw = get(t, hs.URL+"/debug/rexp/traces")
+	var traces struct {
+		Enabled bool              `json:"enabled"`
+		Recent  []json.RawMessage `json:"recent"`
+	}
+	decodeInto(t, raw, &traces)
+	if !traces.Enabled || len(traces.Recent) == 0 {
+		t.Fatalf("traces: enabled=%v recent=%d", traces.Enabled, len(traces.Recent))
+	}
+}
+
+// TestMalformedRequests asserts the 400 paths: broken JSON, wrong
+// dimensionality, bad parameters, invalid query windows.
+func TestMalformedRequests(t *testing.T) {
+	hs, _ := newTestServer(t, nil)
+
+	cases := []struct {
+		name string
+		do   func() (*http.Response, []byte)
+	}{
+		{"update broken json", func() (*http.Response, []byte) {
+			return postJSON(t, hs.URL+"/v1/update", `{"id":`)
+		}},
+		{"update unknown field", func() (*http.Response, []byte) {
+			return postJSON(t, hs.URL+"/v1/update", `{"id":1,"pos":[1,2],"wat":3}`)
+		}},
+		{"update wrong dims", func() (*http.Response, []byte) {
+			return postJSON(t, hs.URL+"/v1/update", `{"id":1,"pos":[1,2,3],"time":0}`)
+		}},
+		{"update with delete op", func() (*http.Response, []byte) {
+			return postJSON(t, hs.URL+"/v1/update", `{"op":"delete","id":1,"pos":[1,2]}`)
+		}},
+		{"batch broken line", func() (*http.Response, []byte) {
+			return postJSON(t, hs.URL+"/v1/batch", `{"id":1,"pos":[1,2],"time":0}`+"\n"+`{"id":2,`)
+		}},
+		{"batch unknown op", func() (*http.Response, []byte) {
+			return postJSON(t, hs.URL+"/v1/batch", `{"op":"upsert","id":1,"pos":[1,2]}`)
+		}},
+		{"timeslice missing rect", func() (*http.Response, []byte) {
+			return get(t, hs.URL+"/v1/timeslice?at=%2B0")
+		}},
+		{"timeslice past at", func() (*http.Response, []byte) {
+			// Push the clock past zero first so at=0 is in the past.
+			postJSON(t, hs.URL+"/v1/update", `{"id":9,"pos":[1,2],"time":5}`)
+			return get(t, hs.URL+"/v1/timeslice?lo=0,0&hi=1,1&at=0")
+		}},
+		{"window t2 before t1", func() (*http.Response, []byte) {
+			return get(t, hs.URL+"/v1/window?lo=0,0&hi=1,1&t1=%2B10&t2=%2B5")
+		}},
+		{"nearest bad k", func() (*http.Response, []byte) {
+			return get(t, hs.URL+"/v1/nearest?pos=0,0&k=-3&at=%2B0")
+		}},
+		{"object bad id", func() (*http.Response, []byte) {
+			return get(t, hs.URL+"/v1/object?id=banana")
+		}},
+		{"bad timeout param", func() (*http.Response, []byte) {
+			return get(t, hs.URL+"/v1/nearest?pos=0,0&k=1&at=%2B0&timeout=banana")
+		}},
+	}
+	for _, tc := range cases {
+		resp, raw := tc.do()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", tc.name, resp.StatusCode, raw)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(raw, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: body is not an error envelope: %s", tc.name, raw)
+		}
+	}
+}
+
+// TestOverload429 fills the single ingest slot with a stalled stream
+// and asserts the next batch is refused with 429 + Retry-After while
+// single updates and queries keep flowing.
+func TestOverload429(t *testing.T) {
+	hs, _ := newTestServer(t, func(c *Config) { c.MaxInFlight = 1; c.RetryAfter = 2 * time.Second })
+
+	pr, pw := io.Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		req, _ := http.NewRequest("POST", hs.URL+"/v1/batch", pr)
+		resp, err := http.DefaultClient.Do(req)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	// The first line admits the stream into its slot; the unclosed pipe
+	// keeps it in flight.
+	if _, err := pw.Write([]byte(`{"id":1,"pos":[1,2],"time":0}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the slot is actually held.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, raw := postJSON(t, hs.URL+"/v1/batch", `{"id":2,"pos":[3,4],"time":0}`)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if ra := resp.Header.Get("Retry-After"); ra != "2" {
+				t.Errorf("Retry-After %q, want \"2\"", ra)
+			}
+			var er errorResponse
+			decodeInto(t, raw, &er)
+			if !strings.Contains(er.Error, "overloaded") {
+				t.Errorf("429 body: %s", raw)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never saw a 429 while the ingest slot was held")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Routed updates and queries are not subject to the batch gate.
+	if resp, raw := postJSON(t, hs.URL+"/v1/update", `{"id":3,"pos":[5,6],"time":0}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("update during overload: %d %s", resp.StatusCode, raw)
+	}
+	if resp, _ := get(t, hs.URL+"/v1/timeslice?lo=0,0&hi=10,10&at=%2B0"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query during overload: %d", resp.StatusCode)
+	}
+
+	pw.Close()
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeadline504 stalls an ingest stream past its ?timeout= deadline
+// and expects 504.
+func TestDeadline504(t *testing.T) {
+	hs, _ := newTestServer(t, nil)
+
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	req, err := http.NewRequest("POST", hs.URL+"/v1/batch?timeout=75ms", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go pw.Write([]byte(`{"id":1,"pos":[1,2],"time":0}` + "\n")) // never closed
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("stalled batch: %d %s, want 504", resp.StatusCode, raw)
+	}
+	var er errorResponse
+	decodeInto(t, raw, &er)
+	if !strings.Contains(er.Error, "deadline") {
+		t.Fatalf("504 body: %s", raw)
+	}
+}
+
+// TestDrainSemantics: after Drain, mutations are refused with 503 +
+// Retry-After, /readyz flips to 503, and queries still answer.
+func TestDrainSemantics(t *testing.T) {
+	hs, srv := newTestServer(t, nil)
+	if resp, raw := postJSON(t, hs.URL+"/v1/update", `{"id":1,"pos":[1,2],"time":0,"expires":100}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain update: %d %s", resp.StatusCode, raw)
+	}
+
+	srv.Drain()
+
+	resp, raw := postJSON(t, hs.URL+"/v1/update", `{"id":2,"pos":[3,4],"time":0}`)
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("post-drain update: %d (Retry-After %q)", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	resp, _ = postJSON(t, hs.URL+"/v1/batch", `{"id":2,"pos":[3,4],"time":0}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain batch: %d", resp.StatusCode)
+	}
+	resp, _ = get(t, hs.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain readyz: %d", resp.StatusCode)
+	}
+	if resp, _ = get(t, hs.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain healthz: %d", resp.StatusCode)
+	}
+	resp, raw = get(t, hs.URL+"/v1/timeslice?lo=0,0&hi=10,10&at=%2B0")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain query: %d %s", resp.StatusCode, raw)
+	}
+	var qr queryResponse
+	decodeInto(t, raw, &qr)
+	if qr.Count != 1 {
+		t.Fatalf("post-drain query count %d, want 1", qr.Count)
+	}
+}
+
+// TestDrainLosesNoAcknowledgedUpdate hammers a durable server with
+// concurrent single updates, drains midway, and verifies every
+// acknowledged id is present after closing and reopening the files —
+// the in-process version of the daemon's SIGTERM guarantee.
+func TestDrainLosesNoAcknowledgedUpdate(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "idx")
+	opts := rexptree.DefaultOptions()
+	opts.Path = base
+	opts.Durability = rexptree.DurabilityOnCommit
+	ix, err := rexptree.OpenSharded(rexptree.ShardedOptions{Options: opts, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Index: ix})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	var (
+		mu    sync.Mutex
+		acked []uint32
+		next  atomic.Uint32
+		wg    sync.WaitGroup
+	)
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := next.Add(1)
+				body := fmt.Sprintf(`{"id":%d,"pos":[%d,%d],"vel":[1,1],"time":0,"expires":10000}`, id, id%1000, id%1000)
+				resp, err := http.Post(hs.URL+"/v1/update", "application/json", strings.NewReader(body))
+				if err != nil {
+					return
+				}
+				ok := resp.StatusCode == http.StatusOK
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if ok {
+					mu.Lock()
+					acked = append(acked, id)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	time.Sleep(150 * time.Millisecond)
+	srv.Drain() // concurrent with in-flight updates: 503s begin, admitted ones finish
+	close(stop)
+	wg.Wait()
+	if err := srv.CloseIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(acked) == 0 {
+		t.Fatal("no update was ever acknowledged")
+	}
+	re, err := rexptree.OpenSharded(rexptree.ShardedOptions{Options: opts, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for _, id := range acked {
+		if _, ok := re.Get(id, 0); !ok {
+			t.Fatalf("acknowledged update %d missing after drain + reopen (%d acked)", id, len(acked))
+		}
+	}
+}
+
+// TestMixedLoadSmoke exercises concurrent batches, updates and queries
+// for the race detector.
+func TestMixedLoadSmoke(t *testing.T) {
+	hs, _ := newTestServer(t, func(c *Config) { c.MaxInFlight = 2; c.MaxBatch = 50 })
+
+	var wg sync.WaitGroup
+	stop := time.After(300 * time.Millisecond)
+	done := make(chan struct{})
+	go func() { <-stop; close(done) }()
+
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				var b strings.Builder
+				for j := 0; j < 20; j++ {
+					fmt.Fprintf(&b, `{"id":%d,"pos":[%g,%g],"vel":[1,0],"time":%d,"expires":100000}`+"\n",
+						rng.Intn(500)+1, rng.Float64()*1000, rng.Float64()*1000, i)
+				}
+				resp, err := http.Post(hs.URL+"/v1/batch", "application/json", strings.NewReader(b.String()))
+				if err != nil {
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for _, u := range []string{
+					"/v1/timeslice?lo=0,0&hi=1000,1000&at=%2B0",
+					"/v1/window?lo=200,200&hi=800,800&t1=%2B0&t2=%2B10&explain=1",
+					"/v1/nearest?pos=500,500&k=10&at=%2B0",
+					"/metrics",
+					"/debug/rexp/traces",
+				} {
+					resp, err := http.Get(hs.URL + u)
+					if err != nil {
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

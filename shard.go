@@ -379,6 +379,9 @@ func (s *ShardedTree) setSpeedGauges(bands []float64) {
 // NumShards returns the number of shards.
 func (s *ShardedTree) NumShards() int { return len(s.shards) }
 
+// Dims returns the dimensionality of the indexed space.
+func (s *ShardedTree) Dims() int { return s.dims }
+
 // Generation returns the shard-file generation recorded in the
 // manifest: 0 for a freshly created index, bumped by every
 // rexpreshard run (whose commit writes the new generation's files and

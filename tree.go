@@ -547,6 +547,9 @@ func (tr *Tree) Len() int {
 	return tr.t.LeafEntries()
 }
 
+// Dims returns the dimensionality of the indexed space.
+func (tr *Tree) Dims() int { return tr.dims }
+
 // Stats describes the tree's state and accumulated I/O.  The richer
 // Metrics snapshot additionally covers structural counters and per-op
 // latencies.
