@@ -5,6 +5,7 @@
 #   make bench-shard      concurrent-throughput comparison -> BENCH_shard.json
 #   make bench-partition  hash vs speed partitioning -> BENCH_partition.json
 #   make bench-wal        durability-policy comparison -> BENCH_wal.json
+#   make bench-read       read-path scaling sweep + regression guard -> BENCH_readpath.json
 #   make bench-trace      tracing-overhead microbenchmark -> BENCH_trace.json
 #   make serve-smoke      the README serving quickstart, end to end
 #   make bench-serve      rexpd + remote loadgen -> BENCH_serve.json
@@ -12,11 +13,11 @@
 
 GO ?= go
 
-.PHONY: all check fmt-check vet build test race fuzz-smoke bench-obs bench-obs-smoke bench-shard bench-partition bench-partition-smoke bench-wal bench-wal-smoke bench-trace bench-trace-smoke serve-smoke bench-serve bench-serve-smoke clean
+.PHONY: all check fmt-check vet build test race fuzz-smoke bench-obs bench-obs-smoke bench-shard bench-partition bench-partition-smoke bench-wal bench-wal-smoke bench-read bench-read-smoke bench-trace bench-trace-smoke serve-smoke bench-serve bench-serve-smoke clean
 
-all: check bench-obs bench-shard bench-partition bench-wal bench-trace bench-serve
+all: check bench-obs bench-shard bench-partition bench-wal bench-read bench-trace bench-serve
 
-check: fmt-check vet build test race bench-obs-smoke bench-partition-smoke bench-wal-smoke bench-trace-smoke serve-smoke bench-serve-smoke
+check: fmt-check vet build test race bench-obs-smoke bench-partition-smoke bench-wal-smoke bench-read-smoke bench-trace-smoke serve-smoke bench-serve-smoke
 
 # Fails (with the offending file list) if anything is not gofmt-clean.
 fmt-check:
@@ -89,6 +90,21 @@ bench-wal:
 bench-wal-smoke:
 	$(GO) run ./cmd/rexpbench -durability -objects 2000 -duration 0.4 -quiet -walout - >/dev/null
 
+# Read-path scaling: locked (RWMutex) vs snapshot reads across reader
+# worker counts, readers-only and mixed with a writer whose per-op
+# stall p50/p99 is sampled (see cmd/rexpbench/readscale.go).  The
+# -guardmin 0.95 regression guard fails the run if the snapshot path's
+# single-threaded throughput drops more than 5% below the locked
+# baseline's.
+bench-read:
+	$(GO) run ./cmd/rexpbench -readscale -iolat 0 -duration 2 -guardmin 0.95 -readout BENCH_readpath.json
+
+# A fast pass of the read-scaling sweep for make check: it exercises
+# both read paths, the sharded fan-out and the guard comparison without
+# committing a result file.
+bench-read-smoke:
+	$(GO) run ./cmd/rexpbench -readscale -objects 2000 -duration 0.2 -iolat 0 -readworkers 1,2 -guardmin 0.85 -quiet -readout - >/dev/null
+
 # Compares tracing-disabled vs tracing-enabled throughput: the
 # always-on (recorder off) cost must stay under the same <2% budget as
 # the base instrumentation; the flight-recorder-on cost is reported for
@@ -127,5 +143,5 @@ bin/rexpd: FORCE
 FORCE:
 
 clean:
-	rm -f BENCH_obs.json BENCH_shard.json BENCH_partition.json BENCH_wal.json BENCH_trace.json BENCH_serve.json
+	rm -f BENCH_obs.json BENCH_shard.json BENCH_partition.json BENCH_wal.json BENCH_readpath.json BENCH_trace.json BENCH_serve.json
 	rm -rf bin

@@ -61,6 +61,11 @@ func main() {
 		partOut   = flag.String("partout", "BENCH_partition.json", "output file for the partition report; - for stdout (-partitionbench mode)")
 		partition = flag.String("partition", "hash", "partition policy for the sharded configuration, hash or speed (-throughput mode)")
 
+		readScale   = flag.Bool("readscale", false, "run the read-path scaling sweep (locked vs snapshot reads across worker counts) instead of figure replay")
+		readWorkers = flag.String("readworkers", "1,2,4,8", "comma-separated reader worker counts for the -readscale sweep")
+		readOut     = flag.String("readout", "BENCH_readpath.json", "output file for the read-scaling report; - for stdout (-readscale mode)")
+		guardMin    = flag.Float64("guardmin", 0, "fail -readscale unless snapshot 1-worker throughput >= this fraction of the locked baseline (0 disables; 0.95 allows a 5% regression)")
+
 		durBench  = flag.Bool("durability", false, "run the durability-policy comparison (none vs batched vs on-commit WAL) instead of figure replay")
 		durOut    = flag.String("walout", "BENCH_wal.json", "output file for the durability report; - for stdout (-durability mode)")
 		batchSize = flag.Int("batch", 100, "reports per UpdateBatch in the durability bench's batched phase (-durability mode)")
@@ -85,14 +90,20 @@ func main() {
 		return
 	}
 
-	if *throughput || *partBench || *durBench {
+	if *throughput || *partBench || *durBench || *readScale {
 		progress := func(line string) {
 			if !*quiet {
 				fmt.Fprintln(os.Stderr, line)
 			}
 		}
 		var err error
-		if *durBench {
+		if *readScale {
+			var sweep []int
+			sweep, err = parseWorkerSweep(*readWorkers)
+			if err == nil {
+				err = runReadScale(*objects, *shards, sweep, *duration, *ioLat, *seed, *guardMin, *readOut, progress)
+			}
+		} else if *durBench {
 			err = runDurabilityBench(*objects, *batchSize, *duration, *seed, *durOut, progress)
 		} else if *partBench {
 			err = runPartitionBench(*objects, *shards, *workers, *duration, *ioLat, *seed, *partOut, progress)

@@ -1,0 +1,359 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rexptree"
+)
+
+// The read-scaling mode measures how query throughput scales with the
+// number of reader goroutines under the two read paths:
+//
+//   - single-locked: one tree with Options.LockedReads, every query
+//     behind the shared RWMutex (the pre-snapshot architecture, and
+//     the regression baseline for the 1-worker guard);
+//   - single-snapshot: the same tree with the default lock-free
+//     snapshot read path;
+//   - sharded-snapshot: a ShardedTree whose shards all serve queries
+//     from snapshots.
+//
+// Each series sweeps -readworkers in a readers-only phase and a mixed
+// phase with one background writer.  The mixed phase also samples
+// every Update's latency, reporting the writer-stall p50/p99: under
+// the RWMutex the writer queues behind the reader herd, under the
+// snapshot path it only waits for the page pool.  Throughput is
+// reported both absolute and per core (ops/sec divided by the cores
+// the workers can actually use), since scaling past GOMAXPROCS adds
+// concurrency but no parallelism.
+
+// readScaleConfig echoes the benchmark parameters into the JSON.
+type readScaleConfig struct {
+	Objects      int     `json:"objects"`
+	Shards       int     `json:"shards"`
+	Workers      []int   `json:"worker_sweep"`
+	DurationSec  float64 `json:"duration_sec_per_point"`
+	BufferPages  int     `json:"buffer_pages_per_tree"`
+	QueryExtent  float64 `json:"query_extent"`
+	IOLatencyStr string  `json:"io_latency"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	NumCPU       int     `json:"num_cpu"`
+	Seed         int64   `json:"seed"`
+}
+
+// readScalePoint is one (series, worker-count) measurement.
+type readScalePoint struct {
+	Workers             int     `json:"workers"`
+	QueryOpsPerSec      float64 `json:"query_ops_per_sec"`
+	QueryOpsPerSecCore  float64 `json:"query_ops_per_sec_per_core"`
+	MixedQueryOpsPerSec float64 `json:"mixed_query_ops_per_sec"`
+	WriterOpsPerSec     float64 `json:"writer_ops_per_sec"`
+	WriterStallP50Ms    float64 `json:"writer_stall_p50_ms"`
+	WriterStallP99Ms    float64 `json:"writer_stall_p99_ms"`
+}
+
+type readScaleSeries struct {
+	Name   string           `json:"name"`
+	Points []readScalePoint `json:"points"`
+}
+
+// readMover is the query surface the sweep drives.
+type readMover interface {
+	Update(id uint32, p rexptree.Point, now float64) error
+	UpdateBatch(batch []rexptree.Report, now float64) error
+	Timeslice(r rexptree.Rect, at, now float64) ([]rexptree.Result, error)
+	Window(r rexptree.Rect, t1, t2, now float64) ([]rexptree.Result, error)
+}
+
+// quantileMs returns the q-quantile of the sampled durations in
+// milliseconds (0 when nothing was sampled).
+func quantileMs(samples []time.Duration, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	i := int(q * float64(len(samples)-1))
+	return float64(samples[i]) / float64(time.Millisecond)
+}
+
+// sweepSeries measures one architecture across the worker sweep.
+func sweepSeries(m readMover, cfg readScaleConfig, progress func(string)) (readScaleSeries, error) {
+	var series readScaleSeries
+	d := time.Duration(cfg.DurationSec * float64(time.Second))
+	query := func(_ int, rng *rand.Rand) error {
+		lo := rexptree.Vec{rng.Float64() * (1000 - cfg.QueryExtent), rng.Float64() * (1000 - cfg.QueryExtent)}
+		r := rexptree.Rect{Lo: lo, Hi: rexptree.Vec{lo[0] + cfg.QueryExtent, lo[1] + cfg.QueryExtent}}
+		var err error
+		if rng.Intn(2) == 0 {
+			_, err = m.Timeslice(r, 1, 0)
+		} else {
+			_, err = m.Window(r, 0, 5, 0)
+		}
+		return err
+	}
+
+	// Warm the pools and version tables once per series.
+	if _, err := measure(1, d/4, query); err != nil {
+		return series, err
+	}
+
+	for _, w := range cfg.Workers {
+		progress(fmt.Sprintf("  %d workers", w))
+		var pt readScalePoint
+		pt.Workers = w
+
+		ops, err := measure(w, d, query)
+		if err != nil {
+			return series, err
+		}
+		pt.QueryOpsPerSec = ops
+		cores := min(w, cfg.GOMAXPROCS)
+		pt.QueryOpsPerSecCore = ops / float64(cores)
+
+		// Mixed phase: one background writer, its per-op latency sampled.
+		var (
+			stalls  []time.Duration
+			writes  uint64
+			running atomic.Bool
+			uwg     sync.WaitGroup
+		)
+		running.Store(true)
+		uwg.Add(1)
+		go func() {
+			defer uwg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + 99))
+			for running.Load() {
+				id := uint32(rng.Intn(cfg.Objects) + 1)
+				p := rexptree.Point{
+					Pos:     rexptree.Vec{rng.Float64() * 1000, rng.Float64() * 1000},
+					Vel:     rexptree.Vec{rng.Float64()*2 - 1, rng.Float64()*2 - 1},
+					Expires: rexptree.NoExpiry(),
+				}
+				start := time.Now()
+				if err := m.Update(id, p, 0); err != nil {
+					return
+				}
+				stalls = append(stalls, time.Since(start))
+				writes++
+			}
+		}()
+		ops, err = measure(w, d, query)
+		running.Store(false)
+		uwg.Wait()
+		if err != nil {
+			return series, err
+		}
+		pt.MixedQueryOpsPerSec = ops
+		pt.WriterOpsPerSec = float64(writes) / d.Seconds()
+		pt.WriterStallP50Ms = quantileMs(stalls, 0.50)
+		pt.WriterStallP99Ms = quantileMs(stalls, 0.99)
+
+		series.Points = append(series.Points, pt)
+	}
+	return series, nil
+}
+
+// parseWorkerSweep parses the -readworkers list ("1,2,4,8").
+func parseWorkerSweep(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid worker count %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty worker sweep")
+	}
+	return out, nil
+}
+
+// onePoint finds the 1-worker point of a series (nil if the sweep
+// skipped it).
+func onePoint(s readScaleSeries) *readScalePoint {
+	for i := range s.Points {
+		if s.Points[i].Workers == 1 {
+			return &s.Points[i]
+		}
+	}
+	return nil
+}
+
+// runReadScale executes the read-path scaling sweep and writes the
+// JSON report.  With guardMin > 0 it also enforces the single-thread
+// regression guard: the snapshot path's 1-worker readers-only
+// throughput must be at least guardMin of the locked baseline's
+// (e.g. 0.95 allows a 5% regression), or the run fails.
+func runReadScale(objects, shards int, workerSweep []int, durationSec float64, ioLat time.Duration, seed int64, guardMin float64, out string, progress func(string)) error {
+	dir, err := os.MkdirTemp("", "rexpbench-readscale")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	opts := rexptree.DefaultOptions()
+	opts.IOLatency = ioLat
+	cfg := readScaleConfig{
+		Objects:      objects,
+		Shards:       shards,
+		Workers:      workerSweep,
+		DurationSec:  durationSec,
+		BufferPages:  50,
+		QueryExtent:  60,
+		IOLatencyStr: ioLat.String(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		Seed:         seed,
+	}
+
+	report := struct {
+		Config       readScaleConfig `json:"config"`
+		SingleLocked readScaleSeries `json:"single_locked"`
+		SingleSnap   readScaleSeries `json:"single_snapshot"`
+		ShardedSnap  readScaleSeries `json:"sharded_snapshot"`
+		// Snapshot vs locked, readers-only: 1 worker (the guard's
+		// subject) and the sweep's widest point.
+		SnapVsLocked1W   float64 `json:"snapshot_vs_locked_1_worker"`
+		SnapVsLockedMaxW float64 `json:"snapshot_vs_locked_max_workers"`
+		GuardMin         float64 `json:"guard_min,omitempty"`
+		GuardPassed      *bool   `json:"guard_passed,omitempty"`
+		Note             string  `json:"note,omitempty"`
+	}{Config: cfg}
+	if maxW := workerSweep[len(workerSweep)-1]; maxW > cfg.GOMAXPROCS {
+		report.Note = fmt.Sprintf("GOMAXPROCS=%d: worker counts beyond that add concurrency but no parallelism on this host, so multi-worker speedups reflect lock behaviour only; rerun on more cores to measure parallel scaling", cfg.GOMAXPROCS)
+	}
+
+	load := throughputWorkload(objects, seed)
+	loadAll := func(m readMover) error {
+		for i := 0; i < len(load); i += 1000 {
+			end := min(i+1000, len(load))
+			if err := m.UpdateBatch(load[i:end], 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	progress("single-locked (RWMutex read path)")
+	lo := opts
+	lo.LockedReads = true
+	lo.Path = filepath.Join(dir, "locked.idx")
+	locked, err := rexptree.Open(lo)
+	if err != nil {
+		return err
+	}
+	if err := loadAll(locked); err != nil {
+		locked.Close()
+		return err
+	}
+	report.SingleLocked, err = sweepSeries(locked, cfg, progress)
+	report.SingleLocked.Name = "single-locked"
+	locked.Close()
+	if err != nil {
+		return err
+	}
+
+	progress("single-snapshot (lock-free read path)")
+	so := opts
+	so.Path = filepath.Join(dir, "snap.idx")
+	snap, err := rexptree.Open(so)
+	if err != nil {
+		return err
+	}
+	if err := loadAll(snap); err != nil {
+		snap.Close()
+		return err
+	}
+	report.SingleSnap, err = sweepSeries(snap, cfg, progress)
+	report.SingleSnap.Name = "single-snapshot"
+	snap.Close()
+	if err != nil {
+		return err
+	}
+
+	progress(fmt.Sprintf("sharded-snapshot (%d shards)", shards))
+	sh, err := rexptree.OpenSharded(rexptree.ShardedOptions{
+		Options: func() rexptree.Options {
+			o := opts
+			o.Path = filepath.Join(dir, "sharded.idx")
+			return o
+		}(),
+		Shards:  shards,
+		Workers: workerSweep[len(workerSweep)-1],
+	})
+	if err != nil {
+		return err
+	}
+	if err := loadAll(sh); err != nil {
+		sh.Close()
+		return err
+	}
+	report.ShardedSnap, err = sweepSeries(sh, cfg, progress)
+	report.ShardedSnap.Name = "sharded-snapshot"
+	sh.Close()
+	if err != nil {
+		return err
+	}
+
+	if lp, sp := onePoint(report.SingleLocked), onePoint(report.SingleSnap); lp != nil && sp != nil && lp.QueryOpsPerSec > 0 {
+		report.SnapVsLocked1W = sp.QueryOpsPerSec / lp.QueryOpsPerSec
+	}
+	nl := len(report.SingleLocked.Points)
+	ns := len(report.SingleSnap.Points)
+	if nl > 0 && ns > 0 && report.SingleLocked.Points[nl-1].QueryOpsPerSec > 0 {
+		report.SnapVsLockedMaxW = report.SingleSnap.Points[ns-1].QueryOpsPerSec /
+			report.SingleLocked.Points[nl-1].QueryOpsPerSec
+	}
+
+	var guardErr error
+	if guardMin > 0 {
+		report.GuardMin = guardMin
+		passed := report.SnapVsLocked1W >= guardMin
+		report.GuardPassed = &passed
+		if !passed {
+			guardErr = fmt.Errorf("read-path guard failed: snapshot 1-worker throughput is %.3f of the locked baseline, want >= %.2f",
+				report.SnapVsLocked1W, guardMin)
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+		return guardErr
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("read scaling (1w readers-only): locked %.0f ops/s, snapshot %.0f ops/s (%.2fx); snapshot vs locked at max workers %.2fx -> %s\n",
+		pointOps(onePoint(report.SingleLocked)), pointOps(onePoint(report.SingleSnap)),
+		report.SnapVsLocked1W, report.SnapVsLockedMaxW, out)
+	return guardErr
+}
+
+func pointOps(p *readScalePoint) float64 {
+	if p == nil {
+		return 0
+	}
+	return p.QueryOpsPerSec
+}

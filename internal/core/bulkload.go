@@ -50,7 +50,11 @@ func BulkLoad(cfg Config, store storage.Store, items []BulkItem, now float64) (*
 		}
 		t.root = root.id
 		t.height = 1
-		return t, t.bp.Pin(t.root)
+		if err := t.bp.Pin(t.root); err != nil {
+			return nil, err
+		}
+		t.publishOp()
+		return t, nil
 	}
 
 	// Leaf entries, quantized like regular inserts.
@@ -79,7 +83,11 @@ func BulkLoad(cfg Config, store storage.Store, items []BulkItem, now float64) (*
 			t.root = nodes[0].id
 			t.height = level + 1
 			t.leafEntries = len(items)
-			return t, t.bp.Pin(t.root)
+			if err := t.bp.Pin(t.root); err != nil {
+				return nil, err
+			}
+			t.publishOp()
+			return t, nil
 		}
 		// Parent entries for the next round.
 		entries = make([]entry, len(nodes))

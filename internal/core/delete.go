@@ -20,6 +20,7 @@ func (t *Tree) Delete(oid uint32, p geom.MovingPoint, now float64) (bool, error)
 		return false, err
 	}
 	if path == nil {
+		t.publishOp() // no-op unless a future findLeaf variant mutates
 		return false, t.finishOp()
 	}
 	leaf := path[len(path)-1]
@@ -36,6 +37,7 @@ func (t *Tree) Delete(oid uint32, p geom.MovingPoint, now float64) (bool, error)
 	if err := t.shrinkRoot(); err != nil {
 		return true, err
 	}
+	t.publishOp()
 	return true, t.finishOp()
 }
 

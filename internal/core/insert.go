@@ -29,6 +29,7 @@ func (t *Tree) Insert(oid uint32, p geom.MovingPoint, now float64) error {
 	if err := t.placeEntry(orphan{e: entry{id: oid, rect: geom.PointTPRect(p)}, level: 0}); err != nil {
 		return err
 	}
+	t.publishOp()
 	return t.finishOp()
 }
 

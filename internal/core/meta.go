@@ -168,6 +168,9 @@ func Open(cfg Config, store storage.Store) (*Tree, error) {
 	if err := t.bp.Pin(t.root); err != nil {
 		return nil, err
 	}
+	if err := t.installSnapshots(); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 

@@ -30,7 +30,7 @@ func (t *Tree) Nearest(q geom.Vec, at float64, k int, now float64) ([]Result, er
 func (t *Tree) NearestStats(q geom.Vec, at float64, k int, now float64, st *TravStats) ([]Result, error) {
 	t.advance(now)
 	if at < t.Now() {
-		return nil, fmt.Errorf("core: nearest query time %v precedes current time %v", at, t.Now())
+		return nil, errNearestPast(at, t.Now())
 	}
 	if k <= 0 {
 		return nil, nil
@@ -84,6 +84,12 @@ func (t *Tree) NearestStats(q geom.Vec, at float64, k int, now float64, st *Trav
 	}
 	t.addQueryStats(nodes, leaves, st)
 	return out, nil
+}
+
+// errNearestPast is shared by the locked and snapshot nearest paths so
+// both reject past query times with the identical error.
+func errNearestPast(at, now float64) error {
+	return fmt.Errorf("core: nearest query time %v precedes current time %v", at, now)
 }
 
 // nnQueuePool recycles priority queues across Nearest calls so the

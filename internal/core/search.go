@@ -22,6 +22,11 @@ type TravStats struct {
 	Leaves uint64 // leaf entries examined
 	Reads  uint64 // page requests that missed the buffer and read the store
 	Hits   uint64 // page requests served from the buffer pool
+
+	// Snapshot read path only (zero on the locked path).
+	SnapHits   uint64 // nodes served from version chains, no lock taken
+	SnapMisses uint64 // defensive fallbacks through the buffer pool
+	PinNanos   int64  // time spent pinning the epoch
 }
 
 // Search returns the objects whose predicted trajectories intersect

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rexptree/internal/epoch"
 	"rexptree/internal/geom"
 	"rexptree/internal/hull"
 	"rexptree/internal/obs"
@@ -54,18 +55,40 @@ type Tree struct {
 
 	// scratch is the reusable item buffer of computeBR.
 	scratch []geom.TPRect
+
+	// Snapshot read path state (see snapshot.go).  pub is the
+	// atomically published root descriptor; chains the per-page version
+	// table (a dense slice indexed by PageID, grown copy-on-write);
+	// dom the epoch domain readers pin; staged the pages the current
+	// mutation touched, keyed by page id (nil marks a free).  The
+	// remaining fields are writer-private.
+	pub    atomic.Pointer[pubState]
+	chains atomic.Pointer[[]atomic.Pointer[chain]]
+	dom    *epoch.Domain
+	staged map[storage.PageID]*node
+
+	batchDepth       int
+	pendingPub       bool
+	pubSeq           uint64
+	pubCount         uint64
+	lastPublishNanos int64
+	sweepScratch     []*chain
 }
 
 // newTreeShell builds a Tree with its runtime machinery but no pages.
 func newTreeShell(cfg Config, store storage.Store) *Tree {
 	t := &Tree{
-		cfg:   cfg,
-		lay:   newLayout(cfg),
-		bp:    storage.NewBufferPool(store, cfg.BufferPages),
-		met:   cfg.Metrics,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		cache: make(map[storage.PageID]*node),
+		cfg:    cfg,
+		lay:    newLayout(cfg),
+		bp:     storage.NewBufferPool(store, cfg.BufferPages),
+		met:    cfg.Metrics,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		cache:  make(map[storage.PageID]*node),
+		dom:    epoch.NewDomain(0),
+		staged: make(map[storage.PageID]*node),
 	}
+	empty := make([]atomic.Pointer[chain], 0)
+	t.chains.Store(&empty)
 	if t.met != nil {
 		t.bp.SetMetrics(t.met)
 	}
@@ -147,6 +170,7 @@ func New(cfg Config, store storage.Store) (*Tree, error) {
 	if err := t.bp.Pin(t.root); err != nil {
 		return nil, err
 	}
+	t.publishOp()
 	return t, nil
 }
 
@@ -438,6 +462,7 @@ func (t *Tree) writeNode(n *node) error {
 	t.cacheMu.Lock()
 	t.cache[n.id] = n
 	t.cacheMu.Unlock()
+	t.stageWrite(n)
 	return t.bp.MarkDirty(n.id)
 }
 
@@ -462,6 +487,7 @@ func (t *Tree) freeNode(n *node) error {
 	t.cacheMu.Lock()
 	delete(t.cache, n.id)
 	t.cacheMu.Unlock()
+	t.stageFree(n.id)
 	return t.bp.Free(n.id)
 }
 

@@ -1,0 +1,109 @@
+// Package epoch provides the epoch-based reclamation protocol of the
+// snapshot read path: readers pin the sequence number of the snapshot
+// they traverse in a cache-line-padded slot array, and the single
+// writer computes the minimum pinned sequence to decide which retired
+// page versions are safe to reclaim.
+//
+// The protocol is deliberately minimal.  There are no deferred-free
+// callbacks: the writer itself trims version chains after each
+// publication, cutting everything older than the newest version at or
+// below the minimum pinned sequence.  A reader that pins sequence S is
+// guaranteed that, for every page, the newest version with sequence
+// <= S stays reachable until it unpins.
+//
+// Correct use requires the load-pin-reload dance (see Domain.Pin): a
+// reader must load the published snapshot, pin its sequence, and then
+// RE-LOAD the snapshot, traversing the re-loaded one.  A writer that
+// publishes and trims between the reader's first load and its pin can
+// only have reclaimed versions the re-loaded (newer) snapshot no
+// longer references.
+package epoch
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// slot is one pin slot, padded so two slots never share a cache line
+// (a reader spinning on its slot must not false-share with neighbors).
+// A slot stores seq+1 while pinned and 0 while free.
+type slot struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Domain is one reclamation domain: a fixed array of pin slots shared
+// by all readers of one tree.  The zero value is not usable; use
+// NewDomain.
+type Domain struct {
+	slots []slot
+}
+
+// NewDomain returns a domain with at least n slots (n <= 0 selects a
+// default sized to the machine: 16 slots per logical CPU, minimum 64).
+// More concurrent pins than slots do not fail — Pin spins until a slot
+// frees — so the size only bounds how many readers pin without
+// yielding.
+func NewDomain(n int) *Domain {
+	if n <= 0 {
+		n = 16 * runtime.GOMAXPROCS(0)
+		if n < 64 {
+			n = 64
+		}
+	}
+	return &Domain{slots: make([]slot, n)}
+}
+
+// Pin claims a free slot and records seq in it.  It spins (yielding
+// the processor between rounds) when every slot is taken; slots are
+// held only for the duration of one traversal, so the wait is short.
+// Pin performs no allocation — the returned Pin is a value.
+func (d *Domain) Pin(seq uint64) Pin {
+	v := seq + 1
+	for {
+		for i := range d.slots {
+			s := &d.slots[i]
+			if s.v.Load() == 0 && s.v.CompareAndSwap(0, v) {
+				return Pin{d: d, i: i}
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// Pin is an active claim on a slot.  It must be released with Unpin
+// exactly once.
+type Pin struct {
+	d *Domain
+	i int
+}
+
+// Unpin releases the slot.
+func (p Pin) Unpin() { p.d.slots[p.i].v.Store(0) }
+
+// Min returns the minimum pinned sequence, or current when nothing is
+// pinned.  The writer calls it after publishing sequence `current`, so
+// the result is the oldest snapshot any reader may still traverse:
+// versions older than the newest version at or below Min are
+// unreachable and safe to reclaim.
+func (d *Domain) Min(current uint64) uint64 {
+	min := current
+	for i := range d.slots {
+		if v := d.slots[i].v.Load(); v != 0 && v-1 < min {
+			min = v - 1
+		}
+	}
+	return min
+}
+
+// Pinned reports how many slots are currently claimed (for tests and
+// gauges; the value is immediately stale).
+func (d *Domain) Pinned() int {
+	n := 0
+	for i := range d.slots {
+		if d.slots[i].v.Load() != 0 {
+			n++
+		}
+	}
+	return n
+}

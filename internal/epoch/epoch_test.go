@@ -1,0 +1,82 @@
+package epoch
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPinUnpinMin(t *testing.T) {
+	d := NewDomain(4)
+	if got := d.Min(42); got != 42 {
+		t.Fatalf("Min with no pins = %d, want 42 (current)", got)
+	}
+	p1 := d.Pin(10)
+	p2 := d.Pin(7)
+	if got := d.Min(42); got != 7 {
+		t.Fatalf("Min = %d, want 7", got)
+	}
+	if got := d.Pinned(); got != 2 {
+		t.Fatalf("Pinned = %d, want 2", got)
+	}
+	p2.Unpin()
+	if got := d.Min(42); got != 10 {
+		t.Fatalf("Min after unpin = %d, want 10", got)
+	}
+	p1.Unpin()
+	if got := d.Min(42); got != 42 {
+		t.Fatalf("Min after all unpins = %d, want 42", got)
+	}
+}
+
+func TestPinZeroSequence(t *testing.T) {
+	// Sequence 0 must be representable (slots store seq+1).
+	d := NewDomain(2)
+	p := d.Pin(0)
+	if got := d.Min(5); got != 0 {
+		t.Fatalf("Min = %d, want 0", got)
+	}
+	p.Unpin()
+}
+
+func TestPinSpinsWhenFull(t *testing.T) {
+	// With a 1-slot domain, a second Pin must wait for the first Unpin
+	// rather than fail or corrupt the slot.
+	d := NewDomain(1)
+	p1 := d.Pin(3)
+	done := make(chan Pin)
+	go func() { done <- d.Pin(9) }()
+	select {
+	case <-done:
+		t.Fatal("second Pin succeeded while the only slot was taken")
+	default:
+	}
+	p1.Unpin()
+	p2 := <-done
+	if got := d.Min(99); got != 9 {
+		t.Fatalf("Min = %d, want 9", got)
+	}
+	p2.Unpin()
+}
+
+func TestConcurrentPinStress(t *testing.T) {
+	d := NewDomain(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p := d.Pin(uint64(g*1000 + i))
+				// The minimum can never exceed our own pinned sequence.
+				if m := d.Min(1 << 62); m > uint64(g*1000+i) {
+					t.Errorf("Min = %d exceeds own pin %d", m, g*1000+i)
+				}
+				p.Unpin()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := d.Pinned(); got != 0 {
+		t.Fatalf("Pinned = %d after all unpins, want 0", got)
+	}
+}

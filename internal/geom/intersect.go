@@ -41,6 +41,14 @@ func clipLE(iv Interval, a0, a1, b0, b1 float64) Interval {
 	return iv
 }
 
+// ClipLE exposes clipLE for columnar traversal kernels that evaluate
+// the same clip sequence over decomposed coordinates: it narrows iv to
+// the sub-interval where a0+a1·t <= b0+b1·t.  Callers must apply clips
+// in OverlapInterval's order to reproduce its verdicts bit for bit.
+func ClipLE(iv Interval, a0, a1, b0, b1 float64) Interval {
+	return clipLE(iv, a0, a1, b0, b1)
+}
+
 // OverlapInterval returns the interval of times within [t1, t2] during
 // which the snapshots of a and b intersect, using the first dims
 // dimensions.  The returned interval is empty when they never meet.

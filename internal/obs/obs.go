@@ -225,7 +225,15 @@ type Metrics struct {
 	BufHits            Counter // page requests served from the buffer
 	BufEvictions       Counter // frames evicted by LRU replacement
 	BufDirtyWritebacks Counter // evictions that had to write the frame back
+	BufLockFreeHits    Counter // buffer hits served without taking the pool mutex (PR 8)
 	FaultTrips         Counter // injected storage faults that fired
+
+	// Snapshot read path (internal/core + internal/epoch, PR 8).
+	EpochPins           Counter // epochs pinned by snapshot traversals
+	SnapNodeHits        Counter // node lookups served from version chains, lock-free
+	SnapNodeMisses      Counter // snapshot lookups that fell back through the buffer pool
+	SnapPublishes       Counter // snapshot publications (atomic root/version swaps)
+	SnapVersionsTrimmed Counter // retired page versions reclaimed by the writer
 
 	// Structural counters (internal/core).
 	ChooseSubtree     Counter // ChooseSubtree descents, one per level (§4.2.2)
@@ -378,7 +386,14 @@ type Snapshot struct {
 	BufHits            uint64
 	BufEvictions       uint64
 	BufDirtyWritebacks uint64
+	BufLockFreeHits    uint64
 	FaultTrips         uint64
+
+	EpochPins           uint64
+	SnapNodeHits        uint64
+	SnapNodeMisses      uint64
+	SnapPublishes       uint64
+	SnapVersionsTrimmed uint64
 
 	ChooseSubtree     uint64
 	NodeVisits        uint64
@@ -440,7 +455,13 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.BufHits = m.BufHits.Load()
 	s.BufEvictions = m.BufEvictions.Load()
 	s.BufDirtyWritebacks = m.BufDirtyWritebacks.Load()
+	s.BufLockFreeHits = m.BufLockFreeHits.Load()
 	s.FaultTrips = m.FaultTrips.Load()
+	s.EpochPins = m.EpochPins.Load()
+	s.SnapNodeHits = m.SnapNodeHits.Load()
+	s.SnapNodeMisses = m.SnapNodeMisses.Load()
+	s.SnapPublishes = m.SnapPublishes.Load()
+	s.SnapVersionsTrimmed = m.SnapVersionsTrimmed.Load()
 	s.ChooseSubtree = m.ChooseSubtree.Load()
 	s.NodeVisits = m.NodeVisits.Load()
 	s.LeafScans = m.LeafScans.Load()
@@ -505,7 +526,13 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 	d.BufHits -= o.BufHits
 	d.BufEvictions -= o.BufEvictions
 	d.BufDirtyWritebacks -= o.BufDirtyWritebacks
+	d.BufLockFreeHits -= o.BufLockFreeHits
 	d.FaultTrips -= o.FaultTrips
+	d.EpochPins -= o.EpochPins
+	d.SnapNodeHits -= o.SnapNodeHits
+	d.SnapNodeMisses -= o.SnapNodeMisses
+	d.SnapPublishes -= o.SnapPublishes
+	d.SnapVersionsTrimmed -= o.SnapVersionsTrimmed
 	d.ChooseSubtree -= o.ChooseSubtree
 	d.NodeVisits -= o.NodeVisits
 	d.LeafScans -= o.LeafScans
@@ -554,7 +581,13 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 	d.BufHits += o.BufHits
 	d.BufEvictions += o.BufEvictions
 	d.BufDirtyWritebacks += o.BufDirtyWritebacks
+	d.BufLockFreeHits += o.BufLockFreeHits
 	d.FaultTrips += o.FaultTrips
+	d.EpochPins += o.EpochPins
+	d.SnapNodeHits += o.SnapNodeHits
+	d.SnapNodeMisses += o.SnapNodeMisses
+	d.SnapPublishes += o.SnapPublishes
+	d.SnapVersionsTrimmed += o.SnapVersionsTrimmed
 	d.ChooseSubtree += o.ChooseSubtree
 	d.NodeVisits += o.NodeVisits
 	d.LeafScans += o.LeafScans

@@ -70,6 +70,7 @@ type Server struct {
 
 	durability string // daemon-configured policy name, for /v1/stats
 
+	admit    sync.RWMutex // orders admitMutation's Add against Drain's Wait
 	draining atomic.Bool
 	inflight sync.WaitGroup // in-flight mutations, awaited by Drain
 
@@ -163,7 +164,14 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // to finish.  It does not close the index — the daemon does that after
 // the HTTP listener has drained its readers too — and is idempotent.
 func (s *Server) Drain() {
+	// Taking the admission lock exclusively flushes out admitMutation's
+	// check-then-Add sections: every Add either happened before this
+	// point (so Wait sees it) or starts after and is refused.  Without
+	// it an Add could race the Wait at counter zero, which sync.WaitGroup
+	// forbids.
+	s.admit.Lock()
 	s.draining.Store(true)
+	s.admit.Unlock()
 	s.inflight.Wait()
 }
 
@@ -178,12 +186,15 @@ func (s *Server) CloseIndex() error {
 // waits on.  The returned release must be called exactly once; ok is
 // false when the request was already answered.
 func (s *Server) admitMutation(w http.ResponseWriter) (release func(), ok bool) {
+	s.admit.RLock()
 	if s.draining.Load() {
+		s.admit.RUnlock()
 		s.retryLater(w, http.StatusServiceUnavailable, "draining: not admitting mutations")
 		return nil, false
 	}
 	s.inflight.Add(1)
-	// A drain that began after the check above waits for this request
+	s.admit.RUnlock()
+	// A drain that began after the Add above waits for this request
 	// like any other in-flight mutation; no ack can race the close.
 	return func() { s.inflight.Done() }, true
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rexptree/internal/obs"
@@ -40,6 +41,12 @@ type frame struct {
 	dirty  bool
 	pins   int
 	lruPos *list.Element // nil while pinned (not on the LRU list)
+
+	// ref is the second-chance reference bit: the lock-free hit path
+	// sets it instead of reordering the mutex-guarded LRU list, and
+	// eviction gives a referenced frame one more round before dropping
+	// it.  It is the only frame field touched without bp.mu.
+	ref atomic.Bool
 }
 
 // BufferPool caches up to cap pages of a Store with LRU replacement,
@@ -47,12 +54,16 @@ type frame struct {
 // the tree root pinned, dirty pages written back on eviction or on
 // explicit flush.
 //
-// Every method is safe for concurrent use; one mutex serializes the
-// frame table, the LRU list and the store, so concurrent readers of
-// the tree above can share the pool.  A slice returned by Get stays
-// memory-safe after a concurrent eviction (the frame is dropped, not
-// recycled), but its contents are only stable while no writer mutates
-// the page — the tree layer's reader/writer lock guarantees that.
+// Every method is safe for concurrent use.  The hit path is lock-free:
+// resident frames are published in a dense atomic table indexed by page
+// id, so a Get that finds its page buffered touches no mutex at all —
+// it marks the frame's second-chance reference bit instead of
+// reordering the LRU list.  One mutex still serializes everything else
+// (misses, eviction, allocation, flush, the LRU list and the store).
+// A slice returned by Get stays memory-safe after a concurrent
+// eviction (the frame is dropped, not recycled), but its contents are
+// only stable while no writer mutates the page — the tree layer's
+// locking discipline guarantees that.
 type BufferPool struct {
 	mu       sync.Mutex
 	store    Store
@@ -62,8 +73,24 @@ type BufferPool struct {
 	lru      *list.List // front = most recently used; unpinned frames only
 	stats    Stats
 	met      *obs.Metrics // nil when uninstrumented
-	ioReadN  uint64       // store reads since open, for phase-timer sampling
-	ioWriteN uint64
+
+	// readTbl is the lock-free lookup table: one atomic frame pointer
+	// per page id, non-nil exactly for resident pages.  Mutated only
+	// under mu (admit, evict, free); read by anyone.  Grown
+	// copy-on-write, so readers may briefly see a shorter table and
+	// fall through to the mutex path, which double-checks frames.
+	readTbl atomic.Pointer[[]atomic.Pointer[frame]]
+
+	// hitsLF counts hits served by the lock-free path; Stats folds it
+	// into Hits so the total matches the mutex-only implementation.
+	hitsLF atomic.Uint64
+
+	// I/O phase-timer sample counters.  Atomic because store reads can
+	// be triggered from the snapshot read path's fallback concurrently
+	// with mutex-path misses; uniform 1-in-N sampling must stay sound
+	// no matter which path issues the read.
+	ioReadN  atomic.Uint64
+	ioWriteN atomic.Uint64
 }
 
 // NewBufferPool wraps store with a buffer of the given page capacity.
@@ -71,19 +98,26 @@ func NewBufferPool(store Store, capacity int) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &BufferPool{
+	bp := &BufferPool{
 		store:    store,
 		capacity: capacity,
 		frames:   make(map[PageID]*frame, capacity),
 		lru:      list.New(),
 	}
+	empty := make([]atomic.Pointer[frame], 0)
+	bp.readTbl.Store(&empty)
+	return bp
 }
 
-// Stats returns the accumulated I/O counters.
+// Stats returns the accumulated I/O counters.  Hits served by the
+// lock-free path are folded in, so the totals match what a mutex-only
+// pool would report.
 func (bp *BufferPool) Stats() Stats {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
-	return bp.stats
+	s := bp.stats
+	s.Hits += bp.hitsLF.Load()
+	return s
 }
 
 // SetMetrics attaches (or with nil detaches) an instrument registry.
@@ -101,6 +135,42 @@ func (bp *BufferPool) ResetStats() {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	bp.stats = Stats{}
+	bp.hitsLF.Store(0)
+}
+
+// tblSet publishes (f non-nil) or withdraws (f nil) the page's frame
+// in the lock-free lookup table, growing the table as the store
+// allocates higher page ids.  Caller holds bp.mu.
+func (bp *BufferPool) tblSet(id PageID, f *frame) {
+	tbl := *bp.readTbl.Load()
+	if int(id) >= len(tbl) {
+		if f == nil {
+			return // clearing a slot that was never published
+		}
+		n := 2 * len(tbl)
+		if n < int(id)+1 {
+			n = int(id) + 1
+		}
+		if n < 64 {
+			n = 64
+		}
+		grown := make([]atomic.Pointer[frame], n)
+		for i := range tbl {
+			grown[i].Store(tbl[i].Load())
+		}
+		bp.readTbl.Store(&grown)
+		tbl = grown
+	}
+	tbl[id].Store(f)
+}
+
+// lookup is the lock-free resident-frame probe.
+func (bp *BufferPool) lookup(id PageID) *frame {
+	tbl := *bp.readTbl.Load()
+	if int(id) < len(tbl) {
+		return tbl[id].Load()
+	}
+	return nil
 }
 
 // Store returns the underlying page store.
@@ -122,20 +192,40 @@ var errNoCleanFrame = errors.New("storage: no clean frame to evict")
 // only reach the store through an explicit Flush, so the on-disk state
 // stays exactly the last checkpoint's; if no clean frame exists the
 // pool overflows (errNoCleanFrame).
+// evictOne implements second-chance LRU: the lock-free hit path cannot
+// reorder the mutex-guarded list, so it marks the frame's reference
+// bit instead, and eviction rotates referenced frames to the front
+// (consuming the bit) before dropping the first unreferenced victim.
+// The rotation budget is bounded so concurrent readers re-marking
+// frames cannot livelock the writer: after 2×len(lru) rounds the
+// reference bits are ignored and the back frame goes.
 func (bp *BufferPool) evictOne() error {
-	e := bp.lru.Back()
-	if bp.noSteal {
-		for e != nil && e.Value.(*frame).dirty {
-			e = e.Prev()
+	limit := 2 * bp.lru.Len()
+	for round := 0; ; round++ {
+		e := bp.lru.Back()
+		if bp.noSteal {
+			for e != nil && e.Value.(*frame).dirty {
+				e = e.Prev()
+			}
+			if e == nil {
+				return errNoCleanFrame
+			}
 		}
 		if e == nil {
-			return errNoCleanFrame
+			return fmt.Errorf("storage: buffer pool full of pinned pages (cap %d)", bp.capacity)
 		}
+		f := e.Value.(*frame)
+		if round < limit && f.ref.CompareAndSwap(true, false) {
+			bp.lru.MoveToFront(e)
+			continue
+		}
+		return bp.evictFrame(e, f)
 	}
-	if e == nil {
-		return fmt.Errorf("storage: buffer pool full of pinned pages (cap %d)", bp.capacity)
-	}
-	f := e.Value.(*frame)
+}
+
+// evictFrame writes back and drops one chosen frame.  Caller holds
+// bp.mu.
+func (bp *BufferPool) evictFrame(e *list.Element, f *frame) error {
 	if !bp.noSteal && f.dirty {
 		if err := bp.writePage(f.id, f.data); err != nil {
 			return err
@@ -155,6 +245,7 @@ func (bp *BufferPool) evictOne() error {
 	}
 	bp.lru.Remove(e)
 	delete(bp.frames, f.id)
+	bp.tblSet(f.id, nil)
 	return nil
 }
 
@@ -169,6 +260,7 @@ func (bp *BufferPool) admit(f *frame) error {
 	}
 	bp.frames[f.id] = f
 	f.lruPos = bp.lru.PushFront(f)
+	bp.tblSet(f.id, f)
 	return nil
 }
 
@@ -216,10 +308,16 @@ func (bp *BufferPool) DirtyPages(fn func(id PageID, data []byte) error) error {
 }
 
 // Get returns the contents of the page, reading it from the store on a
-// miss.  The returned slice aliases the buffer frame: it is valid
-// until the page is evicted, so callers must not retain it across
-// other pool operations unless the page is pinned.
+// miss.  A hit on a resident page takes no lock (see hitFast); only
+// misses fall through to the mutex.  The returned slice aliases the
+// buffer frame: it is valid until the page is evicted, so callers must
+// not retain it across other pool operations unless the page is
+// pinned.
 func (bp *BufferPool) Get(id PageID) ([]byte, error) {
+	if f := bp.lookup(id); f != nil {
+		bp.hitFast(f)
+		return f.data, nil
+	}
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	data, _, err := bp.getTracked(id)
@@ -230,9 +328,24 @@ func (bp *BufferPool) Get(id PageID) ([]byte, error) {
 // was served from the buffer (true) or had to read the store (false).
 // Query tracing uses it to attribute per-traversal cache behavior.
 func (bp *BufferPool) GetTracked(id PageID) ([]byte, bool, error) {
+	if f := bp.lookup(id); f != nil {
+		bp.hitFast(f)
+		return f.data, true, nil
+	}
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	return bp.getTracked(id)
+}
+
+// hitFast records a lock-free hit: the frame's second-chance bit
+// replaces the LRU reorder, and the hit counters are atomic.
+func (bp *BufferPool) hitFast(f *frame) {
+	f.ref.Store(true)
+	bp.hitsLF.Add(1)
+	if bp.met != nil {
+		bp.met.BufHits.Inc()
+		bp.met.BufLockFreeHits.Inc()
+	}
 }
 
 func (bp *BufferPool) get(id PageID) ([]byte, error) {
@@ -273,15 +386,16 @@ func (bp *BufferPool) getTracked(id PageID) ([]byte, bool, error) {
 const ioSampleEvery = 8
 
 // readPage reads the page from the store, timing a uniform sample of
-// reads into the io_read phase histogram when instrumented.  Called
-// with bp.mu held (as is writePage), so the sample counters need no
-// synchronization.
+// reads into the io_read phase histogram when instrumented.  The
+// sample counter is atomic (not mutex-protected) so every store read
+// is counted toward the 1-in-N sample no matter which path triggered
+// it — mutex-path misses and the snapshot read path's buffer fallback
+// alike — keeping the phase histogram from undercounting.
 func (bp *BufferPool) readPage(id PageID, data []byte) error {
 	if bp.met == nil {
 		return bp.store.ReadPage(id, data)
 	}
-	bp.ioReadN++
-	if bp.ioReadN%ioSampleEvery != 0 {
+	if bp.ioReadN.Add(1)%ioSampleEvery != 0 {
 		return bp.store.ReadPage(id, data)
 	}
 	start := time.Now()
@@ -296,8 +410,7 @@ func (bp *BufferPool) writePage(id PageID, data []byte) error {
 	if bp.met == nil {
 		return bp.store.WritePage(id, data)
 	}
-	bp.ioWriteN++
-	if bp.ioWriteN%ioSampleEvery != 0 {
+	if bp.ioWriteN.Add(1)%ioSampleEvery != 0 {
 		return bp.store.WritePage(id, data)
 	}
 	start := time.Now()
@@ -385,6 +498,7 @@ func (bp *BufferPool) Free(id PageID) error {
 			bp.lru.Remove(f.lruPos)
 		}
 		delete(bp.frames, id)
+		bp.tblSet(id, nil)
 	}
 	return bp.store.Free(id)
 }

@@ -82,7 +82,15 @@ type Metrics struct {
 	BufferHits            uint64 // requests served from the buffer
 	BufferEvictions       uint64 // frames evicted by LRU replacement
 	BufferDirtyWritebacks uint64 // evictions that wrote the frame back
+	BufferLockFreeHits    uint64 // buffer hits served without taking the pool mutex
 	FaultTrips            uint64 // injected storage faults that fired
+
+	// Snapshot read-path counters (zero under Options.LockedReads).
+	EpochPins               uint64 // epochs pinned by snapshot traversals
+	SnapshotNodeHits        uint64 // node lookups served lock-free from version chains
+	SnapshotNodeMisses      uint64 // snapshot lookups that fell back through the buffer pool
+	SnapshotPublishes       uint64 // snapshot publications (atomic root/version swaps)
+	SnapshotVersionsTrimmed uint64 // retired page versions reclaimed by the writer
 
 	// Structural counters.
 	ChooseSubtreeDescents   uint64 // ChooseSubtree steps, one per level (§4.2.2)
@@ -168,7 +176,13 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 	d.BufferHits -= prev.BufferHits
 	d.BufferEvictions -= prev.BufferEvictions
 	d.BufferDirtyWritebacks -= prev.BufferDirtyWritebacks
+	d.BufferLockFreeHits -= prev.BufferLockFreeHits
 	d.FaultTrips -= prev.FaultTrips
+	d.EpochPins -= prev.EpochPins
+	d.SnapshotNodeHits -= prev.SnapshotNodeHits
+	d.SnapshotNodeMisses -= prev.SnapshotNodeMisses
+	d.SnapshotPublishes -= prev.SnapshotPublishes
+	d.SnapshotVersionsTrimmed -= prev.SnapshotVersionsTrimmed
 	d.ChooseSubtreeDescents -= prev.ChooseSubtreeDescents
 	d.QueryNodeVisits -= prev.QueryNodeVisits
 	d.QueryLeafEntriesScanned -= prev.QueryLeafEntriesScanned
@@ -241,7 +255,14 @@ func fromSnapshot(s obs.Snapshot) Metrics {
 		BufferHits:            s.BufHits,
 		BufferEvictions:       s.BufEvictions,
 		BufferDirtyWritebacks: s.BufDirtyWritebacks,
+		BufferLockFreeHits:    s.BufLockFreeHits,
 		FaultTrips:            s.FaultTrips,
+
+		EpochPins:               s.EpochPins,
+		SnapshotNodeHits:        s.SnapNodeHits,
+		SnapshotNodeMisses:      s.SnapNodeMisses,
+		SnapshotPublishes:       s.SnapPublishes,
+		SnapshotVersionsTrimmed: s.SnapVersionsTrimmed,
 
 		ChooseSubtreeDescents:   s.ChooseSubtree,
 		QueryNodeVisits:         s.NodeVisits,

@@ -19,7 +19,8 @@ import (
 // tree through Parent (an index into QueryTrace.Spans, -1 for roots);
 // Start is the offset from the operation's start.  The span taxonomy
 // is documented in docs/TRACING.md: route, shard, queue-wait,
-// lock-wait, traverse, merge for queries; lock-wait, apply, wal-append,
+// lock-wait (or epoch-pin on the snapshot read path), traverse, merge
+// for queries; lock-wait, apply, version-publish, wal-append,
 // wal-fsync, checkpoint for mutations; analyze, truncate-tail,
 // reapply-images, open-base, rebuild-records, replay, checkpoint for
 // recovery.  Traverse spans additionally carry the traversal's node and
@@ -109,6 +110,40 @@ func (t *QueryTrace) endAt(i int) {
 	}
 	sp := &t.Spans[i]
 	sp.Duration = time.Since(t.Start) - sp.Start
+}
+
+// setEpochPin rewrites preallocated span i as the snapshot read
+// path's "epoch-pin" span: queries on that path never wait for the
+// tree lock, so the slot reserved for lock-wait reports the measured
+// epoch pin cost instead.  The span shares the traversal's start (the
+// pin is its first act) and lasts the pin time recorded in TravStats.
+func (t *QueryTrace) setEpochPin(i, travIdx int, pinNanos int64) {
+	if t == nil || i < 0 {
+		return
+	}
+	sp := &t.Spans[i]
+	sp.Phase = "epoch-pin"
+	if travIdx >= 0 {
+		sp.Start = t.Spans[travIdx].Start
+	}
+	sp.Duration = time.Duration(pinNanos)
+}
+
+// addMeasured appends a root span whose length was measured elsewhere
+// (e.g. the writer's snapshot version-publish, timed inside the core):
+// it ends now and extends back by the measured duration.
+func (t *QueryTrace) addMeasured(phase string, nanos int64) {
+	if t == nil || nanos <= 0 {
+		return
+	}
+	d := time.Duration(nanos)
+	t.Spans = append(t.Spans, TraceSpan{
+		Parent:   -1,
+		Phase:    phase,
+		Shard:    -1,
+		Start:    time.Since(t.Start) - d,
+		Duration: d,
+	})
 }
 
 // setTrav attaches a traversal's node and page accounting to span i.
@@ -356,14 +391,25 @@ func (tr *Tree) nearestTraced(pos Vec, at float64, k int, now float64, tc *Query
 // goroutines never append to the shared trace).  The traversal and
 // result conversion are identical to the untraced search.
 func (tr *Tree) searchSpansAt(q geom.Query, now float64, tc *QueryTrace, lockIdx, travIdx int) ([]Result, error) {
-	tc.startAt(lockIdx)
-	tr.rlock()
-	tc.endAt(lockIdx)
-	defer tr.mu.RUnlock()
-	tc.startAt(travIdx)
-	var st core.TravStats
-	rs, err := tr.t.SearchStats(q, now, &st)
-	tc.endAt(travIdx)
+	var (
+		rs  []core.Result
+		err error
+		st  core.TravStats
+	)
+	if tr.snapshotReads() {
+		tc.startAt(travIdx)
+		rs, err = tr.t.SearchSnapStats(q, now, &st)
+		tc.endAt(travIdx)
+		tc.setEpochPin(lockIdx, travIdx, st.PinNanos)
+	} else {
+		tc.startAt(lockIdx)
+		tr.rlock()
+		tc.endAt(lockIdx)
+		defer tr.mu.RUnlock()
+		tc.startAt(travIdx)
+		rs, err = tr.t.SearchStats(q, now, &st)
+		tc.endAt(travIdx)
+	}
 	tc.setTrav(travIdx, st, len(rs))
 	if err != nil {
 		return nil, err
@@ -374,14 +420,25 @@ func (tr *Tree) searchSpansAt(q geom.Query, now float64, tc *QueryTrace, lockIdx
 // nearestSpansAt is searchSpansAt for the nearest-neighbor traversal.
 // The caller must have validated the query time.
 func (tr *Tree) nearestSpansAt(pos Vec, at float64, k int, now float64, tc *QueryTrace, lockIdx, travIdx int) ([]Result, error) {
-	tc.startAt(lockIdx)
-	tr.rlock()
-	tc.endAt(lockIdx)
-	defer tr.mu.RUnlock()
-	tc.startAt(travIdx)
-	var st core.TravStats
-	rs, err := tr.t.NearestStats(geom.Vec(pos), at, k, now, &st)
-	tc.endAt(travIdx)
+	var (
+		rs  []core.Result
+		err error
+		st  core.TravStats
+	)
+	if tr.snapshotReads() {
+		tc.startAt(travIdx)
+		rs, err = tr.t.NearestSnapStats(geom.Vec(pos), at, k, now, &st)
+		tc.endAt(travIdx)
+		tc.setEpochPin(lockIdx, travIdx, st.PinNanos)
+	} else {
+		tc.startAt(lockIdx)
+		tr.rlock()
+		tc.endAt(lockIdx)
+		defer tr.mu.RUnlock()
+		tc.startAt(travIdx)
+		rs, err = tr.t.NearestStats(geom.Vec(pos), at, k, now, &st)
+		tc.endAt(travIdx)
+	}
 	tc.setTrav(travIdx, st, len(rs))
 	if err != nil {
 		return nil, err

@@ -79,7 +79,7 @@ func TestTraceEquivalenceSingle(t *testing.T) {
 		if len(trace.Spans) < c.minSpans {
 			t.Fatalf("%s: %d spans, want >= %d", c.name, len(trace.Spans), c.minSpans)
 		}
-		var sawTraverse bool
+		var sawTraverse, sawPin bool
 		for _, sp := range trace.Spans {
 			if sp.Phase == "traverse" {
 				sawTraverse = true
@@ -87,15 +87,60 @@ func TestTraceEquivalenceSingle(t *testing.T) {
 					t.Errorf("%s: traverse span visited 0 nodes", c.name)
 				}
 			}
+			if sp.Phase == "epoch-pin" {
+				sawPin = true
+			}
+			if sp.Phase == "lock-wait" {
+				t.Errorf("%s: lock-wait span on the snapshot read path", c.name)
+			}
 		}
 		if !sawTraverse {
 			t.Errorf("%s: no traverse span in %+v", c.name, trace.Spans)
+		}
+		if !sawPin {
+			t.Errorf("%s: no epoch-pin span in %+v", c.name, trace.Spans)
 		}
 		if len(trace.Shards) != 0 {
 			t.Errorf("%s: stand-alone tree trace has a shard table", c.name)
 		}
 		if txt := trace.Text(); !strings.Contains(txt, c.wantOp) || !strings.Contains(txt, "traverse") {
 			t.Errorf("%s: Text() missing op or spans:\n%s", c.name, txt)
+		}
+	}
+}
+
+// TestTraceMutationPublishSpan checks that recorded mutation traces
+// carry the version-publish span timing the snapshot publication, and
+// that queries recorded through the flight recorder carry epoch-pin.
+func TestTraceMutationPublishSpan(t *testing.T) {
+	opts := DefaultOptions()
+	opts.FlightRecorder = 8
+	tr, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for _, r := range testWorkload(200, 3) {
+		if err := tr.Update(r.ID, r.Point, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.UpdateBatch(testWorkload(200, 4), 0); err != nil {
+		t.Fatal(err)
+	}
+	recent, _ := tr.Traces()
+	phases := map[string]map[string]bool{} // op -> span phases seen
+	for _, qt := range recent {
+		if phases[qt.Op] == nil {
+			phases[qt.Op] = map[string]bool{}
+		}
+		for _, sp := range qt.Spans {
+			phases[qt.Op][sp.Phase] = true
+		}
+	}
+	for _, op := range []string{"update", "batch"} {
+		if !phases[op]["version-publish"] {
+			t.Errorf("recorded %s trace has no version-publish span (spans: %v)", op, phases[op])
 		}
 	}
 }

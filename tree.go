@@ -19,21 +19,29 @@ import (
 // moving-objects database), so updates and deletions need only the
 // object id.
 //
-// Concurrency: queries (Timeslice, Window, Moving, Nearest, Get, Len,
-// ForEach) take a shared lock and run concurrently with one another;
-// Update, Delete and UpdateBatch take the exclusive lock.  The time a
-// caller spends waiting for either lock is recorded in the lock-wait
-// histograms of Metrics.  For workloads that need concurrent updates
-// too, see ShardedTree, which partitions objects across independent
-// Trees.
+// Concurrency: the four index queries (Timeslice, Window, Moving,
+// Nearest) run on a lock-free snapshot read path — they pin an epoch,
+// traverse the immutable page versions last published by a writer, and
+// never block behind Update, Delete or UpdateBatch (which still take
+// the exclusive lock against each other).  Object-table reads (Get,
+// Len, Stats, ForEach, Validate) take the shared lock.  The time a
+// caller spends waiting for a lock is recorded in the lock-wait
+// histograms of Metrics; Options.LockedReads restores the legacy
+// behaviour where queries take the shared lock too.  For workloads
+// that need concurrent updates, see ShardedTree, which partitions
+// objects across independent Trees.
 type Tree struct {
-	mu      sync.RWMutex
-	t       *core.Tree
-	store   storage.Store
-	dims    int
-	objects map[uint32]geom.MovingPoint
-	m       *obs.Metrics  // always non-nil; see Metrics and WriteMetrics
-	rec     *obs.Recorder // flight recorder; nil unless Options.FlightRecorder > 0
+	mu    sync.RWMutex
+	t     *core.Tree
+	store storage.Store
+	dims  int
+
+	// lockedReads serves queries under mu instead of the snapshot
+	// path (Options.LockedReads).
+	lockedReads bool
+	objects     map[uint32]geom.MovingPoint
+	m           *obs.Metrics  // always non-nil; see Metrics and WriteMetrics
+	rec         *obs.Recorder // flight recorder; nil unless Options.FlightRecorder > 0
 
 	// Durability state; all nil/zero when Durability is DurabilityNone.
 	fs          *storage.FileStore // the unwrapped page file
@@ -133,10 +141,11 @@ func open(opts Options, retried bool) (*Tree, error) {
 	cfg := opts.internal()
 	cfg.Metrics = m
 	tr := &Tree{
-		store:   store,
-		objects: make(map[uint32]geom.MovingPoint),
-		m:       m,
-		rec:     newRecorder(opts),
+		store:       store,
+		objects:     make(map[uint32]geom.MovingPoint),
+		lockedReads: opts.LockedReads,
+		m:           m,
+		rec:         newRecorder(opts),
 	}
 	if durable {
 		tr.fs = fs
@@ -315,6 +324,9 @@ func (tr *Tree) updateLocked(id uint32, p Point, now float64, tc *QueryTrace) er
 		ai := tc.begin(-1, "apply", -1)
 		err := tr.applyUpdate(id, p, now)
 		tc.endAt(ai)
+		if err == nil {
+			tc.addMeasured("version-publish", tr.t.LastPublishNanos())
+		}
 		return err
 	}
 	if tr.walPoison != nil {
@@ -334,11 +346,17 @@ func (tr *Tree) updateLocked(id uint32, p Point, now float64, tc *QueryTrace) er
 		tr.walRollback(prev, err)
 		return err
 	}
+	tc.addMeasured("version-publish", tr.t.LastPublishNanos())
 	return nil
 }
 
-// applyUpdate is the in-tree half of an update.
+// applyUpdate is the in-tree half of an update.  The delete+insert
+// pair is published as one snapshot, so lock-free readers can never
+// observe the gap where the old report is gone and the new one is not
+// yet inserted.
 func (tr *Tree) applyUpdate(id uint32, p Point, now float64) error {
+	tr.t.BeginBatch()
+	defer tr.t.EndBatch()
 	if old, ok := tr.objects[id]; ok {
 		if _, err := tr.t.Delete(id, old, now); err != nil {
 			return err
@@ -403,6 +421,7 @@ func (tr *Tree) delete(id uint32, now float64, tc *QueryTrace) (bool, error) {
 		tr.walRollback(prev, err)
 		return removed, err
 	}
+	tc.addMeasured("version-publish", tr.t.LastPublishNanos())
 	return removed, tr.walCommit(tc)
 }
 
@@ -508,9 +527,17 @@ func (tr *Tree) nearest(pos Vec, at float64, k int, now float64) ([]Result, erro
 	if err := checkTimeslice(at, now); err != nil {
 		return nil, err
 	}
-	tr.rlock()
-	defer tr.mu.RUnlock()
-	rs, err := tr.t.Nearest(geom.Vec(pos), at, k, now)
+	var (
+		rs  []core.Result
+		err error
+	)
+	if tr.snapshotReads() {
+		rs, err = tr.t.NearestSnap(geom.Vec(pos), at, k, now)
+	} else {
+		tr.rlock()
+		defer tr.mu.RUnlock()
+		rs, err = tr.t.Nearest(geom.Vec(pos), at, k, now)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -518,13 +545,30 @@ func (tr *Tree) nearest(pos Vec, at float64, k int, now float64) ([]Result, erro
 }
 
 func (tr *Tree) search(q geom.Query, now float64) ([]Result, error) {
-	tr.rlock()
-	defer tr.mu.RUnlock()
-	rs, err := tr.t.Search(q, now)
+	var (
+		rs  []core.Result
+		err error
+	)
+	if tr.snapshotReads() {
+		rs, err = tr.t.SearchSnap(q, now)
+	} else {
+		tr.rlock()
+		defer tr.mu.RUnlock()
+		rs, err = tr.t.Search(q, now)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return fromResults(rs, now, tr.dims), nil
+}
+
+// snapshotReads reports whether queries should traverse the lock-free
+// snapshot path.  Every constructor publishes a snapshot before the
+// tree is handed out, so the sequence check is a pure defensive guard:
+// once non-zero it can never revert, so the locked fallback and the
+// snapshot path cannot be chosen inconsistently mid-query.
+func (tr *Tree) snapshotReads() bool {
+	return !tr.lockedReads && tr.t.SnapshotSeq() != 0
 }
 
 // Get returns the object's current report (positioned at now), if any
@@ -678,14 +722,22 @@ func (tr *Tree) updateBatch(batch []Report, now float64, tc *QueryTrace) error {
 	// linearly, so the whole application loop is one "apply" span (the
 	// WAL appends it contains ride in the wal-append histogram instead).
 	ai := tc.begin(-1, "apply", -1)
+	// The whole batch is published as one snapshot: readers on the
+	// lock-free path see either the pre-batch tree or all applied
+	// reports (on error, everything up to the failing report).
+	tr.t.BeginBatch()
 	for i := range batch {
 		if err := tr.updateLocked(batch[i].ID, batch[i].Point, now, nil); err != nil {
+			tr.t.EndBatch()
 			tc.endAt(ai)
+			tc.addMeasured("version-publish", tr.t.LastPublishNanos())
 			tr.m.BatchedUpdates.Add(uint64(i))
 			return err
 		}
 	}
+	tr.t.EndBatch()
 	tc.endAt(ai)
+	tc.addMeasured("version-publish", tr.t.LastPublishNanos())
 	tr.m.BatchedUpdates.Add(uint64(len(batch)))
 	if tr.wal != nil {
 		// Group commit: the whole batch rides on one durability point.
