@@ -6,6 +6,7 @@
 #   make bench-partition  hash vs speed partitioning -> BENCH_partition.json
 #   make bench-wal        durability-policy comparison -> BENCH_wal.json
 #   make bench-read       read-path scaling sweep + regression guard -> BENCH_readpath.json
+#   make bench-reshard    live-reshard cost comparison -> BENCH_reshard.json
 #   make bench-trace      tracing-overhead microbenchmark -> BENCH_trace.json
 #   make serve-smoke      the README serving quickstart, end to end
 #   make bench-serve      rexpd + remote loadgen -> BENCH_serve.json
@@ -13,11 +14,11 @@
 
 GO ?= go
 
-.PHONY: all check fmt-check vet build test race fuzz-smoke bench-obs bench-obs-smoke bench-shard bench-partition bench-partition-smoke bench-wal bench-wal-smoke bench-read bench-read-smoke bench-trace bench-trace-smoke serve-smoke bench-serve bench-serve-smoke clean
+.PHONY: all check fmt-check vet build test race fuzz-smoke bench-obs bench-obs-smoke bench-shard bench-partition bench-partition-smoke bench-wal bench-wal-smoke bench-read bench-read-smoke bench-reshard bench-reshard-smoke bench-trace bench-trace-smoke serve-smoke bench-serve bench-serve-smoke clean
 
-all: check bench-obs bench-shard bench-partition bench-wal bench-read bench-trace bench-serve
+all: check bench-obs bench-shard bench-partition bench-wal bench-read bench-reshard bench-trace bench-serve
 
-check: fmt-check vet build test race bench-obs-smoke bench-partition-smoke bench-wal-smoke bench-read-smoke bench-trace-smoke serve-smoke bench-serve-smoke
+check: fmt-check vet build test race bench-obs-smoke bench-partition-smoke bench-wal-smoke bench-read-smoke bench-reshard-smoke bench-trace-smoke serve-smoke bench-serve-smoke
 
 # Fails (with the offending file list) if anything is not gofmt-clean.
 fmt-check:
@@ -49,6 +50,7 @@ fuzz-smoke:
 	$(GO) test ./internal/manifest -run '^$$' -fuzz FuzzManifestRoundTrip -fuzztime 10s
 	$(GO) test ./internal/geom -run '^$$' -fuzz FuzzTrapezoidIntersect -fuzztime 10s
 	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzWALRoundTrip -fuzztime 10s
+	$(GO) test . -run '^$$' -fuzz FuzzDualApplySchedule -fuzztime 10s
 
 # Compares instrumented vs. nil-metrics Update/query throughput; the
 # observability layer's budget is a <2% regression.
@@ -105,6 +107,20 @@ bench-read:
 bench-read-smoke:
 	$(GO) run ./cmd/rexpbench -readscale -objects 2000 -duration 0.2 -iolat 0 -readworkers 1,2 -guardmin 0.85 -quiet -readout - >/dev/null
 
+# What an online reshard costs the serving path: the same mixed
+# query/update load measured in steady state and again while the index
+# live-reshards to a speed-banded layout, plus the cutover's exclusive
+# mutation stall (see cmd/rexpbench/livereshard.go and the
+# ARCHITECTURE.md "Live reshard" section).
+bench-reshard:
+	$(GO) run ./cmd/rexpbench -livereshard -objects 20000 -duration 2 -iolat 0 -reshardout BENCH_reshard.json
+
+# A fast pass of the live-reshard comparison for make check: it
+# exercises the snapshot scan, dual-apply window, backfill, verify and
+# cutover under concurrent load without committing a result file.
+bench-reshard-smoke:
+	$(GO) run ./cmd/rexpbench -livereshard -objects 3000 -duration 0.3 -iolat 0 -quiet -reshardout - >/dev/null
+
 # Compares tracing-disabled vs tracing-enabled throughput: the
 # always-on (recorder off) cost must stay under the same <2% budget as
 # the base instrumentation; the flight-recorder-on cost is reported for
@@ -143,5 +159,5 @@ bin/rexpd: FORCE
 FORCE:
 
 clean:
-	rm -f BENCH_obs.json BENCH_shard.json BENCH_partition.json BENCH_wal.json BENCH_readpath.json BENCH_trace.json BENCH_serve.json
+	rm -f BENCH_obs.json BENCH_shard.json BENCH_partition.json BENCH_wal.json BENCH_readpath.json BENCH_reshard.json BENCH_trace.json BENCH_serve.json
 	rm -rf bin

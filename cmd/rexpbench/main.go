@@ -66,6 +66,9 @@ func main() {
 		readOut     = flag.String("readout", "BENCH_readpath.json", "output file for the read-scaling report; - for stdout (-readscale mode)")
 		guardMin    = flag.Float64("guardmin", 0, "fail -readscale unless snapshot 1-worker throughput >= this fraction of the locked baseline (0 disables; 0.95 allows a 5% regression)")
 
+		liveReshard = flag.Bool("livereshard", false, "run the live-reshard cost comparison (steady state vs mid-reshard mixed load) instead of figure replay")
+		reshardOut  = flag.String("reshardout", "BENCH_reshard.json", "output file for the live-reshard report; - for stdout (-livereshard mode)")
+
 		durBench  = flag.Bool("durability", false, "run the durability-policy comparison (none vs batched vs on-commit WAL) instead of figure replay")
 		durOut    = flag.String("walout", "BENCH_wal.json", "output file for the durability report; - for stdout (-durability mode)")
 		batchSize = flag.Int("batch", 100, "reports per UpdateBatch in the durability bench's batched phase (-durability mode)")
@@ -90,14 +93,16 @@ func main() {
 		return
 	}
 
-	if *throughput || *partBench || *durBench || *readScale {
+	if *throughput || *partBench || *durBench || *readScale || *liveReshard {
 		progress := func(line string) {
 			if !*quiet {
 				fmt.Fprintln(os.Stderr, line)
 			}
 		}
 		var err error
-		if *readScale {
+		if *liveReshard {
+			err = runLiveReshardBench(*objects, *shards, *workers, *duration, *ioLat, *seed, *reshardOut, progress)
+		} else if *readScale {
 			var sweep []int
 			sweep, err = parseWorkerSweep(*readWorkers)
 			if err == nil {

@@ -812,9 +812,7 @@ func TestShardedDurableCrashRecovery(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	for _, sh := range s.shards {
-		sh.Abandon()
-	}
+	s.Abandon()
 
 	re, err := OpenSharded(so)
 	if err != nil {

@@ -535,6 +535,60 @@ func (t *Tree) SearchFuncSnapStats(q geom.Query, now float64, st *TravStats, fn 
 	return nil
 }
 
+// PubClock returns the tree clock recorded by the most recent snapshot
+// publication, without any lock.  ok is false before the first
+// publication, when the caller must read the clock under the tree lock
+// instead.
+func (t *Tree) PubClock() (float64, bool) {
+	if p := t.pub.Load(); p != nil {
+		return p.clock, true
+	}
+	return 0, false
+}
+
+// ExportSnap streams every stored record — live and expired alike, like
+// Records — from the pinned snapshot, without the tree lock or the pool
+// mutex.  It is the scan primitive of the live reshard: the scan runs
+// against one consistent publication while mutations keep landing on
+// the tree.  ok is false before the first publication, when the caller
+// must fall back to the locked Records walk.
+func (t *Tree) ExportSnap(fn func(oid uint32, p geom.MovingPoint) error) (ok bool, err error) {
+	p, pin, ok := t.pinSnapshot()
+	if !ok {
+		return false, nil
+	}
+	defer pin.Unpin()
+	dims := t.cfg.Dims
+	var hits, misses uint64
+	defer func() { t.addSnapStats(hits, misses, nil) }()
+	sp := stackPool.Get().(*[]storage.PageID)
+	stack := append((*sp)[:0], p.root)
+	defer func() {
+		*sp = stack[:0]
+		stackPool.Put(sp)
+	}()
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		v, err := t.snapNode(p, id, &hits, &misses, nil)
+		if err != nil {
+			return true, err
+		}
+		if v.level == 0 {
+			for i := 0; i < v.count; i++ {
+				if err := fn(v.oids[i], v.point(i, dims)); err != nil {
+					return true, err
+				}
+			}
+			continue
+		}
+		for i := 0; i < v.count; i++ {
+			stack = append(stack, storage.PageID(v.oids[i]))
+		}
+	}
+	return true, nil
+}
+
 // NearestSnap is Nearest on the snapshot read path.
 func (t *Tree) NearestSnap(q geom.Vec, at float64, k int, now float64) ([]Result, error) {
 	return t.NearestSnapStats(q, at, k, now, nil)

@@ -12,6 +12,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"sync"
 )
 
 // Hash names the id→shard hash scheme recorded in every manifest; a
@@ -205,6 +206,69 @@ func Speed(vel [3]float64, dims int) float64 {
 // [bands[i-1], bands[i]).
 func SpeedBandOf(bands []float64, sp float64) int {
 	return sort.Search(len(bands), func(i int) bool { return bands[i] > sp })
+}
+
+// SpeedWindow is a fixed-capacity sliding window over observed object
+// speeds: once full, each observation evicts the oldest.  The sharded
+// front-end feeds it from the update paths and the drift detector
+// re-derives quantile bands from its snapshot, so the bands chase the
+// recent speed distribution instead of the one seen at first tune.
+// Safe for concurrent use.
+type SpeedWindow struct {
+	mu   sync.Mutex
+	buf  []float64
+	n    int // filled slots
+	next int // ring cursor
+}
+
+// NewSpeedWindow returns a window holding the most recent capacity
+// observations (minimum 2: QuantileBands needs at least one sample and
+// a band split is meaningless below two).
+func NewSpeedWindow(capacity int) *SpeedWindow {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &SpeedWindow{buf: make([]float64, capacity)}
+}
+
+// Observe records one speed, evicting the oldest when full.
+func (w *SpeedWindow) Observe(sp float64) {
+	if math.IsNaN(sp) || math.IsInf(sp, 0) {
+		return
+	}
+	w.mu.Lock()
+	w.buf[w.next] = sp
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+// Len reports how many observations the window currently holds.
+func (w *SpeedWindow) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Full reports whether the window has reached capacity — the drift
+// detector waits for a full window before trusting its quantiles.
+func (w *SpeedWindow) Full() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n == len(w.buf)
+}
+
+// Snapshot copies out the current observations (unordered); nil when
+// empty.
+func (w *SpeedWindow) Snapshot() []float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n == 0 {
+		return nil
+	}
+	return append([]float64(nil), w.buf[:w.n]...)
 }
 
 // QuantileBands picks n-1 band boundaries at the i/n quantiles of the

@@ -283,6 +283,18 @@ type Metrics struct {
 	ReshardBytes   Counter // bytes of target page files written
 	ReshardPhase   Gauge   // current reshard phase
 
+	// Live reshard (PR 9): dual-apply window, drift detection and the
+	// cutover.  The skew and churn gauges hold the drift detector's last
+	// measurements (max shard fill over the even share; re-routes per
+	// update); the stall histogram records how long each cutover held
+	// the mutation path exclusively.
+	ReshardRuns         Counter    // live reshards completed (cut over)
+	ReshardDualApplied  Counter    // mutations mirrored into an in-flight target generation
+	ReshardBackfilled   Counter    // snapshot records copied into the target generation
+	ReshardSkew         GaugeFloat // last measured routing skew (1 = perfectly even)
+	ReshardChurn        GaugeFloat // last measured re-route churn (re-routes per update)
+	ReshardCutoverStall Histogram  // exclusive mutation stall of each cutover
+
 	// Lock acquisition wait times of the public tree (PR 2): how long
 	// operations block before entering the index.  Read covers the
 	// shared (query) lock, Write the exclusive (update) lock.
@@ -434,6 +446,13 @@ type Snapshot struct {
 	ReshardBytes   uint64
 	ReshardPhase   int64
 
+	ReshardRuns         uint64
+	ReshardDualApplied  uint64
+	ReshardBackfilled   uint64
+	ReshardSkew         float64
+	ReshardChurn        float64
+	ReshardCutoverStall HistSnapshot
+
 	LockWaitRead   HistSnapshot
 	LockWaitWrite  HistSnapshot
 	BatchedUpdates uint64
@@ -496,6 +515,12 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.ReshardLoaded = m.ReshardLoaded.Load()
 	s.ReshardBytes = m.ReshardBytes.Load()
 	s.ReshardPhase = m.ReshardPhase.Load()
+	s.ReshardRuns = m.ReshardRuns.Load()
+	s.ReshardDualApplied = m.ReshardDualApplied.Load()
+	s.ReshardBackfilled = m.ReshardBackfilled.Load()
+	s.ReshardSkew = m.ReshardSkew.Load()
+	s.ReshardChurn = m.ReshardChurn.Load()
+	s.ReshardCutoverStall = m.ReshardCutoverStall.Snapshot()
 	s.LockWaitRead = m.LockWaitRead.Snapshot()
 	s.LockWaitWrite = m.LockWaitWrite.Snapshot()
 	s.BatchedUpdates = m.BatchedUpdates.Load()
@@ -563,6 +588,10 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 	d.ReshardRouted -= o.ReshardRouted
 	d.ReshardLoaded -= o.ReshardLoaded
 	d.ReshardBytes -= o.ReshardBytes
+	d.ReshardRuns -= o.ReshardRuns
+	d.ReshardDualApplied -= o.ReshardDualApplied
+	d.ReshardBackfilled -= o.ReshardBackfilled
+	d.ReshardCutoverStall = s.ReshardCutoverStall.Sub(o.ReshardCutoverStall)
 	for i := range d.Ops {
 		d.Ops[i] = s.Ops[i].Sub(o.Ops[i])
 	}
@@ -630,6 +659,12 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 	if o.ReshardPhase > d.ReshardPhase {
 		d.ReshardPhase = o.ReshardPhase // the latest phase any worker reached
 	}
+	d.ReshardRuns += o.ReshardRuns
+	d.ReshardDualApplied += o.ReshardDualApplied
+	d.ReshardBackfilled += o.ReshardBackfilled
+	d.ReshardSkew = math.Max(d.ReshardSkew, o.ReshardSkew)
+	d.ReshardChurn = math.Max(d.ReshardChurn, o.ReshardChurn)
+	d.ReshardCutoverStall = s.ReshardCutoverStall.Add(o.ReshardCutoverStall)
 	// The speed-band envelope: the fleet covers [min lo, max hi).
 	d.SpeedBandLo = math.Min(d.SpeedBandLo, o.SpeedBandLo)
 	d.SpeedBandHi = math.Max(d.SpeedBandHi, o.SpeedBandHi)

@@ -73,6 +73,9 @@ var families = []promFamily{
 	{"_reshard_entries_routed_total", "counter", "Live entries routed to a target shard by the offline reshard.", cv(func(s *Snapshot) uint64 { return s.ReshardRouted })},
 	{"_reshard_entries_loaded_total", "counter", "Entries bulk-loaded into target shards by the offline reshard.", cv(func(s *Snapshot) uint64 { return s.ReshardLoaded })},
 	{"_reshard_bytes_written_total", "counter", "Bytes of target page files written by the offline reshard.", cv(func(s *Snapshot) uint64 { return s.ReshardBytes })},
+	{"_reshard_runs_total", "counter", "Live reshards completed (cut over to a new generation).", cv(func(s *Snapshot) uint64 { return s.ReshardRuns })},
+	{"_reshard_dual_applied_total", "counter", "Mutations mirrored into an in-flight target generation.", cv(func(s *Snapshot) uint64 { return s.ReshardDualApplied })},
+	{"_reshard_backfilled_total", "counter", "Snapshot records copied into the target generation by the live reshard.", cv(func(s *Snapshot) uint64 { return s.ReshardBackfilled })},
 	{"_height", "gauge", "Tree levels.", gv(func(s *Snapshot) int64 { return s.Height })},
 	{"_index_pages", "gauge", "Allocated pages (index size, paper Figure 15).", gv(func(s *Snapshot) int64 { return s.Pages })},
 	{"_leaf_entries", "gauge", "Stored leaf entries, live plus unpurged expired (paper 5.4).", gv(func(s *Snapshot) int64 { return s.LeafEntries })},
@@ -83,6 +86,8 @@ var families = []promFamily{
 	{"_speed_band_lo", "gauge", "Lower |velocity| bound of the shard's speed band.", fv(func(s *Snapshot) float64 { return s.SpeedBandLo })},
 	{"_speed_band_hi", "gauge", "Upper |velocity| bound of the shard's speed band.", fv(func(s *Snapshot) float64 { return s.SpeedBandHi })},
 	{"_reshard_phase", "gauge", "Current offline-reshard phase (1 scan, 2 route, 3 load, 4 verify, 5 commit; 0 idle).", gv(func(s *Snapshot) int64 { return s.ReshardPhase })},
+	{"_reshard_skew", "gauge", "Routing skew last measured by the drift detector (max shard size over even share).", fv(func(s *Snapshot) float64 { return s.ReshardSkew })},
+	{"_reshard_churn", "gauge", "Re-route churn last measured by the drift detector (re-routes per update).", fv(func(s *Snapshot) float64 { return s.ReshardChurn })},
 }
 
 // WriteSnapshot writes the snapshot in the Prometheus text exposition
@@ -132,6 +137,11 @@ func WriteSnapshotPrefix(w io.Writer, s Snapshot, prefix string) error {
 	bw.WriteString("# HELP " + name + " Wall-clock duration of WAL recovery passes.\n")
 	bw.WriteString("# TYPE " + name + " histogram\n")
 	writeHist(bw, name, "", &s.RecoveryDuration)
+
+	name = prefix + "_reshard_cutover_stall_seconds"
+	bw.WriteString("# HELP " + name + " Exclusive mutation stall taken by each live-reshard cutover.\n")
+	bw.WriteString("# TYPE " + name + " histogram\n")
+	writeHist(bw, name, "", &s.ReshardCutoverStall)
 
 	name = prefix + "_op_errors_total"
 	bw.WriteString("# HELP " + name + " Public operations that returned an error.\n")

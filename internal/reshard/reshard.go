@@ -35,6 +35,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"rexptree/internal/core"
 	"rexptree/internal/geom"
@@ -338,15 +340,22 @@ func (r *runner) run() (*Result, error) {
 	r.logf("route: %d live of %d scanned (%d expired at clock %.3f) -> %v", res.Live, res.Scanned, res.Expired, clock, res.Routed)
 
 	// Phase 3: load each target shard into a tmp file of the next
-	// generation.  Stale files from a previously crashed attempt at
-	// this generation are removed first so a retry starts clean.
+	// generation.  Stale shard files of every generation other than the
+	// live source's — leftovers of a previously crashed offline attempt
+	// at any generation, or of an aborted live reshard (which builds its
+	// target generation under the final ".g<G>.s<i>" names) — are
+	// removed first so a retry starts clean and never reopens a
+	// half-built file.
 	r.setPhase(PhaseLoad)
 	newGen := srcGen + 1
-	if stale, _ := filepath.Glob(fmt.Sprintf("%s.g%d.s*", opts.Path, newGen)); len(stale) > 0 {
-		r.logf("load: removing %d stale file(s) from a previous attempt", len(stale))
-		for _, f := range stale {
-			os.Remove(f)
-		}
+	keep := []int{}
+	if found {
+		keep = append(keep, srcGen)
+	}
+	if stale, err := CleanStale(opts.Path, keep...); err != nil {
+		r.logf("load: stale-file sweep: %v", err)
+	} else if len(stale) > 0 {
+		r.logf("load: removed %d stale file(s) from previous attempts", len(stale))
 	}
 	finals := make([]string, opts.Shards)
 	tmps := make([]string, opts.Shards)
@@ -431,12 +440,101 @@ func (r *runner) run() (*Result, error) {
 	r.logf("commit: manifest now names %d shard(s) at generation %d", opts.Shards, newGen)
 
 	// The old generation is garbage now; removing it is best-effort.
+	// The sweep also takes the old shards' write-ahead logs with them —
+	// a durable source leaves one "<shard>.wal" beside every page file.
 	for _, sp := range srcPaths {
 		if err := os.Remove(sp); err != nil {
 			r.logf("cleanup: %v (the committed index does not reference this file)", err)
 		}
+		if err := os.Remove(sp + ".wal"); err != nil && !os.IsNotExist(err) {
+			r.logf("cleanup: %v", err)
+		}
+	}
+	if _, err := CleanStale(opts.Path, newGen); err != nil {
+		r.logf("cleanup: stale-file sweep: %v", err)
 	}
 	return res, nil
+}
+
+// CleanStale removes the shard files of every generation of the index
+// at base except the kept ones: page files ("<base>.s<i>" for
+// generation 0, "<base>.g<g>.s<i>" for later generations), their
+// ".wal" and ".tmp" sidecars, and a leftover "<base>.manifest.reshard"
+// from an interrupted commit.  It never touches base itself, the
+// live manifest, or files that do not match the shard naming scheme.
+// Both the offline retry path and the live reshard engine run it so an
+// aborted attempt at any generation cannot leave files a later attempt
+// would silently reopen.
+func CleanStale(base string, keepGens ...int) (removed []string, err error) {
+	dir, prefix := filepath.Split(base)
+	if dir == "" {
+		dir = "."
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("reshard: %w", err)
+	}
+	keep := make(map[int]bool, len(keepGens))
+	for _, g := range keepGens {
+		keep[g] = true
+	}
+	var firstErr error
+	for _, e := range entries {
+		name := e.Name()
+		gen, ok := shardFileGen(name, prefix)
+		if !ok || keep[gen] {
+			continue
+		}
+		p := filepath.Join(dir, name)
+		if rmErr := os.Remove(p); rmErr != nil {
+			if firstErr == nil {
+				firstErr = rmErr
+			}
+			continue
+		}
+		removed = append(removed, p)
+	}
+	return removed, firstErr
+}
+
+// shardFileGen decides whether name is a shard file (or sidecar) of
+// the index whose base file name is prefix, and of which generation.
+// Recognized forms, each optionally suffixed ".wal" or ".tmp":
+//
+//	<prefix>.s<i>        — generation 0
+//	<prefix>.g<g>.s<i>   — generation g
+//
+// plus the interrupted-commit manifest "<prefix>.manifest.reshard"
+// (reported as generation -1, which callers never keep).
+func shardFileGen(name, prefix string) (gen int, ok bool) {
+	rest, found := strings.CutPrefix(name, prefix+".")
+	if !found {
+		return 0, false
+	}
+	if rest == "manifest.reshard" {
+		return -1, true
+	}
+	rest = strings.TrimSuffix(strings.TrimSuffix(rest, ".tmp"), ".wal")
+	gen = 0
+	if g, found := strings.CutPrefix(rest, "g"); found {
+		dot := strings.IndexByte(g, '.')
+		if dot < 1 {
+			return 0, false
+		}
+		n, err := strconv.Atoi(g[:dot])
+		if err != nil || n < 1 {
+			return 0, false
+		}
+		gen, rest = n, g[dot+1:]
+	}
+	i, found := strings.CutPrefix(rest, "s")
+	if !found {
+		return 0, false
+	}
+	if n, err := strconv.Atoi(i); err != nil || n < 0 {
+		return 0, false
+	}
+	return gen, true
 }
 
 // verifyShard reopens a freshly written shard file read-only and

@@ -567,3 +567,82 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	s.ix.TraceHandler().ServeHTTP(w, r)
 }
+
+// --- Live reshard ------------------------------------------------------
+
+// reshardRequest describes the target layout of POST /v1/reshard.
+type reshardRequest struct {
+	Shards     int       `json:"shards,omitempty"`      // 0 keeps the current count
+	Policy     string    `json:"policy"`                // "hash" or "speed"
+	SpeedBands []float64 `json:"speed_bands,omitempty"` // empty under "speed": re-derived from observed speeds
+}
+
+// reshardStatusResponse mirrors rexptree.ReshardStatus on the wire.
+type reshardStatusResponse struct {
+	InFlight    bool   `json:"in_flight"`
+	Phase       string `json:"phase"`
+	Generation  int    `json:"generation"`
+	Shards      int    `json:"shards"`
+	Policy      string `json:"policy"`
+	Scanned     uint64 `json:"scanned"`
+	Backfilled  uint64 `json:"backfilled"`
+	DualApplied uint64 `json:"dual_applied"`
+	LastError   string `json:"last_error,omitempty"`
+}
+
+func toReshardStatusJSON(st rexptree.ReshardStatus) reshardStatusResponse {
+	return reshardStatusResponse{
+		InFlight:    st.InFlight,
+		Phase:       st.Phase,
+		Generation:  st.Generation,
+		Shards:      st.Shards,
+		Policy:      st.Policy,
+		Scanned:     st.Scanned,
+		Backfilled:  st.Backfilled,
+		DualApplied: st.DualApplied,
+		LastError:   st.LastError,
+	}
+}
+
+// handleReshard starts a live reshard: POST /v1/reshard, body a
+// reshardRequest.  The call returns as soon as the background engine is
+// started (202) — progress is observable on /v1/reshard/status; a
+// reshard already in flight is refused with 409.
+func (s *Server) handleReshard(w http.ResponseWriter, r *http.Request) {
+	s.run(w, r, func() reply {
+		var req reshardRequest
+		if err := decodeBody(r.Body, &req); err != nil {
+			return errReply(err)
+		}
+		policy, err := rexptree.ParsePartitionPolicy(req.Policy)
+		if err != nil {
+			return errReply(badRequestf("policy: %v", err))
+		}
+		spec := rexptree.ReshardSpec{
+			Shards:     req.Shards,
+			Policy:     policy,
+			SpeedBands: req.SpeedBands,
+		}
+		if err := s.ix.StartReshard(spec); err != nil {
+			if errors.Is(err, rexptree.ErrReshardInFlight) {
+				return reply{http.StatusConflict, errorResponse{err.Error()}}
+			}
+			return errReply(badRequestf("%v", err))
+		}
+		return reply{http.StatusAccepted, toReshardStatusJSON(s.ix.ReshardStatus())}
+	})
+}
+
+// handleReshardStatus answers GET /v1/reshard/status: progress of the
+// in-flight reshard, or the terminal state of the last one.
+func (s *Server) handleReshardStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, toReshardStatusJSON(s.ix.ReshardStatus()))
+}
+
+// handleReshardCancel answers POST /v1/reshard/cancel: asks the
+// in-flight reshard to abort cleanly.  Canceled reports whether there
+// was one to cancel; cancellation completes asynchronously.
+func (s *Server) handleReshardCancel(w http.ResponseWriter, r *http.Request) {
+	canceled := s.ix.CancelReshard()
+	writeJSON(w, http.StatusOK, map[string]bool{"canceled": canceled})
+}

@@ -131,6 +131,9 @@ var routes = []route{
 	{"GET", "/v1/nearest", (*Server).handleNearest},
 	{"GET", "/v1/object", (*Server).handleObject},
 	{"GET", "/v1/stats", (*Server).handleStats},
+	{"POST", "/v1/reshard", (*Server).handleReshard},
+	{"GET", "/v1/reshard/status", (*Server).handleReshardStatus},
+	{"POST", "/v1/reshard/cancel", (*Server).handleReshardCancel},
 	{"GET", "/healthz", (*Server).handleHealthz},
 	{"GET", "/readyz", (*Server).handleReadyz},
 	{"GET", "/metrics", (*Server).handleMetrics},

@@ -113,6 +113,18 @@ type Metrics struct {
 	ShardsPruned uint64 // shards skipped because the query missed their summary
 	Rerouted     uint64 // objects moved between shards on a speed-band change
 
+	// Live-reshard counters and drift gauges (zero on a stand-alone
+	// tree, or before any live reshard / drift measurement).
+	ReshardRuns        uint64  // live reshards completed (cut over to a new generation)
+	ReshardDualApplied uint64  // mutations mirrored into an in-flight target generation
+	ReshardBackfilled  uint64  // snapshot records copied into the target generation
+	ReshardSkew        float64 // routing skew last measured by the drift detector
+	ReshardChurn       float64 // re-route churn last measured by the drift detector
+
+	// ReshardCutoverStall records the exclusive mutation stall taken
+	// by each live-reshard cutover.
+	ReshardCutoverStall LatencyMetrics
+
 	// Durability counters (zero under DurabilityNone).
 	WALAppends             uint64 // logical records appended to the write-ahead log
 	WALBytes               uint64 // bytes appended to the WAL, including checkpoint images
@@ -196,6 +208,10 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 	d.ShardVisits -= prev.ShardVisits
 	d.ShardsPruned -= prev.ShardsPruned
 	d.Rerouted -= prev.Rerouted
+	d.ReshardRuns -= prev.ReshardRuns
+	d.ReshardDualApplied -= prev.ReshardDualApplied
+	d.ReshardBackfilled -= prev.ReshardBackfilled
+	d.ReshardCutoverStall = m.ReshardCutoverStall.Sub(prev.ReshardCutoverStall)
 	d.WALAppends -= prev.WALAppends
 	d.WALBytes -= prev.WALBytes
 	d.WALFsyncs -= prev.WALFsyncs
@@ -278,6 +294,13 @@ func fromSnapshot(s obs.Snapshot) Metrics {
 		ShardVisits:    s.ShardVisits,
 		ShardsPruned:   s.ShardsPruned,
 		Rerouted:       s.Rerouted,
+
+		ReshardRuns:         s.ReshardRuns,
+		ReshardDualApplied:  s.ReshardDualApplied,
+		ReshardBackfilled:   s.ReshardBackfilled,
+		ReshardSkew:         s.ReshardSkew,
+		ReshardChurn:        s.ReshardChurn,
+		ReshardCutoverStall: fromHist(s.ReshardCutoverStall),
 
 		WALAppends:             s.WALAppends,
 		WALBytes:               s.WALBytes,

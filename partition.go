@@ -184,8 +184,8 @@ func (p *speedPartitioner) forget(id uint32) {
 // bandLabel describes shard i's speed band for traces ("[lo, hi)"),
 // or "" under hash partitioning or while self-tuning is still
 // sampling.
-func (s *ShardedTree) bandLabel(i int) string {
-	sp, ok := s.part.(*speedPartitioner)
+func (s *ShardedTree) bandLabel(g *generation, i int) string {
+	sp, ok := g.part.(*speedPartitioner)
 	if !ok {
 		return ""
 	}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rexptree/internal/geom"
@@ -61,6 +62,31 @@ type ShardedOptions struct {
 	// pages per shard; when that is zero too, each shard gets the
 	// stand-alone default (50 pages, paper §5.1).
 	BufferPagesPerShard int
+
+	// AutoReshard enables the drift detector: a background loop that
+	// watches routing skew and re-route churn and triggers a live
+	// reshard with re-derived speed bands when they drift past the
+	// configured thresholds.  Requires PartitionSpeed.
+	AutoReshard AutoReshardOptions
+}
+
+// generation is one complete shard set: the trees, their pruning
+// summaries and the partitioner routing objects among them.  The
+// ShardedTree points at its current generation; a live reshard builds
+// the next generation beside it and retires this one at cutover, so a
+// generation is immutable in shape (shards, partitioner identity)
+// once published while its contents keep mutating.
+//
+// Readers pin a generation (refs) so a cutover can retire the old one
+// only after every in-flight traversal has left it; mutations instead
+// hold the front-end rerouteMu, which the cutover takes exclusively.
+type generation struct {
+	shards []*Tree
+	sums   []shardSummary
+	part   partitioner
+	gen    int // shard-file generation recorded in the manifest
+
+	refs atomic.Int64 // in-flight readers; see ShardedTree.pin
 }
 
 // ShardedTree partitions a moving-object index across Shards
@@ -88,33 +114,62 @@ type ShardedOptions struct {
 // regardless of shard completion order — and, for the same workload,
 // element-wise identical to a single Tree's sorted results.
 //
+// The shard set itself can be replaced while the index serves traffic:
+// Reshard/StartReshard build a new generation under a new shard count
+// or partition policy, mirror every concurrent mutation into it, and
+// cut over atomically; see livereshard.go.
+//
 // All methods are safe for concurrent use.
 type ShardedTree struct {
-	shards []*Tree
-	sums   []shardSummary
-	part   partitioner
-	dims   int
-	sem    chan struct{} // bounded fan-out worker pool
-	m      *obs.Metrics  // front-end registry: fan-out latencies, pruning counters
-	rec    *obs.Recorder // fan-out flight recorder; nil unless Options.FlightRecorder > 0
+	// cur is the current generation.  Readers pin it (see pin);
+	// mutations load it under rerouteMu, whose exclusive side the
+	// cutover holds while swapping the pointer.
+	cur atomic.Pointer[generation]
+
+	dims int
+	sem  chan struct{} // bounded fan-out worker pool
+	m    *obs.Metrics  // front-end registry: fan-out latencies, pruning counters
+	rec  *obs.Recorder // fan-out flight recorder; nil unless Options.FlightRecorder > 0
 
 	manifestPath string // "" when memory-backed
 	basePath     string // ShardedOptions.Path
-	gen          int    // shard-file generation (bumped by rexpreshard)
 	durability   Durability
+	opts         ShardedOptions // retained to derive a reshard target's per-shard Options
 
 	closeMu  sync.Mutex // Close is idempotent; see Close
 	closed   bool
 	closeErr error
+	closing  atomic.Bool // set by Close/Abandon so a live reshard aborts early
 
-	// Re-routing discipline of the speed policy: single-object updates
-	// hold rerouteMu shared plus the object's stripe (so the
-	// delete-from-old/insert-into-new pair of one object never
-	// interleaves with another update of the same object), while
-	// UpdateBatch holds rerouteMu exclusively.  Hash partitioning never
-	// re-routes and bypasses both.
+	// Re-routing discipline: every mutation holds rerouteMu shared
+	// (single-object updates of re-routing policies — and all updates
+	// while a live reshard is in flight — additionally hold the
+	// object's stripe, so the delete-from-old/insert-into-new pair of
+	// one object never interleaves with another update of the same
+	// object), while UpdateBatch under a re-routing policy or a live
+	// reshard holds rerouteMu exclusively.  The live-reshard cutover
+	// takes rerouteMu exclusively too: a mutation therefore observes a
+	// stable (generation, in-flight-reshard) pair for its whole
+	// critical section.
 	rerouteMu sync.RWMutex
 	stripes   [64]sync.Mutex
+
+	// Live-reshard state; see livereshard.go.  lr is non-nil exactly
+	// while a reshard's dual-apply window is open; it is published and
+	// cleared only under rerouteMu's exclusive side.
+	lr        atomic.Pointer[liveReshard]
+	reshardMu sync.Mutex            // held by the reshard engine for a whole run
+	speedWin  *manifest.SpeedWindow // sliding window of observed speeds; nil unless AutoReshard
+	autoStop  chan struct{}
+	autoDone  chan struct{}
+
+	statusMu       sync.Mutex
+	lastReshardErr error
+
+	// testReshardHook, when set, is invoked at every live-reshard
+	// phase boundary; a non-nil return simulates a crash at that
+	// point (the engine stops dead, leaving files as they are).
+	testReshardHook func(point string) error
 }
 
 // shardSummary is one shard's pruning summary plus its staleness
@@ -131,6 +186,114 @@ type shardSummary struct {
 // is recomputed from the shard's root node (which is pinned in the
 // buffer pool, so the recomputation costs no I/O).
 const retightenEvery = 256
+
+// pin returns the current generation with a reader reference held.
+// The load-ref-recheck loop closes the race against a concurrent
+// cutover: if the pointer moved between the load and the ref, the ref
+// landed on a generation that may already be draining, so it is
+// released and the load retried.  Callers must unpin exactly once.
+func (s *ShardedTree) pin() *generation {
+	for {
+		g := s.cur.Load()
+		g.refs.Add(1)
+		if s.cur.Load() == g {
+			return g
+		}
+		g.refs.Add(-1)
+	}
+}
+
+func (g *generation) unpin() { g.refs.Add(-1) }
+
+// perShardBuffer resolves the per-shard buffer-pool capacity for a
+// given shard count: an explicit per-shard capacity wins, else
+// Options.BufferPages is a total budget split across shards with a
+// floor of 8 pages; 0 means the stand-alone default.
+func perShardBuffer(opts ShardedOptions, shards int) int {
+	perShard := opts.BufferPagesPerShard
+	if perShard == 0 && opts.BufferPages > 0 {
+		perShard = opts.BufferPages / shards
+		if perShard < 8 {
+			perShard = 8
+		}
+	}
+	return perShard
+}
+
+// shardOptions derives shard i's stand-alone Options for generation
+// gen from the front-end options — the same derivation for an open, a
+// reopen and a live reshard's target shards, so a resharded shard
+// behaves exactly like a reopened one.
+func shardOptions(opts ShardedOptions, gen, i, perShard int) Options {
+	so := opts.Options
+	if so.Path != "" {
+		so.Path = manifest.ShardPath(opts.Path, gen, i)
+	}
+	if perShard > 0 {
+		so.BufferPages = perShard
+	}
+	// Distinct seeds keep the shards' tie-breaking streams
+	// independent while remaining deterministic.
+	so.Seed = opts.Seed + int64(i)
+	// The observability hooks reach every shard tagged with its id, so
+	// a consumer can tell which shard split, purged, or ran slow.
+	if userObs := opts.Observer; userObs != nil {
+		shard := i
+		so.Observer = func(e ObserverEvent) {
+			e.Shard = shard
+			userObs(e)
+		}
+	}
+	if opts.SlowOpThreshold > 0 {
+		shard := i
+		userSlow := opts.SlowOp
+		if userSlow == nil {
+			threshold := opts.SlowOpThreshold
+			userSlow = func(op string, d time.Duration) {
+				log.Printf("rexptree: slow %s: %v (threshold %v)", op, d, threshold)
+			}
+		}
+		so.SlowOp = func(op string, d time.Duration) {
+			userSlow(fmt.Sprintf("shard%d/%s", shard, op), d)
+		}
+	}
+	return so
+}
+
+// openGeneration opens (or creates) the shard trees of one generation
+// concurrently: each open is independent, and after an unclean
+// shutdown each shard replays its own write-ahead log, so recovery
+// time is bounded by the largest shard, not the sum.
+func openGeneration(opts ShardedOptions, shards, gen int) ([]*Tree, error) {
+	perShard := perShardBuffer(opts, shards)
+	out := make([]*Tree, shards)
+	var wg sync.WaitGroup
+	errs := make([]error, shards)
+	for i := range out {
+		wg.Add(1)
+		go func(i int, so Options) {
+			defer wg.Done()
+			t, err := Open(so)
+			if err != nil {
+				errs[i] = fmt.Errorf("rexptree: opening shard %d: %w", i, err)
+				return
+			}
+			out[i] = t
+		}(i, shardOptions(opts, gen, i, perShard))
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, open := range out {
+				if open != nil {
+					open.Close()
+				}
+			}
+			return nil, err
+		}
+	}
+	return out, nil
+}
 
 // OpenSharded creates (or, with a Path to existing shard files,
 // reopens) a sharded tree.  Reopening validates the shard manifest:
@@ -155,6 +318,9 @@ func OpenSharded(opts ShardedOptions) (*ShardedTree, error) {
 	if opts.Partition == PartitionHash && len(opts.SpeedBands) > 0 {
 		return nil, fmt.Errorf("rexptree: SpeedBands set but partition policy is %s", opts.Partition)
 	}
+	if opts.AutoReshard.Enabled && opts.Partition != PartitionSpeed {
+		return nil, fmt.Errorf("rexptree: AutoReshard requires PartitionSpeed")
+	}
 	bands := append([]float64(nil), opts.SpeedBands...)
 	if len(bands) > 0 {
 		if len(bands) != opts.Shards-1 {
@@ -166,9 +332,8 @@ func OpenSharded(opts ShardedOptions) (*ShardedTree, error) {
 			}
 		}
 	}
-	tuneAfter := opts.TuneAfter
-	if tuneAfter <= 0 {
-		tuneAfter = 1000
+	if opts.TuneAfter <= 0 {
+		opts.TuneAfter = 1000
 	}
 
 	// Validate the manifest before touching any shard file.
@@ -195,30 +360,18 @@ func OpenSharded(opts ShardedOptions) (*ShardedTree, error) {
 			gen = man.Generation
 		}
 	}
-
-	// Per-shard buffer budget: explicit per-shard capacity wins, else
-	// Options.BufferPages is a total budget split across shards.
 	if opts.BufferPagesPerShard < 0 {
 		return nil, fmt.Errorf("rexptree: invalid BufferPagesPerShard %d", opts.BufferPagesPerShard)
 	}
-	perShard := opts.BufferPagesPerShard
-	if perShard == 0 && opts.BufferPages > 0 {
-		perShard = opts.BufferPages / opts.Shards
-		if perShard < 8 {
-			perShard = 8
-		}
-	}
 
 	s := &ShardedTree{
-		shards:       make([]*Tree, opts.Shards),
-		sums:         make([]shardSummary, opts.Shards),
 		sem:          make(chan struct{}, opts.Workers),
 		m:            obs.New(),
 		rec:          newRecorder(opts.Options),
 		manifestPath: manifestPath,
 		basePath:     opts.Path,
-		gen:          gen,
 		durability:   opts.Durability,
+		opts:         opts,
 	}
 	// The front end observes every fan-out as one operation; slow
 	// fan-outs are reported with a "fanout/" tag so they are
@@ -235,81 +388,25 @@ func OpenSharded(opts ShardedOptions) (*ShardedTree, error) {
 			slow("fanout/"+op.String(), d)
 		})
 	}
-	// The shards open concurrently: each open is independent, and after
-	// an unclean shutdown each shard replays its own write-ahead log, so
-	// recovery time is bounded by the largest shard, not the sum.
-	{
-		var wg sync.WaitGroup
-		errs := make([]error, opts.Shards)
-		for i := range s.shards {
-			so := opts.Options
-			if so.Path != "" {
-				so.Path = manifest.ShardPath(opts.Path, gen, i)
-			}
-			if perShard > 0 {
-				so.BufferPages = perShard
-			}
-			// Distinct seeds keep the shards' tie-breaking streams
-			// independent while remaining deterministic.
-			so.Seed = opts.Seed + int64(i)
-			// The observability hooks reach every shard tagged with its
-			// id, so a consumer can tell which shard split, purged, or
-			// ran slow.
-			if userObs := opts.Observer; userObs != nil {
-				shard := i
-				so.Observer = func(e ObserverEvent) {
-					e.Shard = shard
-					userObs(e)
-				}
-			}
-			if opts.SlowOpThreshold > 0 {
-				shard := i
-				userSlow := opts.SlowOp
-				if userSlow == nil {
-					threshold := opts.SlowOpThreshold
-					userSlow = func(op string, d time.Duration) {
-						log.Printf("rexptree: slow %s: %v (threshold %v)", op, d, threshold)
-					}
-				}
-				so.SlowOp = func(op string, d time.Duration) {
-					userSlow(fmt.Sprintf("shard%d/%s", shard, op), d)
-				}
-			}
-			wg.Add(1)
-			go func(i int, so Options) {
-				defer wg.Done()
-				t, err := Open(so)
-				if err != nil {
-					errs[i] = fmt.Errorf("rexptree: opening shard %d: %w", i, err)
-					return
-				}
-				s.shards[i] = t
-			}(i, so)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				for _, open := range s.shards {
-					if open != nil {
-						open.Close()
-					}
-				}
-				return nil, err
-			}
-		}
-	}
-	s.dims = s.shards[0].dims
 
+	trees, err := openGeneration(opts, opts.Shards, gen)
+	if err != nil {
+		return nil, err
+	}
+	s.dims = trees[0].dims
+
+	g := &generation{shards: trees, sums: make([]shardSummary, opts.Shards), gen: gen}
 	switch opts.Partition {
 	case PartitionSpeed:
-		sp := newSpeedPartitioner(opts.Shards, s.dims, tuneAfter, bands, s.setSpeedGauges)
+		sp := newSpeedPartitioner(opts.Shards, s.dims, opts.TuneAfter, bands,
+			func(b []float64) { s.setSpeedGauges(g, b) })
 		sp.tuned = autoTuned
-		s.part = sp
+		g.part = sp
 		if len(bands) > 0 {
-			s.setSpeedGauges(bands)
+			s.setSpeedGauges(g, bands)
 		}
 		// Rebuild the object→shard table from the stored records.
-		for i, t := range s.shards {
+		for i, t := range g.shards {
 			t.mu.RLock()
 			for id := range t.objects {
 				sp.loc[id] = i
@@ -317,37 +414,48 @@ func OpenSharded(opts ShardedOptions) (*ShardedTree, error) {
 			t.mu.RUnlock()
 		}
 	default:
-		s.part = hashPartitioner{n: opts.Shards}
+		g.part = hashPartitioner{n: opts.Shards}
 	}
 
 	// Seed each shard's pruning summary from its root bound.
-	for i := range s.shards {
-		ss := &s.sums[i]
+	for i := range g.shards {
+		ss := &g.sums[i]
 		ss.mu.Lock()
-		s.retightenLocked(i)
+		s.retightenLocked(g, i)
 		ss.mu.Unlock()
 	}
+	s.cur.Store(g)
 
 	if manifestPath != "" {
-		if err := s.writeManifestFile(); err != nil {
+		if err := s.writeManifestFile(g); err != nil {
 			s.Close()
 			return nil, err
 		}
 	}
+	if opts.AutoReshard.Enabled {
+		w := opts.AutoReshard.Window
+		if w <= 0 {
+			w = 4096
+		}
+		s.speedWin = manifest.NewSpeedWindow(w)
+		s.autoStop = make(chan struct{})
+		s.autoDone = make(chan struct{})
+		go s.autoReshardLoop(opts.AutoReshard)
+	}
 	return s, nil
 }
 
-// writeManifestFile records the current partition in the sidecar file.
-func (s *ShardedTree) writeManifestFile() error {
+// writeManifestFile records generation g's partition in the sidecar.
+func (s *ShardedTree) writeManifestFile(g *generation) error {
 	man := manifest.Manifest{
 		Version:    manifest.Version,
-		Shards:     len(s.shards),
+		Shards:     len(g.shards),
 		Hash:       manifest.Hash,
-		Partition:  s.part.policy().String(),
-		Generation: s.gen,
+		Partition:  g.part.policy().String(),
+		Generation: g.gen,
 		Durability: s.durability.String(),
 	}
-	if sp, ok := s.part.(*speedPartitioner); ok {
+	if sp, ok := g.part.(*speedPartitioner); ok {
 		man.SpeedBands, man.AutoTuned = sp.Bands()
 	}
 	return writeManifest(s.manifestPath, man)
@@ -362,8 +470,8 @@ func writeManifest(path string, m manifest.Manifest) error {
 }
 
 // setSpeedGauges publishes each shard's speed band on its registry.
-func (s *ShardedTree) setSpeedGauges(bands []float64) {
-	for i, t := range s.shards {
+func (s *ShardedTree) setSpeedGauges(g *generation, bands []float64) {
+	for i, t := range g.shards {
 		lo, hi := 0.0, math.Inf(1)
 		if i > 0 {
 			lo = bands[i-1]
@@ -376,25 +484,27 @@ func (s *ShardedTree) setSpeedGauges(bands []float64) {
 	}
 }
 
-// NumShards returns the number of shards.
-func (s *ShardedTree) NumShards() int { return len(s.shards) }
+// NumShards returns the number of shards of the current generation.
+func (s *ShardedTree) NumShards() int { return len(s.cur.Load().shards) }
 
 // Dims returns the dimensionality of the indexed space.
 func (s *ShardedTree) Dims() int { return s.dims }
 
 // Generation returns the shard-file generation recorded in the
-// manifest: 0 for a freshly created index, bumped by every
-// rexpreshard run (whose commit writes the new generation's files and
-// switches the manifest to them atomically).
-func (s *ShardedTree) Generation() int { return s.gen }
+// manifest: 0 for a freshly created index, bumped by every reshard —
+// offline (rexpreshard) or live (Reshard/StartReshard) — whose commit
+// writes the new generation's files and switches the manifest to them
+// atomically.
+func (s *ShardedTree) Generation() int { return s.cur.Load().gen }
 
-// Partition returns the configured partition policy.
-func (s *ShardedTree) Partition() PartitionPolicy { return s.part.policy() }
+// Partition returns the current partition policy (a live reshard can
+// change it).
+func (s *ShardedTree) Partition() PartitionPolicy { return s.cur.Load().part.policy() }
 
 // SpeedBands returns the active |velocity| band boundaries (nil under
 // hash partitioning or while self-tuning is still sampling).
 func (s *ShardedTree) SpeedBands() []float64 {
-	if sp, ok := s.part.(*speedPartitioner); ok {
+	if sp, ok := s.cur.Load().part.(*speedPartitioner); ok {
 		b, _ := sp.Bands()
 		return b
 	}
@@ -413,24 +523,24 @@ func shardIndex(id uint32, n int) int {
 // root so deletions and expirations eventually shrink it again.  The
 // widen must happen after the record is inserted into the shard (see
 // shardSummary).
-func (s *ShardedTree) widenShard(i int, mp geom.MovingPoint, now float64) {
-	ss := &s.sums[i]
+func (s *ShardedTree) widenShard(g *generation, i int, mp geom.MovingPoint, now float64) {
+	ss := &g.sums[i]
 	ss.mu.Lock()
 	ss.sum.WidenPoint(mp, now, s.dims)
 	ss.dirty++
 	if ss.dirty >= retightenEvery {
-		s.retightenLocked(i)
+		s.retightenLocked(g, i)
 	}
 	ss.mu.Unlock()
 }
 
 // retightenLocked replaces shard i's summary with the tight bound read
-// from the shard's root node.  The caller holds s.sums[i].mu; a read
+// from the shard's root node.  The caller holds g.sums[i].mu; a read
 // error keeps the current (conservative) summary.
-func (s *ShardedTree) retightenLocked(i int) {
-	ss := &s.sums[i]
+func (s *ShardedTree) retightenLocked(g *generation, i int) {
+	ss := &g.sums[i]
 	ss.dirty = 0
-	br, ok, err := s.shards[i].rootSummary()
+	br, ok, err := g.shards[i].rootSummary()
 	if err != nil {
 		return
 	}
@@ -442,8 +552,8 @@ func (s *ShardedTree) retightenLocked(i int) {
 }
 
 // shardMatches reports whether the query can touch anything in shard i.
-func (s *ShardedTree) shardMatches(i int, q geom.Query) bool {
-	ss := &s.sums[i]
+func (s *ShardedTree) shardMatches(g *generation, i int, q geom.Query) bool {
+	ss := &g.sums[i]
 	ss.mu.Lock()
 	m := ss.sum.Matches(q, s.dims)
 	ss.mu.Unlock()
@@ -452,8 +562,8 @@ func (s *ShardedTree) shardMatches(i int, q geom.Query) bool {
 
 // shardMinDist lower-bounds the distance from pos to any object of
 // shard i at time at; ok is false for a provably empty shard.
-func (s *ShardedTree) shardMinDist(i int, pos Vec, at float64) (d float64, ok bool) {
-	ss := &s.sums[i]
+func (s *ShardedTree) shardMinDist(g *generation, i int, pos Vec, at float64) (d float64, ok bool) {
+	ss := &g.sums[i]
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if !ss.sum.Has {
@@ -462,13 +572,13 @@ func (s *ShardedTree) shardMinDist(i int, pos Vec, at float64) (d float64, ok bo
 	return ss.sum.MinDistAt(geom.Vec(pos), at, s.dims), true
 }
 
-// fanOut runs fn once per shard on the bounded worker pool and returns
-// the first (lowest shard index) error.  Time spent waiting for a
-// worker slot lands in the queue-wait phase histogram.
-func (s *ShardedTree) fanOut(fn func(i int, t *Tree) error) error {
+// fanOut runs fn once per shard of g on the bounded worker pool and
+// returns the first (lowest shard index) error.  Time spent waiting
+// for a worker slot lands in the queue-wait phase histogram.
+func (s *ShardedTree) fanOut(g *generation, fn func(i int, t *Tree) error) error {
 	var wg sync.WaitGroup
-	errs := make([]error, len(s.shards))
-	for i, t := range s.shards {
+	errs := make([]error, len(g.shards))
+	for i, t := range g.shards {
 		wg.Add(1)
 		go func(i int, t *Tree) {
 			defer wg.Done()
@@ -490,7 +600,9 @@ func (s *ShardedTree) fanOut(fn func(i int, t *Tree) error) error {
 
 // Close persists the shard manifest (including self-tuned speed bands
 // and the durability policy) and closes every shard, returning the
-// first error.  Shard closes run concurrently — under a durability
+// first error.  An in-flight live reshard is canceled and awaited
+// first (if its cutover already happened, the new generation is what
+// gets closed).  Shard closes run concurrently — under a durability
 // policy each one is a checkpoint plus fsync, so like recovery the
 // cost is bounded by the largest shard.  Close is idempotent: repeated
 // calls return the first call's result.
@@ -500,15 +612,17 @@ func (s *ShardedTree) Close() error {
 	if s.closed {
 		return s.closeErr
 	}
+	s.shutdownReshard()
 	s.closed = true
+	g := s.cur.Load()
 	if s.manifestPath != "" {
-		if err := s.writeManifestFile(); err != nil {
+		if err := s.writeManifestFile(g); err != nil {
 			s.closeErr = err
 		}
 	}
 	var wg sync.WaitGroup
-	errs := make([]error, len(s.shards))
-	for i, t := range s.shards {
+	errs := make([]error, len(g.shards))
+	for i, t := range g.shards {
 		wg.Add(1)
 		go func(i int, t *Tree) {
 			defer wg.Done()
@@ -522,6 +636,23 @@ func (s *ShardedTree) Close() error {
 		}
 	}
 	return s.closeErr
+}
+
+// Abandon drops the index without checkpointing or persisting
+// anything — the crash simulation used by durability tests.  Like
+// Close it stops the drift detector and waits out an in-flight live
+// reshard (which aborts at its next cancellation check).
+func (s *ShardedTree) Abandon() {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
+		return
+	}
+	s.shutdownReshard()
+	s.closed = true
+	for _, t := range s.cur.Load().shards {
+		t.Abandon()
+	}
 }
 
 // Update inserts the object's report into its shard, replacing any
@@ -543,48 +674,69 @@ func (s *ShardedTree) Update(id uint32, p Point, now float64) error {
 }
 
 func (s *ShardedTree) update(id uint32, p Point, now float64, tc *QueryTrace) error {
-	if s.part.policy() == PartitionHash {
-		ri := tc.begin(-1, "route", -1)
-		i := s.part.route(id, p)
-		tc.endAt(ri)
-		t := s.shards[i]
-		si := tc.begin(-1, "shard", i)
-		err := t.Update(id, p, now)
-		tc.endAt(si)
-		if err != nil {
-			return err
-		}
-		s.widenShard(i, t.storedPoint(p), now)
-		return nil
-	}
 	ri := tc.begin(-1, "route", -1)
 	s.rerouteMu.RLock()
 	defer s.rerouteMu.RUnlock()
-	st := &s.stripes[id%uint32(len(s.stripes))]
-	st.Lock()
-	defer st.Unlock()
-	target := s.part.route(id, p)
-	old, hasOld := s.part.locate(id)
-	tc.endAt(ri)
+	g := s.cur.Load()
+	lr := s.lr.Load()
+	if g.part.policy() != PartitionHash || lr != nil {
+		// Re-routing policies — and the dual-apply window of a live
+		// reshard, whose touched-set and mirror apply must stay ordered
+		// per object — serialize same-id updates on the id's stripe.
+		// Hash partitioning outside a reshard needs neither: the shard
+		// tree's own lock orders same-id updates.
+		st := &s.stripes[id%uint32(len(s.stripes))]
+		st.Lock()
+		defer st.Unlock()
+	}
+	if s.speedWin != nil {
+		s.speedWin.Observe(speedOf(p, s.dims))
+	}
+	if err := s.applyUpdate(g, id, p, now, tc, ri, true); err != nil {
+		return err
+	}
+	if lr != nil {
+		lr.noteTouched(id)
+		if terr := s.applyUpdate(lr.target, id, p, now, nil, -1, false); terr != nil {
+			lr.fail(terr)
+		} else {
+			lr.applied.Add(1)
+			s.m.ReshardDualApplied.Inc()
+		}
+	}
+	return nil
+}
+
+// applyUpdate routes and applies one report to generation g.  The
+// caller holds the locks the generation's policy requires; routeIdx is
+// the trace span opened for routing (-1 untraced).  frontend gates the
+// public re-route counter so the mirrored applies of a live reshard
+// are not double-counted.
+func (s *ShardedTree) applyUpdate(g *generation, id uint32, p Point, now float64, tc *QueryTrace, routeIdx int, frontend bool) error {
+	target := g.part.route(id, p)
+	old, hasOld := g.part.locate(id)
+	tc.endAt(routeIdx)
 	if hasOld && old != target {
 		di := tc.begin(-1, "reroute-delete", old)
-		_, err := s.shards[old].Delete(id, now)
+		_, err := g.shards[old].Delete(id, now)
 		tc.endAt(di)
 		if err != nil {
 			return err
 		}
-		s.part.forget(id)
-		s.m.Rerouted.Inc()
+		g.part.forget(id)
+		if frontend {
+			s.m.Rerouted.Inc()
+		}
 	}
-	t := s.shards[target]
+	t := g.shards[target]
 	si := tc.begin(-1, "shard", target)
 	err := t.Update(id, p, now)
 	tc.endAt(si)
 	if err != nil {
 		return err
 	}
-	s.part.note(id, target)
-	s.widenShard(target, t.storedPoint(p), now)
+	g.part.note(id, target)
+	s.widenShard(g, target, t.storedPoint(p), now)
 	return nil
 }
 
@@ -603,29 +755,45 @@ func (s *ShardedTree) Delete(id uint32, now float64) (bool, error) {
 }
 
 func (s *ShardedTree) delete(id uint32, now float64, tc *QueryTrace) (bool, error) {
-	if s.part.policy() == PartitionHash {
-		i, _ := s.part.locate(id)
-		si := tc.begin(-1, "shard", i)
-		removed, err := s.shards[i].Delete(id, now)
-		tc.endAt(si)
-		return removed, err
-	}
 	ri := tc.begin(-1, "route", -1)
 	s.rerouteMu.RLock()
 	defer s.rerouteMu.RUnlock()
-	st := &s.stripes[id%uint32(len(s.stripes))]
-	st.Lock()
-	defer st.Unlock()
-	i, ok := s.part.locate(id)
-	tc.endAt(ri)
+	g := s.cur.Load()
+	lr := s.lr.Load()
+	if g.part.policy() != PartitionHash || lr != nil {
+		st := &s.stripes[id%uint32(len(s.stripes))]
+		st.Lock()
+		defer st.Unlock()
+	}
+	removed, err := s.applyDelete(g, id, now, tc, ri)
+	if err == nil && lr != nil {
+		// Mark the id touched even when nothing was removed: the
+		// backfill must never resurrect an object deleted during the
+		// dual-apply window.
+		lr.noteTouched(id)
+		if _, terr := s.applyDelete(lr.target, id, now, nil, -1); terr != nil {
+			lr.fail(terr)
+		} else {
+			lr.applied.Add(1)
+			s.m.ReshardDualApplied.Inc()
+		}
+	}
+	return removed, err
+}
+
+// applyDelete removes one object from generation g; locks as for
+// applyUpdate.
+func (s *ShardedTree) applyDelete(g *generation, id uint32, now float64, tc *QueryTrace, routeIdx int) (bool, error) {
+	i, ok := g.part.locate(id)
+	tc.endAt(routeIdx)
 	if !ok {
 		return false, nil
 	}
 	si := tc.begin(-1, "shard", i)
-	removed, err := s.shards[i].Delete(id, now)
+	removed, err := g.shards[i].Delete(id, now)
 	tc.endAt(si)
 	if err == nil {
-		s.part.forget(id)
+		g.part.forget(id)
 	}
 	return removed, err
 }
@@ -649,6 +817,7 @@ func (s *ShardedTree) UpdateBatch(batch []Report, now float64) error {
 	err := s.updateBatch(batch, now, tc)
 	d := time.Since(start)
 	s.m.ObserveOp(obs.OpBatch, d, err)
+	s.m.BatchedUpdates.Add(uint64(len(batch)))
 	tc.finishRecord(s.rec, len(batch), d, err)
 	return err
 }
@@ -660,16 +829,68 @@ func (s *ShardedTree) updateBatch(batch []Report, now float64, tc *QueryTrace) e
 	if len(batch) == 0 {
 		return nil
 	}
-	if s.part.policy() == PartitionHash {
-		ri := tc.begin(-1, "route", -1)
-		groups := make([][]Report, len(s.shards))
+	s.rerouteMu.RLock()
+	g := s.cur.Load()
+	if g.part.policy() == PartitionHash && s.lr.Load() == nil {
+		// Stateless routing, no reshard in flight: the grouped fan-out
+		// runs under the shared lock, concurrently with other batches.
+		defer s.rerouteMu.RUnlock()
+		if s.speedWin != nil {
+			for _, r := range batch {
+				s.speedWin.Observe(speedOf(r.Point, s.dims))
+			}
+		}
+		return s.applyBatch(g, batch, now, tc, true)
+	}
+	// Re-routing policies (and any batch inside a dual-apply window)
+	// hold the re-route lock exclusively so the route/delete/apply
+	// phases — and the mirror into the reshard target — cannot
+	// interleave with other mutations.
+	s.rerouteMu.RUnlock()
+	s.rerouteMu.Lock()
+	defer s.rerouteMu.Unlock()
+	g = s.cur.Load()
+	lr := s.lr.Load()
+	if s.speedWin != nil {
 		for _, r := range batch {
-			i := s.part.route(r.ID, r.Point)
+			s.speedWin.Observe(speedOf(r.Point, s.dims))
+		}
+	}
+	err := s.applyBatch(g, batch, now, tc, true)
+	if lr != nil {
+		for _, r := range batch {
+			lr.noteTouched(r.ID)
+		}
+		if err != nil {
+			// The batch half-applied to the current generation; the
+			// mirror can no longer be proven equivalent, so the
+			// reshard aborts (the operation's own error stands).
+			lr.fail(err)
+			return err
+		}
+		if terr := s.applyBatch(lr.target, batch, now, nil, false); terr != nil {
+			lr.fail(terr)
+		} else {
+			lr.applied.Add(uint64(len(batch)))
+			s.m.ReshardDualApplied.Add(uint64(len(batch)))
+		}
+	}
+	return err
+}
+
+// applyBatch routes and applies one batch to generation g; the caller
+// holds rerouteMu (shared suffices only for stateless hash routing).
+func (s *ShardedTree) applyBatch(g *generation, batch []Report, now float64, tc *QueryTrace, frontend bool) error {
+	if g.part.policy() == PartitionHash {
+		ri := tc.begin(-1, "route", -1)
+		groups := make([][]Report, len(g.shards))
+		for _, r := range batch {
+			i := g.part.route(r.ID, r.Point)
 			groups[i] = append(groups[i], r)
 		}
 		tc.endAt(ri)
 		ai := tc.begin(-1, "apply", -1)
-		err := s.fanOut(func(i int, t *Tree) error {
+		err := s.fanOut(g, func(i int, t *Tree) error {
 			if len(groups[i]) == 0 {
 				return nil
 			}
@@ -678,38 +899,37 @@ func (s *ShardedTree) updateBatch(batch []Report, now float64, tc *QueryTrace) e
 		tc.endAt(ai)
 		// Widen with every report, even after a partial failure — a
 		// too-wide summary is always safe.
-		s.widenGroups(groups, now)
+		s.widenGroups(g, groups, now)
 		return err
 	}
 
 	ri := tc.begin(-1, "route", -1)
-	s.rerouteMu.Lock()
-	defer s.rerouteMu.Unlock()
-
 	// Route every report; the last report fixes each object's shard.
 	final := make(map[uint32]int, len(batch))
 	for _, r := range batch {
-		final[r.ID] = s.part.route(r.ID, r.Point)
+		final[r.ID] = g.part.route(r.ID, r.Point)
 	}
 
 	// Remove re-routed objects from their previous shards first.
-	delGroups := make([][]uint32, len(s.shards))
+	delGroups := make([][]uint32, len(g.shards))
 	for id, tgt := range final {
-		if old, ok := s.part.locate(id); ok && old != tgt {
+		if old, ok := g.part.locate(id); ok && old != tgt {
 			delGroups[old] = append(delGroups[old], id)
 		}
 	}
 	tc.endAt(ri)
 	di := tc.begin(-1, "reroute-deletes", -1)
-	err := s.fanOut(func(i int, t *Tree) error {
+	err := s.fanOut(g, func(i int, t *Tree) error {
 		ids := delGroups[i]
 		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 		for _, id := range ids {
 			if _, err := t.Delete(id, now); err != nil {
 				return err
 			}
-			s.part.forget(id)
-			s.m.Rerouted.Inc()
+			g.part.forget(id)
+			if frontend {
+				s.m.Rerouted.Inc()
+			}
 		}
 		return nil
 	})
@@ -719,13 +939,13 @@ func (s *ShardedTree) updateBatch(batch []Report, now float64, tc *QueryTrace) e
 	}
 
 	// Apply every report on its object's final shard, in batch order.
-	groups := make([][]Report, len(s.shards))
+	groups := make([][]Report, len(g.shards))
 	for _, r := range batch {
 		i := final[r.ID]
 		groups[i] = append(groups[i], r)
 	}
 	ai := tc.begin(-1, "apply", -1)
-	err = s.fanOut(func(i int, t *Tree) error {
+	err = s.fanOut(g, func(i int, t *Tree) error {
 		if len(groups[i]) == 0 {
 			return nil
 		}
@@ -733,17 +953,17 @@ func (s *ShardedTree) updateBatch(batch []Report, now float64, tc *QueryTrace) e
 	})
 	tc.endAt(ai)
 	for id, tgt := range final {
-		s.part.note(id, tgt)
+		g.part.note(id, tgt)
 	}
-	s.widenGroups(groups, now)
+	s.widenGroups(g, groups, now)
 	return err
 }
 
 // widenGroups widens each shard's summary with its group's reports.
-func (s *ShardedTree) widenGroups(groups [][]Report, now float64) {
-	for i, g := range groups {
-		for _, r := range g {
-			s.widenShard(i, s.shards[i].storedPoint(r.Point), now)
+func (s *ShardedTree) widenGroups(g *generation, groups [][]Report, now float64) {
+	for i, grp := range groups {
+		for _, r := range grp {
+			s.widenShard(g, i, g.shards[i].storedPoint(r.Point), now)
 		}
 	}
 }
@@ -752,10 +972,12 @@ func (s *ShardedTree) widenGroups(groups [][]Report, now float64) {
 // query trapezoid can touch, counting visited and pruned shards, and
 // merges the results in ascending object-id order.
 func (s *ShardedTree) query(q geom.Query, run func(*Tree) ([]Result, error)) ([]Result, error) {
-	visit := make([]bool, len(s.shards))
+	g := s.pin()
+	defer g.unpin()
+	visit := make([]bool, len(g.shards))
 	var visits, pruned uint64
-	for i := range s.shards {
-		if s.shardMatches(i, q) {
+	for i := range g.shards {
+		if s.shardMatches(g, i, q) {
 			visit[i] = true
 			visits++
 		} else {
@@ -764,8 +986,8 @@ func (s *ShardedTree) query(q geom.Query, run func(*Tree) ([]Result, error)) ([]
 	}
 	s.m.ShardVisits.Add(visits)
 	s.m.ShardsPruned.Add(pruned)
-	parts := make([][]Result, len(s.shards))
-	err := s.fanOut(func(i int, t *Tree) error {
+	parts := make([][]Result, len(g.shards))
+	err := s.fanOut(g, func(i int, t *Tree) error {
 		if !visit[i] {
 			return nil
 		}
@@ -881,14 +1103,16 @@ func (s *ShardedTree) nearest(pos Vec, at float64, k int, now float64) ([]Result
 	if k <= 0 {
 		return nil, nil
 	}
+	g := s.pin()
+	defer g.unpin()
 	type shardDist struct {
 		i   int
 		d   float64
 		has bool
 	}
-	ord := make([]shardDist, len(s.shards))
-	for i := range s.shards {
-		d, has := s.shardMinDist(i, pos, at)
+	ord := make([]shardDist, len(g.shards))
+	for i := range g.shards {
+		d, has := s.shardMinDist(g, i, pos, at)
 		ord[i] = shardDist{i, d, has}
 	}
 	sort.Slice(ord, func(a, b int) bool {
@@ -913,7 +1137,7 @@ func (s *ShardedTree) nearest(pos Vec, at float64, k int, now float64) ([]Result
 			break
 		}
 		visits++
-		rs, err := s.shards[o.i].Nearest(pos, at, k, now)
+		rs, err := g.shards[o.i].Nearest(pos, at, k, now)
 		if err != nil {
 			s.m.ShardVisits.Add(visits)
 			s.m.ShardsPruned.Add(pruned)
@@ -950,17 +1174,21 @@ func (s *ShardedTree) nearest(pos Vec, at float64, k int, now float64) ([]Result
 // Get returns the object's current report from its shard; see
 // Tree.Get.
 func (s *ShardedTree) Get(id uint32, now float64) (Point, bool) {
-	i, ok := s.part.locate(id)
+	g := s.pin()
+	defer g.unpin()
+	i, ok := g.part.locate(id)
 	if !ok {
 		return Point{}, false
 	}
-	return s.shards[i].Get(id, now)
+	return g.shards[i].Get(id, now)
 }
 
 // Len returns the total number of stored reports across all shards.
 func (s *ShardedTree) Len() int {
+	g := s.pin()
+	defer g.unpin()
 	n := 0
-	for _, t := range s.shards {
+	for _, t := range g.shards {
 		n += t.Len()
 	}
 	return n
@@ -969,8 +1197,10 @@ func (s *ShardedTree) Len() int {
 // ForEach visits every stored report, shard by shard, until fn returns
 // false.  The visit order is unspecified.
 func (s *ShardedTree) ForEach(now float64, fn func(Result) bool) error {
+	g := s.pin()
+	defer g.unpin()
 	stop := false
-	for _, t := range s.shards {
+	for _, t := range g.shards {
 		if stop {
 			return nil
 		}
@@ -990,14 +1220,18 @@ func (s *ShardedTree) ForEach(now float64, fn func(Result) bool) error {
 
 // Validate checks the structural invariants of every shard.
 func (s *ShardedTree) Validate() error {
-	return s.fanOut(func(_ int, t *Tree) error { return t.Validate() })
+	g := s.pin()
+	defer g.unpin()
+	return s.fanOut(g, func(_ int, t *Tree) error { return t.Validate() })
 }
 
 // Stats returns the summed statistics of all shards (Height is the
 // tallest shard's).
 func (s *ShardedTree) Stats() Stats {
+	g := s.pin()
+	defer g.unpin()
 	var out Stats
-	for _, t := range s.shards {
+	for _, t := range g.shards {
 		st := t.Stats()
 		if st.Height > out.Height {
 			out.Height = st.Height
@@ -1018,10 +1252,14 @@ func (s *ShardedTree) Stats() Stats {
 // aggregate sums every shard's counters, gauges and lock-wait
 // histograms, while its per-operation histograms and the partitioning
 // counters (shard visits, prunes, re-routes) come from the front-end
-// registry: they describe the whole fan-out including the merge.
+// registry: they describe the whole fan-out including the merge.  The
+// live-reshard families are front-end-only too: the reshard is a
+// whole-index operation, not a per-shard one.
 func (s *ShardedTree) snapshots() (agg obs.Snapshot, shards []obs.Snapshot) {
-	shards = make([]obs.Snapshot, len(s.shards))
-	for i, t := range s.shards {
+	g := s.pin()
+	defer g.unpin()
+	shards = make([]obs.Snapshot, len(g.shards))
+	for i, t := range g.shards {
 		shards[i] = t.snapshot()
 		agg = agg.Add(shards[i])
 	}
@@ -1030,6 +1268,12 @@ func (s *ShardedTree) snapshots() (agg obs.Snapshot, shards []obs.Snapshot) {
 	agg.ShardVisits = front.ShardVisits
 	agg.ShardsPruned = front.ShardsPruned
 	agg.Rerouted = front.Rerouted
+	agg.ReshardRuns = front.ReshardRuns
+	agg.ReshardDualApplied = front.ReshardDualApplied
+	agg.ReshardBackfilled = front.ReshardBackfilled
+	agg.ReshardSkew = front.ReshardSkew
+	agg.ReshardChurn = front.ReshardChurn
+	agg.ReshardCutoverStall = front.ReshardCutoverStall
 	// The fan-out phases (queue_wait, merge) are observed only by the
 	// front-end registry; fold them into the summed shard phases.
 	for p := range agg.Phases {
@@ -1050,7 +1294,9 @@ func (s *ShardedTree) Metrics() Metrics {
 
 // ShardMetrics returns the instrumentation snapshot of shard i.
 func (s *ShardedTree) ShardMetrics(i int) Metrics {
-	return fromSnapshot(s.shards[i].snapshot())
+	g := s.pin()
+	defer g.unpin()
+	return fromSnapshot(g.shards[i].snapshot())
 }
 
 // WriteMetrics writes the aggregate metrics under the rexp_ name

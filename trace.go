@@ -556,15 +556,17 @@ func (s *ShardedTree) movingTraced(r1, r2 Rect, t1, t2, now float64, tc *QueryTr
 // metrics are observed like the untraced path (which calls the shard's
 // public method).
 func (s *ShardedTree) queryTraced(q geom.Query, op obs.Op, tc *QueryTrace, run func(t *Tree, lockIdx, travIdx int) ([]Result, error)) ([]Result, error) {
+	g := s.pin()
+	defer g.unpin()
 	ri := tc.begin(-1, "route", -1)
-	visit := make([]bool, len(s.shards))
+	visit := make([]bool, len(g.shards))
 	var visits, pruned uint64
-	tc.Shards = make([]ShardTrace, len(s.shards))
-	for i := range s.shards {
+	tc.Shards = make([]ShardTrace, len(g.shards))
+	for i := range g.shards {
 		st := &tc.Shards[i]
 		st.Shard = i
-		st.Band = s.bandLabel(i)
-		if s.shardMatches(i, q) {
+		st.Band = s.bandLabel(g, i)
+		if s.shardMatches(g, i, q) {
 			visit[i] = true
 			visits++
 			st.Visited = true
@@ -573,14 +575,14 @@ func (s *ShardedTree) queryTraced(q geom.Query, op obs.Op, tc *QueryTrace, run f
 			st.Reason = "summary-pruned"
 		}
 	}
-	pruned = uint64(len(s.shards)) - visits
+	pruned = uint64(len(g.shards)) - visits
 	tc.endAt(ri)
 	s.m.ShardVisits.Add(visits)
 	s.m.ShardsPruned.Add(pruned)
 
 	type spanBlock struct{ shard, queue, lock, trav int }
-	blocks := make([]spanBlock, len(s.shards))
-	for i := range s.shards {
+	blocks := make([]spanBlock, len(g.shards))
+	for i := range g.shards {
 		if !visit[i] {
 			blocks[i] = spanBlock{-1, -1, -1, -1}
 			continue
@@ -594,10 +596,10 @@ func (s *ShardedTree) queryTraced(q geom.Query, op obs.Op, tc *QueryTrace, run f
 		}
 	}
 
-	parts := make([][]Result, len(s.shards))
+	parts := make([][]Result, len(g.shards))
 	var wg sync.WaitGroup
-	errs := make([]error, len(s.shards))
-	for i, t := range s.shards {
+	errs := make([]error, len(g.shards))
+	for i, t := range g.shards {
 		if !visit[i] {
 			continue
 		}
@@ -621,7 +623,7 @@ func (s *ShardedTree) queryTraced(q geom.Query, op obs.Op, tc *QueryTrace, run f
 	}
 	wg.Wait()
 
-	for i := range s.shards {
+	for i := range g.shards {
 		if !visit[i] {
 			continue
 		}
@@ -664,15 +666,17 @@ func (s *ShardedTree) nearestTraced(pos Vec, at float64, k int, now float64, tc 
 	if k <= 0 {
 		return nil, nil
 	}
+	g := s.pin()
+	defer g.unpin()
 	ri := tc.begin(-1, "route", -1)
 	type shardDist struct {
 		i   int
 		d   float64
 		has bool
 	}
-	ord := make([]shardDist, len(s.shards))
-	for i := range s.shards {
-		d, has := s.shardMinDist(i, pos, at)
+	ord := make([]shardDist, len(g.shards))
+	for i := range g.shards {
+		d, has := s.shardMinDist(g, i, pos, at)
 		ord[i] = shardDist{i, d, has}
 	}
 	sort.Slice(ord, func(a, b int) bool {
@@ -681,9 +685,9 @@ func (s *ShardedTree) nearestTraced(pos Vec, at float64, k int, now float64, tc 
 		}
 		return ord[a].i < ord[b].i
 	})
-	tc.Shards = make([]ShardTrace, len(s.shards))
-	for i := range s.shards {
-		tc.Shards[i] = ShardTrace{Shard: i, Band: s.bandLabel(i)}
+	tc.Shards = make([]ShardTrace, len(g.shards))
+	for i := range g.shards {
+		tc.Shards[i] = ShardTrace{Shard: i, Band: s.bandLabel(g, i)}
 	}
 	tc.endAt(ri)
 
@@ -714,8 +718,8 @@ func (s *ShardedTree) nearestTraced(pos Vec, at float64, k int, now float64, tc 
 		li := tc.begin(sh, "lock-wait", o.i)
 		ti := tc.begin(sh, "traverse", o.i)
 		opStart := time.Now()
-		rs, err := s.shards[o.i].nearestSpansAt(pos, at, k, now, tc, li, ti)
-		s.shards[o.i].m.ObserveOp(obs.OpNearest, time.Since(opStart), err)
+		rs, err := g.shards[o.i].nearestSpansAt(pos, at, k, now, tc, li, ti)
+		g.shards[o.i].m.ObserveOp(obs.OpNearest, time.Since(opStart), err)
 		tc.endAt(sh)
 		sp := &tc.Spans[ti]
 		st.Nodes, st.Leaves = sp.Nodes, sp.Leaves

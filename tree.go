@@ -672,6 +672,45 @@ func (tr *Tree) storedPoint(p Point) geom.MovingPoint {
 	return tr.t.Stored(toInternal(p, tr.dims))
 }
 
+// clockNow reads the tree's high-water clock — the time of the newest
+// applied update — preferring the lock-free snapshot's published clock
+// so a live-reshard scan never blocks the write path.
+func (tr *Tree) clockNow() float64 {
+	if tr.snapshotReads() {
+		if c, ok := tr.t.PubClock(); ok {
+			return c
+		}
+	}
+	tr.rlock()
+	defer tr.mu.RUnlock()
+	return tr.t.Now()
+}
+
+// exportRecords streams every stored record (live and expired alike, in
+// raw internal form) to fn, over the lock-free snapshot when available
+// so a concurrent update stream is never stalled by a full-index scan.
+func (tr *Tree) exportRecords(fn func(oid uint32, p geom.MovingPoint) error) error {
+	if tr.snapshotReads() {
+		if ok, err := tr.t.ExportSnap(fn); ok {
+			return err
+		}
+	}
+	tr.rlock()
+	defer tr.mu.RUnlock()
+	return tr.t.Records(fn)
+}
+
+// objectsInto copies the tree's object table (the authoritative
+// id→stored-record map) into dst — the live-reshard verify step reads
+// both generations through it while mutations are blocked.
+func (tr *Tree) objectsInto(dst map[uint32]geom.MovingPoint) {
+	tr.rlock()
+	defer tr.mu.RUnlock()
+	for id, mp := range tr.objects {
+		dst[id] = mp
+	}
+}
+
 // Validate checks the index's structural invariants (balance, fan-out
 // bounds, bounding-rectangle containment, unique ids).  It reads the
 // whole tree and is intended for tests and tooling.
