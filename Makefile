@@ -10,15 +10,17 @@
 #   make bench-trace      tracing-overhead microbenchmark -> BENCH_trace.json
 #   make serve-smoke      the README serving quickstart, end to end
 #   make bench-serve      rexpd + remote loadgen -> BENCH_serve.json
+#   make bench-repl       replication catch-up/lag/overhead -> BENCH_repl.json
+#   make fault-matrix     the replication fault-injection matrix, under -race
 #   make all              check + all benchmarks
 
 GO ?= go
 
-.PHONY: all check fmt-check vet build test race fuzz-smoke bench-obs bench-obs-smoke bench-shard bench-partition bench-partition-smoke bench-wal bench-wal-smoke bench-read bench-read-smoke bench-reshard bench-reshard-smoke bench-trace bench-trace-smoke serve-smoke bench-serve bench-serve-smoke clean
+.PHONY: all check fmt-check vet build test race fuzz-smoke bench-obs bench-obs-smoke bench-shard bench-partition bench-partition-smoke bench-wal bench-wal-smoke bench-read bench-read-smoke bench-reshard bench-reshard-smoke bench-trace bench-trace-smoke serve-smoke bench-serve bench-serve-smoke bench-repl bench-repl-smoke fault-matrix clean
 
-all: check bench-obs bench-shard bench-partition bench-wal bench-read bench-reshard bench-trace bench-serve
+all: check bench-obs bench-shard bench-partition bench-wal bench-read bench-reshard bench-trace bench-serve bench-repl
 
-check: fmt-check vet build test race bench-obs-smoke bench-partition-smoke bench-wal-smoke bench-read-smoke bench-reshard-smoke bench-trace-smoke serve-smoke bench-serve-smoke
+check: fmt-check vet build test race bench-obs-smoke bench-partition-smoke bench-wal-smoke bench-read-smoke bench-reshard-smoke bench-trace-smoke serve-smoke bench-serve-smoke bench-repl-smoke
 
 # Fails (with the offending file list) if anything is not gofmt-clean.
 fmt-check:
@@ -51,6 +53,7 @@ fuzz-smoke:
 	$(GO) test ./internal/geom -run '^$$' -fuzz FuzzTrapezoidIntersect -fuzztime 10s
 	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzWALRoundTrip -fuzztime 10s
 	$(GO) test . -run '^$$' -fuzz FuzzDualApplySchedule -fuzztime 10s
+	$(GO) test ./internal/repl -run '^$$' -fuzz FuzzReplFrameRoundTrip -fuzztime 10s
 
 # Compares instrumented vs. nil-metrics Update/query throughput; the
 # observability layer's budget is a <2% regression.
@@ -156,8 +159,29 @@ bin/rexpd: FORCE
 	@mkdir -p bin
 	$(GO) build -o bin/rexpd ./cmd/rexpd
 
+# The replication stream end to end: cold-follower catch-up MB/s,
+# steady-state apply lag under a continuous leader update stream, and
+# the leader's throughput cost of feeding a tailing follower (see
+# cmd/rexpbench/replbench.go).
+bench-repl:
+	$(GO) run ./cmd/rexpbench -replbench -objects 20000 -duration 2 -replout BENCH_repl.json
+
+# A fast pass of the replication bench for make check: it exercises the
+# snapshot stream, bootstrap, tail apply and the lag sampler without
+# committing a result file.
+bench-repl-smoke:
+	$(GO) run ./cmd/rexpbench -replbench -objects 3000 -duration 0.3 -quiet -replout - >/dev/null
+
+# The replication fault-injection matrix under the race detector:
+# follower/leader crashes at every stage of the stream, torn wire
+# frames, disconnect storms, retention overruns and concurrent reads
+# during tail apply — each must end fingerprint-identical to the leader
+# or fail loudly (see internal/repl/e2e_test.go).
+fault-matrix:
+	$(GO) test -race ./internal/repl -run 'TestRepl' -count 1
+
 FORCE:
 
 clean:
-	rm -f BENCH_obs.json BENCH_shard.json BENCH_partition.json BENCH_wal.json BENCH_readpath.json BENCH_reshard.json BENCH_trace.json BENCH_serve.json
+	rm -f BENCH_obs.json BENCH_shard.json BENCH_partition.json BENCH_wal.json BENCH_readpath.json BENCH_reshard.json BENCH_trace.json BENCH_serve.json BENCH_repl.json
 	rm -rf bin

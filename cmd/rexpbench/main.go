@@ -73,6 +73,9 @@ func main() {
 		durOut    = flag.String("walout", "BENCH_wal.json", "output file for the durability report; - for stdout (-durability mode)")
 		batchSize = flag.Int("batch", 100, "reports per UpdateBatch in the durability bench's batched phase (-durability mode)")
 
+		replBench = flag.Bool("replbench", false, "run the replication bench (follower catch-up, steady-state lag, leader streaming overhead) instead of figure replay")
+		replOut   = flag.String("replout", "BENCH_repl.json", "output file for the replication report; - for stdout (-replbench mode)")
+
 		remote   = flag.String("remote", "", "drive a running rexpd at this address (host:port) with mixed update/query load")
 		spawn    = flag.String("spawn", "", "spawn this rexpd binary on 127.0.0.1:0, bench it, then SIGTERM it (instead of -remote)")
 		replay   = flag.String("replay", "", "remote mode: replay this rexpgen workload file instead of synthetic load")
@@ -93,14 +96,16 @@ func main() {
 		return
 	}
 
-	if *throughput || *partBench || *durBench || *readScale || *liveReshard {
+	if *throughput || *partBench || *durBench || *readScale || *liveReshard || *replBench {
 		progress := func(line string) {
 			if !*quiet {
 				fmt.Fprintln(os.Stderr, line)
 			}
 		}
 		var err error
-		if *liveReshard {
+		if *replBench {
+			err = runReplBench(*objects, *shards, *duration, *seed, *replOut, progress)
+		} else if *liveReshard {
 			err = runLiveReshardBench(*objects, *shards, *workers, *duration, *ioLat, *seed, *reshardOut, progress)
 		} else if *readScale {
 			var sweep []int

@@ -16,6 +16,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -104,7 +105,8 @@ func newRemoteClient(addr string) *remoteClient {
 }
 
 // post sends body to path and decodes the JSON response into out.
-// A 429 is returned as errOverload so callers can back off and retry.
+// A 429 is returned as an *overloadError carrying the server's
+// Retry-After hint so callers can back off and retry.
 func (c *remoteClient) post(path string, body []byte, out any) error {
 	resp, err := c.hc.Post(c.base+path, "application/x-ndjson", bytes.NewReader(body))
 	if err != nil {
@@ -113,7 +115,7 @@ func (c *remoteClient) post(path string, body []byte, out any) error {
 	defer resp.Body.Close()
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if resp.StatusCode == http.StatusTooManyRequests {
-		return errOverload
+		return &overloadError{retryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
 	}
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("POST %s: %d: %s", path, resp.StatusCode, bytes.TrimSpace(raw))
@@ -145,7 +147,39 @@ func (c *remoteClient) get(path string, query url.Values, out any) error {
 	return nil
 }
 
-var errOverload = fmt.Errorf("server overloaded (429)")
+// overloadError is a 429 refusal (admission control or the per-client
+// rate limiter); retryAfter is the server's Retry-After hint, 0 when
+// the header was absent or unparseable.
+type overloadError struct{ retryAfter time.Duration }
+
+func (e *overloadError) Error() string {
+	if e.retryAfter > 0 {
+		return fmt.Sprintf("server overloaded (429, retry after %v)", e.retryAfter)
+	}
+	return "server overloaded (429)"
+}
+
+// wait picks the back-off before retrying: the server's hint when it
+// sent one, else the caller's fallback — in both cases jittered over
+// [d/2, 3d/2) so a fleet of refused workers does not return in
+// lockstep and re-overload the server at the same instant.
+func (e *overloadError) wait(fallback time.Duration) time.Duration {
+	d := e.retryAfter
+	if d <= 0 {
+		d = fallback
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// parseRetryAfter reads the delay-seconds form of a Retry-After value
+// (the only form rexpd sends).
+func parseRetryAfter(v string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
 
 // batchAck mirrors the server's batch response.
 type batchAck struct {
@@ -385,11 +419,12 @@ func syntheticLoad(c *remoteClient, report *serveReport, objects, workers int, d
 				t0 := time.Now()
 				var ack batchAck
 				err := c.post("/v1/batch", body, &ack)
-				if err == errOverload {
+				var oe *overloadError
+				if errors.As(err, &oe) {
 					mu.Lock()
 					rejected++
 					mu.Unlock()
-					time.Sleep(10 * time.Millisecond)
+					time.Sleep(oe.wait(10 * time.Millisecond))
 					continue
 				}
 				if err != nil {
@@ -532,8 +567,9 @@ func replayWorkload(c *remoteClient, file string, progress func(string)) (*repla
 		var ack batchAck
 		for {
 			err := c.post("/v1/batch", ndjson(pending), &ack)
-			if err == errOverload {
-				time.Sleep(50 * time.Millisecond)
+			var oe *overloadError
+			if errors.As(err, &oe) {
+				time.Sleep(oe.wait(50 * time.Millisecond))
 				continue
 			}
 			if err != nil {

@@ -13,10 +13,17 @@
 // a durability policy every acknowledged mutation survives the whole
 // sequence, including a crash in the middle of it.
 //
+// A durable file-backed daemon is also a replication leader: it serves
+// a consistent hot-backup stream on GET /v1/backup and the logical
+// record tail on GET /v1/wal, and `rexpd -follow <leader-url> -path
+// <dir>` runs a read-only follower that bootstraps from the backup
+// stream and tails the records at bounded staleness.
+//
 // Usage:
 //
 //	rexpd -addr :7364 -path /var/lib/rexp/idx [-shards 4] [-partition hash|speed]
 //	      [-durability none|on-commit|batched] [-max-inflight 4] [-timeout 30s] ...
+//	rexpd -addr :7365 -follow http://leader:7364 -path /var/lib/rexp/replica
 //
 // With no -path the index is held in memory (and lost on exit).
 package main
@@ -26,16 +33,19 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"rexptree"
+	"rexptree/internal/repl"
 	"rexptree/internal/server"
 )
 
@@ -60,6 +70,20 @@ func main() {
 		drainWait = flag.Duration("drain-timeout", time.Minute, "shutdown: maximum wait for in-flight requests")
 		noPprof   = flag.Bool("nopprof", false, "do not mount net/http/pprof under /debug/pprof/")
 		noRuntime = flag.Bool("noruntime", false, "do not append Go runtime metrics to /metrics scrapes")
+
+		rateLimit = flag.Float64("rate-limit", 0, "per-client mutation requests/second (X-Client-Id or remote addr); 0 disables")
+		rateBurst = flag.Int("rate-burst", 0, "per-client burst size for -rate-limit (default 2x the rate)")
+
+		replRetain = flag.Int64("repl-retain", repl.DefaultRetainBytes, "replication feed retention in bytes on a durable leader; 0 disables the /v1/backup and /v1/wal endpoints")
+		follow     = flag.String("follow", "", "run as a read-only follower of this leader URL (requires -path, used as the replica directory)")
+		maxLag     = flag.Duration("max-lag", 30*time.Second, "follower: /readyz answers 503 \"stale\" past this replication lag")
+
+		autoReshard   = flag.Bool("auto-reshard", false, "enable the drift detector: live-reshard automatically when routing skew or churn drifts (requires -partition speed)")
+		arInterval    = flag.Duration("auto-reshard-interval", 5*time.Second, "drift detector sampling period")
+		arSkew        = flag.Float64("auto-reshard-skew", 2.0, "reshard when the largest shard exceeds this multiple of the mean population; 0 disables the skew trigger")
+		arChurn       = flag.Float64("auto-reshard-churn", 0.2, "reshard when this fraction of reports re-route their object; 0 disables the churn trigger")
+		arMinInterval = flag.Duration("auto-reshard-min-interval", time.Minute, "cooldown between automatic reshards")
+		arWindow      = flag.Int("auto-reshard-window", 4096, "speed observations kept for re-deriving quantile bands")
 	)
 	flag.Parse()
 
@@ -71,6 +95,10 @@ func main() {
 		inflight: *inflight, maxBatch: *maxBatch, timeout: *timeout,
 		retry: *retry, drainWait: *drainWait,
 		pprof: !*noPprof, runtime: !*noRuntime,
+		rateLimit: *rateLimit, rateBurst: *rateBurst,
+		replRetain: *replRetain, follow: *follow, maxLag: *maxLag,
+		autoReshard: *autoReshard, arInterval: *arInterval, arSkew: *arSkew,
+		arChurn: *arChurn, arMinInterval: *arMinInterval, arWindow: *arWindow,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "rexpd: %v\n", err)
 		os.Exit(1)
@@ -85,15 +113,30 @@ type config struct {
 	inflight, maxBatch                       int
 	drainWait                                time.Duration
 	pprof, runtime                           bool
+
+	rateLimit float64
+	rateBurst int
+
+	replRetain int64
+	follow     string
+	maxLag     time.Duration
+
+	autoReshard               bool
+	arInterval, arMinInterval time.Duration
+	arSkew, arChurn           float64
+	arWindow                  int
 }
 
 func run(cfg config) error {
+	if cfg.follow != "" {
+		return runFollower(cfg)
+	}
 	ix, durability, err := openIndex(cfg)
 	if err != nil {
 		return err
 	}
 
-	srv := server.New(server.Config{
+	scfg := server.Config{
 		Index:          ix,
 		MaxInFlight:    cfg.inflight,
 		MaxBatch:       cfg.maxBatch,
@@ -101,7 +144,23 @@ func run(cfg config) error {
 		RetryAfter:     cfg.retry,
 		Pprof:          cfg.pprof,
 		RuntimeMetrics: cfg.runtime,
-	})
+		RateLimit:      cfg.rateLimit,
+		RateBurst:      cfg.rateBurst,
+	}
+
+	// A durable file-backed daemon doubles as a replication leader: the
+	// hub attaches the logical record feed and serves the backup and
+	// tail streams.  Memory-backed or non-durable indexes have no
+	// crash-consistent files to stream, so the endpoints stay 503.
+	var hub *repl.Hub
+	if cfg.replRetain > 0 && cfg.path != "" && durability != rexptree.DurabilityNone {
+		hub = repl.NewHub(ix, cfg.replRetain)
+		scfg.Backup = hub.BackupHandler()
+		scfg.WALFeed = hub.WALHandler()
+		scfg.ReplStats = hub.Stats
+	}
+
+	srv := server.New(scfg)
 	srv.SetDurability(durability.String())
 
 	// Seed the logical clock from the newest stored report, so a
@@ -124,8 +183,12 @@ func run(cfg config) error {
 
 	// The one line the smoke tests (and humans) parse: the bound
 	// address, which matters when -addr asked for port 0.
-	fmt.Fprintf(os.Stderr, "rexpd: serving http://%s (index: %s, %d shard(s), %s partition, durability %s)\n",
-		ln.Addr(), pathOrMemory(cfg.path), ix.NumShards(), ix.Partition(), durability)
+	leader := ""
+	if hub != nil {
+		leader = ", replication on"
+	}
+	fmt.Fprintf(os.Stderr, "rexpd: serving http://%s (index: %s, %d shard(s), %s partition, durability %s%s)\n",
+		ln.Addr(), pathOrMemory(cfg.path), ix.NumShards(), ix.Partition(), durability, leader)
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
@@ -154,6 +217,141 @@ func run(cfg config) error {
 	}
 	if err := srv.CloseIndex(); err != nil {
 		return fmt.Errorf("close: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "rexpd: clean shutdown")
+	return nil
+}
+
+// swapServer serves through the current *server.Server and lets a
+// follower re-bootstrap swap in a server over the new replica index:
+// requests pin the current server with a read lock, the swap takes the
+// write lock, so after a swap no request is still using the previous
+// index and the applier may close it.
+type swapServer struct {
+	mu  sync.RWMutex
+	srv *server.Server
+}
+
+func (sw *swapServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
+	sw.srv.ServeHTTP(w, r)
+}
+
+func (sw *swapServer) swap(srv *server.Server) {
+	sw.mu.Lock()
+	sw.srv = srv
+	sw.mu.Unlock()
+}
+
+func (sw *swapServer) current() *server.Server {
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
+	return sw.srv
+}
+
+// runFollower runs the read-only replica mode: bootstrap (or resume) a
+// replica of the leader under -path, serve the read API from it, and
+// keep tailing the leader's record feed until shutdown.
+func runFollower(cfg config) error {
+	if cfg.path == "" {
+		return errors.New("-follow requires -path (the replica directory)")
+	}
+
+	// app is declared before its options so the OnSwap closure can use
+	// it; the applier only invokes OnSwap after NewApplier returns.
+	var app *repl.Applier
+	sw := &swapServer{}
+	newServer := func(ix *rexptree.ShardedTree) *server.Server {
+		srv := server.New(server.Config{
+			Index:          ix,
+			MaxInFlight:    cfg.inflight,
+			MaxBatch:       cfg.maxBatch,
+			RequestTimeout: cfg.timeout,
+			RetryAfter:     cfg.retry,
+			Pprof:          cfg.pprof,
+			RuntimeMetrics: cfg.runtime,
+			ReadOnly:       true,
+			ReplStats:      app.Stats,
+			LagSeconds:     app.LagSeconds,
+			MaxLag:         cfg.maxLag,
+		})
+		srv.SetDurability("on-commit (replica)")
+		srv.ObserveClock(app.Clock())
+		return srv
+	}
+	app, err := repl.NewApplier(repl.ApplierOptions{
+		Leader: cfg.follow,
+		Dir:    cfg.path,
+		// Every (re-)bootstrap publishes a fresh replica; swap a server
+		// over it in under the request lock, then the applier closes the
+		// superseded index.
+		OnSwap: func(ix *rexptree.ShardedTree) { sw.swap(newServer(ix)) },
+		Logf: func(format string, args ...any) {
+			log.Printf("rexpd: "+format, args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Bootstrap (or resume) before binding the listener, so the first
+	// request ever served already has a consistent replica behind it.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := app.Open(ctx); err != nil {
+		return fmt.Errorf("follower bootstrap: %w", err)
+	}
+	sw.swap(newServer(app.Index()))
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		app.Close()
+		return err
+	}
+	httpSrv := &http.Server{Handler: sw}
+
+	fmt.Fprintf(os.Stderr, "rexpd: serving http://%s (read-only follower of %s, replica dir %s)\n",
+		ln.Addr(), cfg.follow, cfg.path)
+
+	app.Start()
+
+	// Keep the served default query clock tracking the applied clock.
+	clockDone := make(chan struct{})
+	go func() {
+		t := time.NewTicker(500 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-clockDone:
+				return
+			case <-t.C:
+				sw.current().ObserveClock(app.Clock())
+			}
+		}
+	}()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "rexpd: signal: follower draining")
+	case err := <-errc:
+		close(clockDone)
+		app.Close()
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	close(clockDone)
+	sw.current().Drain()
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		fmt.Fprintf(os.Stderr, "rexpd: shutdown: %v (closing the replica anyway)\n", err)
+	}
+	if err := app.Close(); err != nil {
+		return fmt.Errorf("close replica: %w", err)
 	}
 	fmt.Fprintln(os.Stderr, "rexpd: clean shutdown")
 	return nil
@@ -192,13 +390,24 @@ func openIndex(cfg config) (*rexptree.ShardedTree, rexptree.Durability, error) {
 	opts.FlightRecorder = cfg.recorder
 	opts.SlowOpThreshold = cfg.slowOp
 
-	ix, err := rexptree.OpenSharded(rexptree.ShardedOptions{
+	sopts := rexptree.ShardedOptions{
 		Options:    opts,
 		Shards:     cfg.shards,
 		Workers:    cfg.workers,
 		Partition:  policy,
 		SpeedBands: speedBands,
-	})
+	}
+	if cfg.autoReshard {
+		sopts.AutoReshard = rexptree.AutoReshardOptions{
+			Enabled:        true,
+			Interval:       cfg.arInterval,
+			Window:         cfg.arWindow,
+			SkewThreshold:  cfg.arSkew,
+			ChurnThreshold: cfg.arChurn,
+			MinInterval:    cfg.arMinInterval,
+		}
+	}
+	ix, err := rexptree.OpenSharded(sopts)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -66,6 +66,7 @@ func (tr *Tree) initWAL(opts Options) error {
 // refused, the file stays dirty, and the next open recovers from the
 // last durable state instead.
 func (tr *Tree) walRollback(prev int64, cause error) {
+	tr.snapEpoch.Add(1) // the rewind invalidates any WAL tail being streamed
 	if err := tr.wal.Unwind(prev); err != nil {
 		tr.walPoison = fmt.Errorf("rexptree: write-ahead log holds the record of a failed operation (%v) and could not be rewound: %w", cause, err)
 	}
@@ -122,7 +123,12 @@ func (tr *Tree) walCommit(tc *QueryTrace) error {
 			tr.lastWALSync = time.Now()
 		}
 	}
-	if tr.wal.Size() >= tr.ckptBytes || tr.t.PoolOverflow() >= tr.t.Config().BufferPages {
+	// A backup stream in flight (ckptHold > 0) defers checkpoints: the
+	// page file must stay the image of the last checkpoint while it is
+	// being copied, so the WAL keeps growing instead — that growth is
+	// the retained-segment guarantee the stream depends on.
+	if tr.ckptHold.Load() == 0 &&
+		(tr.wal.Size() >= tr.ckptBytes || tr.t.PoolOverflow() >= tr.t.Config().BufferPages) {
 		ci := tc.begin(-1, "checkpoint", -1)
 		err := tr.checkpointLocked()
 		tc.endAt(ci)
@@ -146,6 +152,7 @@ func (tr *Tree) walCommit(tc *QueryTrace) error {
 // no matter how torn the page file is.
 func (tr *Tree) checkpointLocked() error {
 	start := time.Now()
+	tr.snapEpoch.Add(1) // checkpointing rewrites both files under any stream
 	if err := tr.t.StageMeta(); err != nil {
 		return err
 	}

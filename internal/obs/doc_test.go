@@ -27,6 +27,10 @@ func TestMetricsDocCoversExposition(t *testing.T) {
 	if err := WriteRuntimeMetrics(&buf, DefaultPrefix); err != nil {
 		t.Fatal(err)
 	}
+	// So are the replication families.
+	if err := WriteReplMetrics(&buf, DefaultPrefix, ReplStats{}); err != nil {
+		t.Fatal(err)
+	}
 	families := map[string]bool{}
 	for _, line := range strings.Split(buf.String(), "\n") {
 		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {

@@ -1,0 +1,180 @@
+package repl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"rexptree"
+	"rexptree/internal/manifest"
+)
+
+// BackupInfo summarizes a received backup stream.
+type BackupInfo struct {
+	Meta     BackupMeta
+	Manifest manifest.Manifest
+	Bytes    int64 // total file bytes written (pages + WAL)
+}
+
+// WriteBackup consumes one backup stream from r and materializes it at
+// base — the same layout a live index uses (<base>.manifest, one page
+// file and one WAL per shard) — so the result opens with OpenSharded
+// and verifies with rexpcheck.  Every frame is checksum-verified and
+// the stream must close with its BackupEnd terminator; on any error
+// the partial files are removed and the destination is left without a
+// manifest, so a torn transfer can never pass for a backup.
+func WriteBackup(base string, r io.Reader) (*BackupInfo, error) {
+	fr := NewFrameReader(r)
+
+	kind, body, err := fr.ReadFrame()
+	if err != nil {
+		return nil, fmt.Errorf("repl: reading backup meta: %w", err)
+	}
+	if kind != FrameMeta {
+		return nil, fmt.Errorf("%w: backup stream starts with frame kind 0x%02x, want meta", ErrCorruptFrame, kind)
+	}
+	var meta BackupMeta
+	if err := json.Unmarshal(body, &meta); err != nil {
+		return nil, fmt.Errorf("repl: decoding backup meta: %w", err)
+	}
+	if meta.Version != ProtocolVersion {
+		return nil, fmt.Errorf("repl: backup stream version %d, this build speaks %d", meta.Version, ProtocolVersion)
+	}
+	man, err := manifest.Decode(meta.Manifest)
+	if err != nil {
+		return nil, fmt.Errorf("repl: backup manifest: %w", err)
+	}
+	if man.Shards != meta.Shards || man.Generation != meta.Generation {
+		return nil, fmt.Errorf("repl: backup meta (%d shards, generation %d) disagrees with its manifest (%d, %d)",
+			meta.Shards, meta.Generation, man.Shards, man.Generation)
+	}
+
+	info := &BackupInfo{Meta: meta, Manifest: man}
+	var created []string
+	fail := func(err error) (*BackupInfo, error) {
+		for _, p := range created {
+			os.Remove(p)
+		}
+		return nil, err
+	}
+
+	for i := 0; i < meta.Shards; i++ {
+		kind, body, err := fr.ReadFrame()
+		if err != nil {
+			return fail(fmt.Errorf("repl: reading shard %d header: %w", i, err))
+		}
+		if kind != FrameShardBegin {
+			return fail(fmt.Errorf("%w: frame kind 0x%02x where shard %d header expected", ErrCorruptFrame, kind, i))
+		}
+		var hdr ShardHeader
+		if err := json.Unmarshal(body, &hdr); err != nil {
+			return fail(fmt.Errorf("repl: decoding shard %d header: %w", i, err))
+		}
+		if hdr.Shard != i || hdr.PageBytes < 0 || hdr.WALBytes < 0 {
+			return fail(fmt.Errorf("%w: shard header %+v out of sequence at shard %d", ErrCorruptFrame, hdr, i))
+		}
+
+		pagePath := manifest.ShardPath(base, meta.Generation, i)
+		walPath := rexptree.WALPath(pagePath)
+		created = append(created, pagePath, walPath)
+		if err := receiveShardFiles(fr, pagePath, walPath, hdr); err != nil {
+			return fail(err)
+		}
+		info.Bytes += hdr.PageBytes + hdr.WALBytes
+	}
+
+	kind, _, err = fr.ReadFrame()
+	if err != nil {
+		return fail(fmt.Errorf("repl: reading backup terminator: %w", err))
+	}
+	if kind != FrameBackupEnd {
+		return fail(fmt.Errorf("%w: frame kind 0x%02x where backup terminator expected", ErrCorruptFrame, kind))
+	}
+
+	// The manifest lands last, after everything it names is fsynced:
+	// its presence is the commit point of the restore.
+	if err := syncDir(filepath.Dir(base)); err != nil {
+		return fail(err)
+	}
+	manPath := manifest.Path(base)
+	created = append(created, manPath)
+	if err := manifest.Write(manPath, man); err != nil {
+		return fail(err)
+	}
+	if err := syncDir(filepath.Dir(base)); err != nil {
+		return fail(err)
+	}
+	return info, nil
+}
+
+// receiveShardFiles writes one shard's page file and WAL from their
+// chunk frames, verifying the byte counts match the header exactly.
+func receiveShardFiles(fr *FrameReader, pagePath, walPath string, hdr ShardHeader) error {
+	if err := receiveFile(fr, FramePageChunk, pagePath, hdr.PageBytes); err != nil {
+		return fmt.Errorf("repl: shard %d page file: %w", hdr.Shard, err)
+	}
+	if err := receiveFile(fr, FrameWALChunk, walPath, hdr.WALBytes); err != nil {
+		return fmt.Errorf("repl: shard %d WAL: %w", hdr.Shard, err)
+	}
+	kind, body, err := fr.ReadFrame()
+	if err != nil {
+		return fmt.Errorf("repl: shard %d terminator: %w", hdr.Shard, err)
+	}
+	if kind != FrameShardEnd {
+		return fmt.Errorf("%w: frame kind 0x%02x where shard %d terminator expected", ErrCorruptFrame, kind, hdr.Shard)
+	}
+	var end struct {
+		Shard int `json:"shard"`
+	}
+	if err := json.Unmarshal(body, &end); err != nil || end.Shard != hdr.Shard {
+		return fmt.Errorf("%w: shard terminator names shard %d, want %d", ErrCorruptFrame, end.Shard, hdr.Shard)
+	}
+	return nil
+}
+
+// receiveFile writes exactly n bytes of chunk frames of the given kind
+// to path, fsyncing before returning.  n == 0 still creates the
+// (empty) file so the restored layout is complete.
+func receiveFile(fr *FrameReader, kind byte, path string, n int64) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	got := int64(0)
+	for got < n {
+		k, body, err := fr.ReadFrame()
+		if err != nil {
+			return err
+		}
+		if k != kind {
+			return fmt.Errorf("%w: frame kind 0x%02x inside a 0x%02x chunk run", ErrCorruptFrame, k, kind)
+		}
+		if got+int64(len(body)) > n {
+			return fmt.Errorf("%w: chunk overruns the declared %d bytes", ErrCorruptFrame, n)
+		}
+		if _, err := f.Write(body); err != nil {
+			return err
+		}
+		got += int64(len(body))
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames and creates in it are durable.
+func syncDir(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -105,7 +105,7 @@ type updateResponse struct {
 
 // handleUpdate applies one report: POST /v1/update, body a Record.
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	release, ok := s.admitMutation(w)
+	release, ok := s.admitMutation(w, r)
 	if !ok {
 		return
 	}
@@ -133,7 +133,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 
 // handleDelete removes one report: POST /v1/delete, body {"id": N}.
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	release, ok := s.admitMutation(w)
+	release, ok := s.admitMutation(w, r)
 	if !ok {
 		return
 	}
@@ -170,7 +170,7 @@ type batchResponse struct {
 // the stream applies in order).  Everything before a malformed line
 // stays applied; the 400 names the offending line.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	release, ok := s.admitMutation(w)
+	release, ok := s.admitMutation(w, r)
 	if !ok {
 		return
 	}
@@ -543,22 +543,41 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleReadyz answers GET /readyz: ready to admit mutations; flips to
-// 503 the moment a drain begins, so load balancers stop routing here.
+// handleReadyz answers GET /readyz: ready to serve; flips to 503 the
+// moment a drain begins (so load balancers stop routing here), and on
+// a follower it also flips to 503 {"status":"stale"} when replication
+// lag exceeds the configured threshold — a replica too far behind
+// should stop receiving reads.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
+	if s.cfg.LagSeconds != nil && s.cfg.MaxLag > 0 {
+		if lag := s.cfg.LagSeconds(); lag > s.cfg.MaxLag.Seconds() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "stale", "lag_seconds": lag, "max_lag_seconds": s.cfg.MaxLag.Seconds(),
+			})
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // handleMetrics serves the Prometheus exposition (aggregate + per-shard
-// sections, plus the Go runtime families unless disabled).
+// sections, plus the Go runtime families unless disabled, plus the
+// replication families when a hub or applier is wired in).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	h := s.ix.MetricsHandler()
 	if s.cfg.RuntimeMetrics {
 		h = obs.WithRuntimeMetrics(h, obs.DefaultPrefix)
+	}
+	if rs := s.cfg.ReplStats; rs != nil {
+		inner := h
+		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			inner.ServeHTTP(w, r)
+			obs.WriteReplMetrics(w, obs.DefaultPrefix, rs())
+		})
 	}
 	h.ServeHTTP(w, r)
 }
@@ -566,6 +585,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // handleTraces serves the flight recorder's retained traces.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	s.ix.TraceHandler().ServeHTTP(w, r)
+}
+
+// --- Replication -------------------------------------------------------
+
+// handleBackup streams a consistent hot-backup snapshot: GET
+// /v1/backup.  The stream is produced by the replication hub directly
+// (no request deadline — a backup legitimately runs long); without a
+// hub the route answers 503 so a misconfigured follower fails loudly.
+func (s *Server) handleBackup(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Backup == nil {
+		writeError(w, http.StatusServiceUnavailable, "replication not enabled on this server (start rexpd with -repl-retain > 0)")
+		return
+	}
+	s.cfg.Backup.ServeHTTP(w, r)
+}
+
+// handleWAL serves the logical record tail: GET /v1/wal?from=&epoch=.
+// Long-polls, so it bypasses the request deadline machinery.
+func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.WALFeed == nil {
+		writeError(w, http.StatusServiceUnavailable, "replication not enabled on this server (start rexpd with -repl-retain > 0)")
+		return
+	}
+	s.cfg.WALFeed.ServeHTTP(w, r)
 }
 
 // --- Live reshard ------------------------------------------------------
@@ -609,6 +652,10 @@ func toReshardStatusJSON(st rexptree.ReshardStatus) reshardStatusResponse {
 // started (202) — progress is observable on /v1/reshard/status; a
 // reshard already in flight is refused with 409.
 func (s *Server) handleReshard(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.ReadOnly {
+		writeError(w, http.StatusForbidden, "read-only follower: resharding must be done on the leader")
+		return
+	}
 	s.run(w, r, func() reply {
 		var req reshardRequest
 		if err := decodeBody(r.Body, &req); err != nil {
@@ -643,6 +690,10 @@ func (s *Server) handleReshardStatus(w http.ResponseWriter, r *http.Request) {
 // in-flight reshard to abort cleanly.  Canceled reports whether there
 // was one to cancel; cancellation completes asynchronously.
 func (s *Server) handleReshardCancel(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.ReadOnly {
+		writeError(w, http.StatusForbidden, "read-only follower: resharding must be done on the leader")
+		return
+	}
 	canceled := s.ix.CancelReshard()
 	writeJSON(w, http.StatusOK, map[string]bool{"canceled": canceled})
 }

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket: each key accrues rate
+// tokens per second up to burst, and one mutating request costs one
+// token.  Idle buckets are garbage-collected once they are full again
+// (a full bucket carries no history, so dropping it is lossless).
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*bucket
+	lastGC  time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+const limiterGCInterval = time.Minute
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	b := float64(burst)
+	if b <= 0 {
+		b = 2 * rate
+	}
+	if b < 1 {
+		b = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   b,
+		buckets: make(map[string]*bucket),
+		lastGC:  time.Now(),
+	}
+}
+
+// allow takes one token from key's bucket.  When the bucket is empty
+// it refuses and reports how long until a token accrues.
+func (l *rateLimiter) allow(key string, now time.Time) (retryAfter time.Duration, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(l.burst, b.tokens+dt*l.rate)
+		b.last = now
+	}
+	if now.Sub(l.lastGC) >= limiterGCInterval {
+		l.gcLocked(now)
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	return time.Duration((1 - b.tokens) / l.rate * float64(time.Second)), false
+}
+
+// gcLocked drops buckets that have refilled completely: they behave
+// exactly like absent ones.
+func (l *rateLimiter) gcLocked(now time.Time) {
+	l.lastGC = now
+	for key, b := range l.buckets {
+		if dt := now.Sub(b.last).Seconds(); b.tokens+dt*l.rate >= l.burst {
+			delete(l.buckets, key)
+		}
+	}
+}
+
+// clientKey identifies the requesting client: the X-Client-Id header
+// when present (load generators and SDKs set it so a NATed fleet is
+// told apart), else the remote IP without the ephemeral port.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-Id"); id != "" {
+		return "id:" + id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return "addr:" + r.RemoteAddr
+	}
+	return "addr:" + host
+}
+
+// retryAfterJitter renders a Retry-After value for a 429: the accrual
+// wait rounded up to whole seconds plus up to one extra second of
+// jitter, so a synchronized burst of refused clients does not retry in
+// lockstep.
+func retryAfterJitter(wait time.Duration) string {
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs + rand.Intn(2))
+}

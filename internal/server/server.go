@@ -56,6 +56,40 @@ type Config struct {
 
 	// RuntimeMetrics appends Go runtime families to /metrics scrapes.
 	RuntimeMetrics bool
+
+	// RateLimit enables per-client token-bucket rate limiting of the
+	// mutation endpoints: each client (the X-Client-Id header, else the
+	// remote address) may sustain RateLimit mutating requests per
+	// second with bursts of RateBurst (default 2×RateLimit, minimum 1).
+	// Excess requests are refused with 429 and a jittered Retry-After
+	// so a synchronized fleet does not return in lockstep.  Zero
+	// disables the limiter.
+	RateLimit float64
+	RateBurst int
+
+	// Backup and WALFeed serve the replication endpoints (GET
+	// /v1/backup, GET /v1/wal) when the daemon enables the replication
+	// hub; nil answers 503, so the routes always exist but clearly
+	// report when replication is off.
+	Backup  http.Handler
+	WALFeed http.Handler
+
+	// ReadOnly puts the server in follower mode: every mutation and
+	// reshard request is refused with 403.  The read API, health and
+	// metrics endpoints are unaffected.
+	ReadOnly bool
+
+	// ReplStats, when set, appends the replication metric families to
+	// /metrics scrapes (leader hub and/or follower applier counters).
+	ReplStats func() obs.ReplStats
+
+	// LagSeconds + MaxLag gate /readyz on replication staleness: when
+	// LagSeconds (typically the follower applier's lag) exceeds
+	// MaxLag, /readyz answers 503 {"status":"stale"} so load balancers
+	// stop routing reads to a replica that has fallen too far behind.
+	// Either zero disables the check.
+	LagSeconds func() float64
+	MaxLag     time.Duration
 }
 
 // Server is the HTTP front end over one sharded index.
@@ -67,6 +101,8 @@ type Server struct {
 	clock atomicClock
 
 	gate chan struct{} // admission: in-flight ingest batches
+
+	limiter *rateLimiter // per-client mutation rate limiting; nil when off
 
 	durability string // daemon-configured policy name, for /v1/stats
 
@@ -93,6 +129,9 @@ func New(cfg Config) *Server {
 		ix:   cfg.Index,
 		cfg:  cfg,
 		gate: make(chan struct{}, cfg.MaxInFlight),
+	}
+	if cfg.RateLimit > 0 {
+		s.limiter = newRateLimiter(cfg.RateLimit, cfg.RateBurst)
 	}
 	s.mux = http.NewServeMux()
 	for _, r := range routes {
@@ -134,6 +173,8 @@ var routes = []route{
 	{"POST", "/v1/reshard", (*Server).handleReshard},
 	{"GET", "/v1/reshard/status", (*Server).handleReshardStatus},
 	{"POST", "/v1/reshard/cancel", (*Server).handleReshardCancel},
+	{"GET", "/v1/backup", (*Server).handleBackup},
+	{"GET", "/v1/wal", (*Server).handleWAL},
 	{"GET", "/healthz", (*Server).handleHealthz},
 	{"GET", "/readyz", (*Server).handleReadyz},
 	{"GET", "/metrics", (*Server).handleMetrics},
@@ -184,11 +225,23 @@ func (s *Server) CloseIndex() error {
 	return s.closeErr
 }
 
-// admitMutation gates every mutating request: during a drain it is
-// refused outright, otherwise it joins the in-flight group the drain
-// waits on.  The returned release must be called exactly once; ok is
-// false when the request was already answered.
-func (s *Server) admitMutation(w http.ResponseWriter) (release func(), ok bool) {
+// admitMutation gates every mutating request: a read-only follower
+// refuses it with 403, a rate-limited client with 429 + jittered
+// Retry-After, a drain with 503; otherwise it joins the in-flight
+// group the drain waits on.  The returned release must be called
+// exactly once; ok is false when the request was already answered.
+func (s *Server) admitMutation(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if s.cfg.ReadOnly {
+		writeError(w, http.StatusForbidden, "read-only follower: mutations must go to the leader")
+		return nil, false
+	}
+	if s.limiter != nil {
+		if wait, allowed := s.limiter.allow(clientKey(r), time.Now()); !allowed {
+			w.Header().Set("Retry-After", retryAfterJitter(wait))
+			writeError(w, http.StatusTooManyRequests, "rate limit exceeded for this client")
+			return nil, false
+		}
+	}
 	s.admit.RLock()
 	if s.draining.Load() {
 		s.admit.RUnlock()

@@ -118,6 +118,11 @@ const (
 	ckptCommitSize = 1 + 4
 )
 
+// DecodeRecord decodes one logical record payload — the bytes
+// EncodeUpdate/EncodeDelete produce, as scanned from a log or carried
+// on a replication feed — into rec.
+func DecodeRecord(p []byte, rec *Record) error { return decodePayload(p, rec) }
+
 // decodePayload decodes one frame payload into rec.
 func decodePayload(p []byte, rec *Record) error {
 	if len(p) == 0 {

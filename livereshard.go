@@ -526,7 +526,18 @@ func (s *ShardedTree) runLiveReshard(spec ReshardSpec, derived bool) error {
 		}
 	}
 	// Committed: swap the generation pointer; readers migrate on their
-	// next pin, writers on their next lock acquisition.
+	// next pin, writers on their next lock acquisition.  The
+	// replication sink moves to the new shards in the same critical
+	// section, so emission is gapless and never doubled: until here
+	// only the old generation emitted (dual-apply kept the target
+	// sink-free), from here only the new one does.
+	if s.replSink != nil {
+		for _, t := range target.shards {
+			t.mu.Lock()
+			t.replSink = s.replSink
+			t.mu.Unlock()
+		}
+	}
 	s.lr.Store(nil)
 	s.cur.Store(target)
 	s.m.ReshardCutoverStall.Observe(time.Since(stallStart))

@@ -154,6 +154,11 @@ type ShardedTree struct {
 	rerouteMu sync.RWMutex
 	stripes   [64]sync.Mutex
 
+	// replSink, when set, observes every applied mutation (see
+	// replication.go).  Written under rerouteMu's exclusive side; the
+	// live-reshard cutover re-attaches it to the target generation.
+	replSink ReplSink
+
 	// Live-reshard state; see livereshard.go.  lr is non-nil exactly
 	// while a reshard's dual-apply window is open; it is published and
 	// cleared only under rerouteMu's exclusive side.
@@ -1192,6 +1197,21 @@ func (s *ShardedTree) Len() int {
 		n += t.Len()
 	}
 	return n
+}
+
+// Now returns the index's logical clock: the largest reference time
+// any shard has applied.  A reopened index restores it from the shard
+// metadata pages, so it survives restarts.
+func (s *ShardedTree) Now() float64 {
+	g := s.pin()
+	defer g.unpin()
+	now := 0.0
+	for _, t := range g.shards {
+		if c := t.Now(); c > now {
+			now = c
+		}
+	}
+	return now
 }
 
 // ForEach visits every stored report, shard by shard, until fn returns

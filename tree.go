@@ -5,6 +5,7 @@ import (
 	"log"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rexptree/internal/core"
@@ -52,6 +53,16 @@ type Tree struct {
 	ckptBytes   int64
 	lastWALSync time.Time
 	walBuf      []byte // reused encoding scratch
+
+	// Replication hooks; see replication.go.  path is Options.Path (""
+	// for a memory-backed tree).  replSink, when set, observes every
+	// applied mutation under mu.  ckptHold > 0 defers checkpoints while
+	// a backup streams this tree's files; snapEpoch counts the events
+	// that invalidate such a stream (checkpoints, WAL rewinds).
+	path      string
+	replSink  ReplSink
+	ckptHold  atomic.Int32
+	snapEpoch atomic.Uint64
 
 	// walPoison, when non-nil, refuses every further mutation: a
 	// mutation failed after its WAL record was appended and the record
@@ -149,6 +160,7 @@ func open(opts Options, retried bool) (*Tree, error) {
 	}
 	if durable {
 		tr.fs = fs
+		tr.path = opts.Path
 		tr.walPath = WALPath(opts.Path)
 		tr.durability = opts.Durability
 		tr.syncEvery = opts.SyncEvery
@@ -326,6 +338,7 @@ func (tr *Tree) updateLocked(id uint32, p Point, now float64, tc *QueryTrace) er
 		tc.endAt(ai)
 		if err == nil {
 			tc.addMeasured("version-publish", tr.t.LastPublishNanos())
+			tr.replNoteUpdate(id, p, now)
 		}
 		return err
 	}
@@ -347,6 +360,7 @@ func (tr *Tree) updateLocked(id uint32, p Point, now float64, tc *QueryTrace) er
 		return err
 	}
 	tc.addMeasured("version-publish", tr.t.LastPublishNanos())
+	tr.replNoteUpdate(id, p, now)
 	return nil
 }
 
@@ -401,7 +415,11 @@ func (tr *Tree) delete(id uint32, now float64, tc *QueryTrace) (bool, error) {
 	}
 	if tr.wal == nil {
 		delete(tr.objects, id)
-		return tr.t.Delete(id, old, now)
+		removed, err := tr.t.Delete(id, old, now)
+		if err == nil {
+			tr.replNoteDelete(id, now)
+		}
+		return removed, err
 	}
 	if tr.walPoison != nil {
 		return false, tr.walPoison
@@ -422,6 +440,7 @@ func (tr *Tree) delete(id uint32, now float64, tc *QueryTrace) (bool, error) {
 		return removed, err
 	}
 	tc.addMeasured("version-publish", tr.t.LastPublishNanos())
+	tr.replNoteDelete(id, now)
 	return removed, tr.walCommit(tc)
 }
 
@@ -593,6 +612,15 @@ func (tr *Tree) Len() int {
 
 // Dims returns the dimensionality of the indexed space.
 func (tr *Tree) Dims() int { return tr.dims }
+
+// Now returns the tree's logical clock: the largest reference time any
+// applied mutation carried.  A reopened tree restores it from the
+// metadata page, so it survives restarts.
+func (tr *Tree) Now() float64 {
+	tr.rlock()
+	defer tr.mu.RUnlock()
+	return tr.t.Now()
+}
 
 // Stats describes the tree's state and accumulated I/O.  The richer
 // Metrics snapshot additionally covers structural counters and per-op
